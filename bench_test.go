@@ -1,0 +1,297 @@
+package mermaid
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// real micro-benchmarks of the conversion machinery. The simulation
+// benchmarks report virtual-time results as custom metrics
+// (ms_simulated vs ms_paper, or s_simulated), so `go test -bench .`
+// regenerates the whole evaluation; wall-clock ns/op measures the
+// simulator itself. See EXPERIMENTS.md for the recorded comparison.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/sor"
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/exp"
+	"repro/internal/vaxfloat"
+)
+
+func BenchmarkTable1FaultHandling(b *testing.B) {
+	var rows []exp.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table1()
+	}
+	for _, r := range rows {
+		op := "read"
+		if r.Write {
+			op = "write"
+		}
+		b.ReportMetric(r.MS, fmt.Sprintf("ms_%s_%s", r.Kind, op))
+	}
+}
+
+func BenchmarkTable2PageTransfer(b *testing.B) {
+	var rows []exp.Table2Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table2()
+	}
+	for _, r := range rows {
+		if r.Size == 8192 {
+			b.ReportMetric(r.MS, fmt.Sprintf("ms_%v_to_%v_8KB", r.From, r.To))
+		}
+	}
+}
+
+func BenchmarkTable3Conversion(b *testing.B) {
+	var rows []exp.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table3()
+	}
+	for _, r := range rows {
+		if r.Size == 8192 {
+			name := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(r.TypeName)
+			b.ReportMetric(r.MS, "ms_"+name)
+		}
+	}
+}
+
+func BenchmarkTable4FaultDelay(b *testing.B) {
+	var rows []exp.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table4()
+	}
+	var worst float64
+	for _, r := range rows {
+		rel := math.Abs(r.MS-r.PaperMS) / r.PaperMS
+		worst = math.Max(worst, rel)
+	}
+	b.ReportMetric(worst*100, "worst_%_vs_paper")
+}
+
+func BenchmarkFigure3PhysicalVsDSM(b *testing.B) {
+	var res exp.Figure3Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Figure3(6)
+	}
+	last := len(res.Physical) - 1
+	b.ReportMetric(res.Physical[last].Seconds, "s_physical_6thr")
+	b.ReportMetric(res.Distributed[last].Seconds, "s_dsm_6thr")
+}
+
+func BenchmarkFigure4HeterogeneousMM(b *testing.B) {
+	var pts []exp.FigPoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.Figure4(16)
+	}
+	b.ReportMetric(pts[0].Seconds, "s_1thr")
+	b.ReportMetric(pts[7].Seconds, "s_8thr")
+	b.ReportMetric(pts[13].Seconds, "s_14thr")
+}
+
+func BenchmarkFigure5PCB(b *testing.B) {
+	var pts []exp.Figure5Point
+	for i := 0; i < b.N; i++ {
+		pts = exp.Figure5(10)
+	}
+	b.ReportMetric(pts[len(pts)-1].Speedup, "speedup_10thr")
+	b.ReportMetric(pts[len(pts)-1].Seconds, "s_10thr")
+}
+
+func BenchmarkFigure6PageSizeAlgorithms(b *testing.B) {
+	var res exp.Figure6Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Figure6(8)
+	}
+	b.ReportMetric(res.Large[7].Seconds, "s_8KB_8thr")
+	b.ReportMetric(res.Small[7].Seconds, "s_1KB_8thr")
+}
+
+func BenchmarkFigure7MM1VsMM2SmallPages(b *testing.B) {
+	var res exp.Figure7Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Figure7(8)
+	}
+	b.ReportMetric(res.MM1[7].Seconds, "s_MM1_8thr")
+	b.ReportMetric(res.MM2[7].Seconds, "s_MM2_8thr")
+}
+
+func BenchmarkThrashingMM2LargePages(b *testing.B) {
+	var rows []exp.ThrashingResult
+	for i := 0; i < b.N; i++ {
+		rows = exp.Thrashing([]int{8}, []int64{1, 2, 3})
+	}
+	r := rows[0]
+	b.ReportMetric(r.MeanS, "s_mean")
+	b.ReportMetric(r.MaxS-r.MinS, "s_spread")
+	b.ReportMetric(r.MeanTransfers, "transfers")
+}
+
+func BenchmarkSingleThreadOverhead(b *testing.B) {
+	var rows []exp.OverheadResult
+	for i := 0; i < b.N; i++ {
+		rows = exp.SingleThreadOverhead()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.OverheadPct, "pct_"+r.App)
+	}
+}
+
+func BenchmarkAblationSameKindSource(b *testing.B) {
+	var r exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblationSameKindSource()
+	}
+	b.ReportMetric(float64(r.BaselineConv), "conv_baseline")
+	b.ReportMetric(float64(r.TunedConv), "conv_tuned")
+}
+
+// --- Real (wall-clock) micro-benchmarks of the conversion machinery ---
+
+func BenchmarkRealInt32PageConversion(b *testing.B) {
+	reg := conv.NewRegistry()
+	buf := make([]byte, 8192)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.ConvertRegion(conv.Int32, buf, arch.SunArch, arch.FireflyArch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealFloat64PageConversion(b *testing.B) {
+	reg := conv.NewRegistry()
+	buf := make([]byte, 8192)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.ConvertRegion(conv.Float64, buf, arch.SunArch, arch.FireflyArch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealVaxFEncode(b *testing.B) {
+	var out [4]byte
+	for i := 0; i < b.N; i++ {
+		vaxfloat.EncodeF(3.14159+float64(i&0xff), out[:])
+	}
+}
+
+func BenchmarkRealVaxGRoundTrip(b *testing.B) {
+	var out [8]byte
+	for i := 0; i < b.N; i++ {
+		vaxfloat.EncodeG(2.718281828459045, out[:])
+		if _, ok := vaxfloat.DecodeG(out[:]); !ok {
+			b.Fatal("reserved")
+		}
+	}
+}
+
+func BenchmarkRealQuickstartScenario(b *testing.B) {
+	// Wall-clock cost of a complete small simulation: build a cluster,
+	// run a cross-architecture round trip.
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{
+			Hosts: []HostSpec{{Kind: Sun}, {Kind: Firefly, CPUs: 4}},
+			Seed:  1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.DefineSemaphore(1, 0, 0)
+		worker := c.MustRegisterFunc(func(e *Env, args []uint32) {
+			v := e.ReadInt32(Addr(args[0]))
+			e.WriteInt32(Addr(args[0]), v*2)
+			e.V(1)
+		})
+		c.Run(0, func(e *Env) {
+			addr := e.MustAlloc(Int32, 1)
+			e.WriteInt32(addr, 21)
+			if _, err := e.CreateThread(1, worker, uint32(addr)); err != nil {
+				b.Fatal(err)
+			}
+			e.P(1)
+			if e.ReadInt32(addr) != 42 {
+				b.Fatal("wrong result")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSyncStyles(b *testing.B) {
+	var r exp.SyncStyleResult
+	for i := 0; i < b.N; i++ {
+		r = exp.SyncStyles(10)
+	}
+	b.ReportMetric(r.SpinlockS, "s_spinlock")
+	b.ReportMetric(r.SemaphoreS, "s_semaphore")
+	b.ReportMetric(float64(r.SpinlockTransfers), "transfers_spinlock")
+	b.ReportMetric(float64(r.SemaphoreTransfers), "transfers_semaphore")
+}
+
+func BenchmarkAblationManagerPlacement(b *testing.B) {
+	var r exp.ManagerPlacementResult
+	for i := 0; i < b.N; i++ {
+		r = exp.ManagerPlacement()
+	}
+	b.ReportMetric(r.DistributedS, "s_distributed")
+	b.ReportMetric(r.CentralS, "s_central")
+}
+
+func BenchmarkAlgorithmChoice(b *testing.B) {
+	var rows []exp.AlgorithmChoiceRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.AlgorithmChoice()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MRSWS, "s_mrsw_"+r.Workload)
+		b.ReportMetric(r.CentralS, "s_central_"+r.Workload)
+	}
+}
+
+func BenchmarkExtensionSORScaling(b *testing.B) {
+	var one, four float64
+	for i := 0; i < b.N; i++ {
+		run := func(slaves []cluster.HostID) float64 {
+			c, err := cluster.New(cluster.Config{
+				Hosts: []cluster.HostSpec{
+					{Kind: arch.Sun},
+					{Kind: arch.Firefly, CPUs: 4},
+					{Kind: arch.Firefly, CPUs: 4},
+				},
+				Seed: 3,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := sor.Register(c)
+			res, err := r.Run(sor.Config{W: 256, H: 258, Iters: 4, Master: 0, Slaves: slaves})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Elapsed.Seconds()
+		}
+		one = run([]cluster.HostID{1})
+		four = run([]cluster.HostID{1, 1, 2, 2})
+	}
+	b.ReportMetric(one, "s_1thr")
+	b.ReportMetric(four, "s_4thr")
+}
+
+func BenchmarkPageSizeSpectrum(b *testing.B) {
+	var pts []exp.PageSizePoint
+	for i := 0; i < b.N; i++ {
+		pts = exp.PageSizeSweep(8)
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.MM1S, fmt.Sprintf("s_MM1_%dB", p.PageSize))
+		b.ReportMetric(p.MM2S, fmt.Sprintf("s_MM2_%dB", p.PageSize))
+	}
+}

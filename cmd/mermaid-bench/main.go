@@ -1,0 +1,101 @@
+// Command mermaid-bench regenerates every table and figure of the
+// paper's evaluation (§3) and prints each next to the published values.
+//
+// Usage:
+//
+//	mermaid-bench              # everything (figures take ~30 s)
+//	mermaid-bench -only t2,f4  # a subset: t1..t4, f3..f7, thrash, ovh, abl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl")
+	flag.Parse()
+	if err := run(*only); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(only string) error {
+	want := func(key string) bool {
+		if only == "" {
+			return true
+		}
+		for _, k := range strings.Split(only, ",") {
+			if strings.TrimSpace(k) == key {
+				return true
+			}
+		}
+		return false
+	}
+
+	show := func(t *exp.Table) {
+		fmt.Println(t.Format())
+	}
+
+	if want("t1") {
+		show(exp.Table1Table())
+	}
+	if want("t2") {
+		show(exp.Table2Table())
+	}
+	if want("t3") {
+		show(exp.Table3Table())
+	}
+	if want("t4") {
+		show(exp.Table4Table())
+	}
+	if want("f3") {
+		show(exp.Figure3Table(exp.Figure3(6)))
+	}
+	if want("f4") {
+		show(exp.SeriesTable("Figure 4: MM, master on Sun, slaves on 1–4 Fireflies (s)", exp.Figure4(16)))
+	}
+	if want("f5") {
+		show(exp.Figure5Table(exp.Figure5(12)))
+	}
+	if want("f6") {
+		show(exp.Figure6Table(exp.Figure6(8)))
+	}
+	if want("f7") {
+		show(exp.Figure7Table(exp.Figure7(8)))
+	}
+	if want("psweep") {
+		show(exp.PageSizeSweepTable(exp.PageSizeSweep(8)))
+	}
+	if want("thrash") {
+		show(exp.ThrashingTable(exp.Thrashing([]int{6, 8, 12}, []int64{1, 2, 3, 4, 5})))
+	}
+	if want("ovh") {
+		show(exp.OverheadTable(exp.SingleThreadOverhead()))
+	}
+	if want("abl") {
+		r := exp.AblationSameKindSource()
+		fmt.Printf("Ablation: %s\n", r.Name)
+		fmt.Printf("  baseline: %.1f s, %d conversions\n", r.BaselineS, r.BaselineConv)
+		fmt.Printf("  enabled:  %.1f s, %d conversions\n\n", r.TunedS, r.TunedConv)
+
+		s := exp.SyncStyles(10)
+		fmt.Println("Ablation: spinlock on shared memory vs distributed semaphores (§2.2)")
+		fmt.Printf("  spinlock:  %.2f s, %d page transfers\n", s.SpinlockS, s.SpinlockTransfers)
+		fmt.Printf("  semaphore: %.2f s, %d page transfers\n\n", s.SemaphoreS, s.SemaphoreTransfers)
+
+		m := exp.ManagerPlacement()
+		fmt.Println("Ablation: fixed distributed managers vs a central manager")
+		fmt.Printf("  distributed: %.1f s, %d transfers\n", m.DistributedS, m.DistributedTransfers)
+		fmt.Printf("  central:     %.1f s, %d transfers\n\n", m.CentralS, m.CentralTransfers)
+
+		show(exp.AlgorithmChoiceTable(exp.AlgorithmChoice()))
+		show(exp.InvalidationTable(exp.InvalidationScaling([]int{1, 3, 5, 10, 14})))
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command mermaid-trace runs a small heterogeneous matrix
+// multiplication and prints the DSM protocol event trace (faults,
+// fetches, serves, invalidations, upgrades) followed by per-host
+// statistics — a window into the write-invalidate protocol at work.
+//
+// Usage:
+//
+//	mermaid-trace [-n 64] [-threads 4] [-mm2] [-small] [-max 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/dsm"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 64, "matrix dimension")
+		threads = flag.Int("threads", 4, "slave threads over two Fireflies")
+		mm2     = flag.Bool("mm2", false, "round-robin row assignment (MM2)")
+		small   = flag.Bool("small", false, "smallest page size algorithm (1KB pages)")
+		maxEv   = flag.Int("max", 200, "maximum trace events to print (0 = all)")
+	)
+	flag.Parse()
+	if err := run(*n, *threads, *mm2, *small, *maxEv); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(n, threads int, mm2, small bool, maxEv int) error {
+	pageSize := 8192
+	if small {
+		pageSize = 1024
+	}
+	events := 0
+	suppressed := 0
+	c, err := cluster.New(cluster.Config{
+		Hosts: []cluster.HostSpec{
+			{Kind: arch.Sun},
+			{Kind: arch.Firefly, CPUs: 6},
+			{Kind: arch.Firefly, CPUs: 6},
+		},
+		PageSize: pageSize,
+		Seed:     1,
+		Trace: func(ev dsm.TraceEvent) {
+			events++
+			if maxEv > 0 && events > maxEv {
+				suppressed++
+				return
+			}
+			fmt.Printf("%12.3fms  host %d  %-11s page %d\n",
+				ev.Time.Milliseconds(), ev.Host, ev.Event, ev.Page)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	assign := matmul.MM1
+	if mm2 {
+		assign = matmul.MM2
+	}
+	r := matmul.Register(c)
+	res, err := r.Run(matmul.Config{
+		N:          n,
+		Master:     0,
+		Slaves:     placeOverTwoFireflies(threads),
+		Assignment: assign,
+		Verify:     true,
+	})
+	if err != nil {
+		return err
+	}
+	if suppressed > 0 {
+		fmt.Printf("… %d further events suppressed (-max)\n", suppressed)
+	}
+
+	fmt.Printf("\n%s %d×%d, %d threads, %dB pages: %.2fs virtual, correct=%v\n\n",
+		assign, n, n, threads, pageSize, res.Elapsed.Seconds(), res.Correct)
+	fmt.Printf("%-6s %-8s %11s %11s %8s %8s %9s %11s %6s\n",
+		"host", "kind", "read-fault", "write-fault", "fetched", "served", "upgrades", "invalidated", "conv")
+	for i := 0; i < 3; i++ {
+		s := c.Hosts[i].DSM.Stats()
+		fmt.Printf("%-6d %-8v %11d %11d %8d %8d %9d %11d %6d\n",
+			i, c.Hosts[i].Arch.Kind, s.ReadFaults, s.WriteFaults,
+			s.PagesFetched, s.PagesServed, s.Upgrades, s.InvalidationsReceived, s.Conversions)
+	}
+	net := c.Net.Stats()
+	fmt.Printf("\nnetwork: %d frames, %d payload bytes, medium busy %.1fms\n",
+		net.FramesSent, net.BytesSent, float64(net.BusyTime.Microseconds())/1000)
+
+	fmt.Println("\nhottest pages (fetches per host):")
+	for i := 0; i < 3; i++ {
+		for _, hp := range c.Hosts[i].DSM.HotPages(3) {
+			fmt.Printf("  host %d: page %-4d ×%d\n", i, hp.Page, hp.Fetches)
+		}
+	}
+	return nil
+}
+
+// placeOverTwoFireflies spreads t threads over hosts 1 and 2.
+func placeOverTwoFireflies(t int) []cluster.HostID {
+	slaves := make([]cluster.HostID, t)
+	for i := range slaves {
+		slaves[i] = cluster.HostID(1 + i%2)
+	}
+	return slaves
+}

@@ -1,0 +1,108 @@
+package mermaid_test
+
+// Executable documentation: these examples run under `go test` and
+// appear in godoc.
+
+import (
+	"fmt"
+	"time"
+
+	mermaid "repro"
+)
+
+// A value written big-endian on a Sun, doubled little-endian on a
+// Firefly, and read back on the Sun — converted in flight both ways.
+func Example() {
+	c, err := mermaid.New(mermaid.Config{
+		Hosts: []mermaid.HostSpec{
+			{Kind: mermaid.Sun},
+			{Kind: mermaid.Firefly, CPUs: 4},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.DefineSemaphore(1, 0, 0)
+	double := c.MustRegisterFunc(func(e *mermaid.Env, args []uint32) {
+		addr := mermaid.Addr(args[0])
+		e.WriteInt32(addr, e.ReadInt32(addr)*2)
+		e.V(1)
+	})
+	c.Run(0, func(e *mermaid.Env) {
+		addr := e.MustAlloc(mermaid.Int32, 1)
+		e.WriteInt32(addr, 21)
+		if _, err := e.CreateThread(1, double, uint32(addr)); err != nil {
+			panic(err)
+		}
+		e.P(1)
+		fmt.Println(e.ReadInt32(addr))
+	})
+	// Output: 42
+}
+
+// Distributed synchronization: a barrier aligns threads on different
+// machines, then a semaphore collects them.
+func ExampleCluster_DefineBarrier() {
+	c, err := mermaid.New(mermaid.Config{
+		Hosts: []mermaid.HostSpec{
+			{Kind: mermaid.Sun},
+			{Kind: mermaid.Firefly, CPUs: 2},
+			{Kind: mermaid.Firefly, CPUs: 2},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	const (
+		barrier = 7
+		done    = 8
+	)
+	c.DefineBarrier(barrier, 0, 2)
+	c.DefineSemaphore(done, 0, 0)
+	var after []time.Duration
+	worker := c.MustRegisterFunc(func(e *mermaid.Env, args []uint32) {
+		e.Compute(time.Duration(args[0]) * time.Millisecond)
+		e.Barrier(barrier) // both release at the later arrival
+		after = append(after, e.Now())
+		e.V(done)
+	})
+	c.Run(0, func(e *mermaid.Env) {
+		e.CreateThread(1, worker, 10)
+		e.CreateThread(2, worker, 300)
+		e.P(done)
+		e.P(done)
+	})
+	// Both released at the later arrival (release messages travel the
+	// wire, so allow their serialization on the shared medium).
+	gap := after[1] - after[0]
+	if gap < 0 {
+		gap = -gap
+	}
+	fmt.Println(gap < 5*time.Millisecond, after[0] >= 300*time.Millisecond)
+	// Output: true true
+}
+
+// The typed allocator keeps one data type per page, so floats and ints
+// from interleaved allocations never share a page.
+func ExampleEnv_Alloc() {
+	c, err := mermaid.New(mermaid.Config{
+		Hosts: []mermaid.HostSpec{{Kind: mermaid.Sun}},
+		Seed:  1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.Run(0, func(e *mermaid.Env) {
+		ints := e.MustAlloc(mermaid.Int32, 10)
+		floats := e.MustAlloc(mermaid.Float64, 10)
+		moreInts := e.MustAlloc(mermaid.Int32, 10)
+		fmt.Println(samePage(ints, floats), samePage(ints, moreInts))
+	})
+	// Output: false true
+}
+
+func samePage(a, b mermaid.Addr) bool {
+	return a/mermaid.LargestPageSize == b/mermaid.LargestPageSize
+}

@@ -1,0 +1,75 @@
+// Quickstart: a Sun master shares an integer array with a worker thread
+// created remotely on a Firefly. The page migrates across the byte-order
+// boundary twice — written big-endian on the Sun, read and rewritten
+// little-endian on the Firefly, read back on the Sun — and arrives
+// intact because the DSM converts it in flight.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	mermaid "repro"
+)
+
+const semDone = 1
+
+func main() {
+	c, err := mermaid.New(mermaid.Config{
+		Hosts: []mermaid.HostSpec{
+			{Kind: mermaid.Sun},              // host 0: the workstation
+			{Kind: mermaid.Firefly, CPUs: 4}, // host 1: the compute server
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.DefineSemaphore(semDone, 0, 0)
+
+	// The worker doubles every element of a shared array. It runs on
+	// the Firefly; the addresses arrive as thread arguments.
+	double := c.MustRegisterFunc(func(e *mermaid.Env, args []uint32) {
+		addr, n := mermaid.Addr(args[0]), int(args[1])
+		vals := make([]int32, n)
+		e.ReadInt32s(addr, vals) // faults the page over from the Sun
+		for i := range vals {
+			vals[i] *= 2
+		}
+		e.Compute(time.Duration(n) * 10 * time.Microsecond)
+		e.WriteInt32s(addr, vals) // takes ownership, writes VAX-side
+		e.V(semDone)
+	})
+
+	elapsed := c.Run(0, func(e *mermaid.Env) {
+		const n = 1000
+		addr := e.MustAlloc(mermaid.Int32, n)
+		vals := make([]int32, n)
+		for i := range vals {
+			vals[i] = int32(i)
+		}
+		e.WriteInt32s(addr, vals) // stored big-endian on the Sun
+
+		if _, err := e.CreateThread(1, double, uint32(addr), n); err != nil {
+			log.Fatal(err)
+		}
+		e.P(semDone)
+
+		e.ReadInt32s(addr, vals) // page migrates back, converts again
+		fmt.Printf("first five results: %v\n", vals[:5])
+		for i, v := range vals {
+			if v != int32(2*i) {
+				log.Fatalf("element %d = %d, want %d — conversion failed", i, v, 2*i)
+			}
+		}
+	})
+
+	stats := c.TotalStats()
+	fmt.Printf("virtual time: %.1f ms\n", float64(elapsed.Microseconds())/1000)
+	fmt.Printf("page faults: %d read, %d write; conversions: %d\n",
+		stats.ReadFaults, stats.WriteFaults, stats.Conversions)
+	fmt.Println("all 1000 values correct across the Sun↔Firefly boundary")
+}

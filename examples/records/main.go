@@ -1,0 +1,118 @@
+// Automatically generated conversion routines (§5 of the paper reports
+// this as work in progress — "automatic generation of the conversion
+// routines at compile time"): the field list, size, and conversion
+// routine of a compound shared-memory type are derived from a Go struct
+// declaration, then records written on the big-endian IEEE Sun are read
+// on the little-endian VAX-float Firefly through the converted layout.
+//
+//	go run ./examples/records
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	mermaid "repro"
+)
+
+// Star is the application's record type: supported field kinds only
+// (fixed sizes, same layout on every host, as §2.3 requires).
+type Star struct {
+	ID        int32
+	Position  [3]float32
+	Magnitude float64
+	Name      [8]int8
+}
+
+// Field offsets within the 32-byte record.
+const (
+	offID        = 0
+	offPosition  = 4
+	offMagnitude = 16
+	offName      = 24
+	recSize      = 32
+)
+
+const (
+	semDone = 1
+	stars   = 4
+)
+
+func main() {
+	c, err := mermaid.New(mermaid.Config{
+		Hosts: []mermaid.HostSpec{
+			{Kind: mermaid.Sun},
+			{Kind: mermaid.Firefly, CPUs: 2},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.DefineSemaphore(semDone, 0, 0)
+
+	starType, err := c.RegisterGoStruct(reflect.TypeOf(Star{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tableAddr mermaid.Addr
+
+	// The Firefly decodes every field through its own representation
+	// (little-endian integers, VAX floats) after the page converted.
+	sum := c.MustRegisterFunc(func(e *mermaid.Env, args []uint32) {
+		buf := make([]byte, stars*recSize)
+		e.ReadStruct(tableAddr, starType, buf)
+		var total float64
+		for i := 0; i < stars; i++ {
+			rec := buf[i*recSize:]
+			id := e.Int32At(rec, offID)
+			if id != int32(i+1) {
+				log.Fatalf("record %d id = %d after conversion", i, id)
+			}
+			x := e.Float32At(rec, offPosition)
+			if x != float32(i) {
+				log.Fatalf("record %d x = %v", i, x)
+			}
+			name := string(rec[offName : offName+8])
+			if name != fmt.Sprintf("star-%03d", i+1) {
+				log.Fatalf("record %d name %q", i, name)
+			}
+			total += e.Float64At(rec, offMagnitude)
+		}
+		e.WriteFloat64s(mermaid.Addr(args[0]), []float64{total})
+		e.V(semDone)
+	})
+
+	c.Run(0, func(e *mermaid.Env) {
+		tableAddr = e.MustAlloc(starType, stars)
+		out := e.MustAlloc(mermaid.Float64, 1)
+
+		// Write the records in the Sun's native layout using the same
+		// field codecs (big-endian ints, IEEE floats on this host).
+		buf := make([]byte, stars*recSize)
+		for i := 0; i < stars; i++ {
+			rec := buf[i*recSize:]
+			e.PutInt32At(rec, offID, int32(i+1))
+			for j := 0; j < 3; j++ {
+				e.PutFloat32At(rec, offPosition+4*j, float32(i)+0.25*float32(j))
+			}
+			e.PutFloat64At(rec, offMagnitude, float64(i+1)*1.5)
+			copy(rec[offName:offName+8], fmt.Sprintf("star-%03d", i+1))
+		}
+		e.WriteStruct(tableAddr, starType, buf)
+
+		if _, err := e.CreateThread(1, sum, uint32(out)); err != nil {
+			log.Fatal(err)
+		}
+		e.P(semDone)
+
+		var total [1]float64
+		e.ReadFloat64s(out, total[:])
+		fmt.Printf("firefly summed magnitudes of %d stars: %.1f (expected %.1f)\n",
+			stars, total[0], 1.5*(1+2+3+4))
+		fmt.Println("every field — int32, float32 array, IEEE→VAX double, chars —")
+		fmt.Println("converted by the routine derived from the Go struct declaration.")
+	})
+}

@@ -1,0 +1,110 @@
+// Page thrashing demonstration (§3.3 of the paper): the same matrix
+// multiplication run twice under the largest page size algorithm — once
+// with block row assignment (MM1) and once with round-robin rows (MM2),
+// storing results in small bursts so a contended 8 KB page can be
+// stolen mid-row. MM2's false sharing multiplies page transfers and
+// destroys the speedup.
+//
+//	go run ./examples/thrashing [-n 128] [-threads 6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	mermaid "repro"
+)
+
+const semDone = 1
+
+var (
+	n       = flag.Int("n", 128, "matrix dimension (≥128: smaller matrices make MM1's blocks share pages too)")
+	threads = flag.Int("threads", 6, "slave threads over three Fireflies")
+)
+
+func main() {
+	flag.Parse()
+	for _, roundRobin := range []bool{false, true} {
+		elapsed, transfers, err := run(*n, *threads, roundRobin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "MM1 (block rows)  "
+		if roundRobin {
+			name = "MM2 (round robin) "
+		}
+		fmt.Printf("%s %.1f s virtual, %4d page transfers\n", name, elapsed.Seconds(), transfers)
+	}
+	fmt.Println("\nround-robin rows share every 8 KB result page among all")
+	fmt.Println("threads: each burst of stores steals the page back — thrashing.")
+}
+
+func run(n, threads int, roundRobin bool) (time.Duration, int, error) {
+	hosts := []mermaid.HostSpec{{Kind: mermaid.Sun}}
+	for i := 0; i < 3; i++ {
+		hosts = append(hosts, mermaid.HostSpec{Kind: mermaid.Firefly, CPUs: 6})
+	}
+	c, err := mermaid.New(mermaid.Config{Hosts: hosts, Seed: 1, PageSize: mermaid.LargestPageSize})
+	if err != nil {
+		return 0, 0, err
+	}
+	c.DefineSemaphore(semDone, 0, 0)
+
+	var aAddr, cAddr mermaid.Addr
+	macCost := c.Model().MACCost
+	const burst = 8 // result elements stored per write
+
+	slave := c.MustRegisterFunc(func(e *mermaid.Env, args []uint32) {
+		idx, nslaves := int(args[0]), int(args[1])
+		row := make([]int32, n)
+		aRow := make([]int32, n)
+		for r := 0; r < n; r++ {
+			mine := false
+			if roundRobin {
+				mine = r%nslaves == idx
+			} else {
+				per := (n + nslaves - 1) / nslaves
+				mine = r/per == idx
+			}
+			if !mine {
+				continue
+			}
+			e.ReadInt32s(aAddr+mermaid.Addr(4*n*r), aRow)
+			for j0 := 0; j0 < n; j0 += burst {
+				j1 := min(j0+burst, n)
+				for j := j0; j < j1; j++ {
+					var sum int32
+					for k := 0; k < n; k++ {
+						sum += aRow[k] * aRow[(j+k)%n]
+					}
+					row[j] = sum
+				}
+				e.Compute(time.Duration((j1-j0)*n) * macCost)
+				e.WriteInt32s(cAddr+mermaid.Addr(4*(n*r+j0)), row[j0:j1])
+			}
+		}
+		e.V(semDone)
+	})
+
+	elapsed := c.Run(0, func(e *mermaid.Env) {
+		aAddr = e.MustAlloc(mermaid.Int32, n*n)
+		cAddr = e.MustAlloc(mermaid.Int32, n*n)
+		a := make([]int32, n*n)
+		for i := range a {
+			a[i] = int32(i % 31)
+		}
+		e.WriteInt32s(aAddr, a)
+		for i := 0; i < threads; i++ {
+			host := mermaid.HostID(1 + i%3)
+			if _, err := e.CreateThread(host, slave, uint32(i), uint32(threads)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < threads; i++ {
+			e.P(semDone)
+		}
+	})
+	return elapsed, c.TotalStats().PagesFetched, nil
+}

@@ -1,0 +1,80 @@
+// Package apps_test runs the full application suite — matrix
+// multiplication, PCB inspection, and grid relaxation — back to back on
+// one shared cluster: one DSM space, one conversion registry, one
+// function table, three workloads. This is the usage pattern the
+// paper's user-level design argues for (§2.1).
+package apps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/apps/pcb"
+	"repro/internal/apps/sor"
+	"repro/internal/arch"
+	"repro/internal/cluster"
+)
+
+func TestAllApplicationsShareOneCluster(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Hosts: []cluster.HostSpec{
+			{Kind: arch.Sun},
+			{Kind: arch.Firefly, CPUs: 4},
+			{Kind: arch.Firefly, CPUs: 4},
+		},
+		Seed:      9,
+		SpaceSize: 16 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := matmul.Register(c)
+	pb := pcb.Register(c)
+	sr := sor.Register(c)
+
+	mmRes, err := mm.Run(matmul.Config{
+		N: 64, Master: 0,
+		Slaves: []cluster.HostID{1, 2},
+		Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mmRes.Correct {
+		t.Fatal("MM wrong on the shared cluster")
+	}
+
+	pcbRes, err := pb.Run(pcb.Config{
+		W: 256, H: 512, Master: 0,
+		Slaves: []cluster.HostID{1, 2, 1, 2},
+		Seed:   3, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pcbRes.Correct || pcbRes.FlawPixels == 0 {
+		t.Fatalf("PCB wrong on the shared cluster: correct=%v flaws=%d",
+			pcbRes.Correct, pcbRes.FlawPixels)
+	}
+
+	sorRes, err := sr.Run(sor.Config{
+		W: 64, H: 66, Iters: 5, Master: 0,
+		Slaves: []cluster.HostID{1, 2},
+		Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sorRes.Correct {
+		t.Fatal("SOR wrong on the shared cluster")
+	}
+
+	// The three runs accumulated into one set of cluster statistics.
+	total := c.TotalDSMStats()
+	if total.Conversions == 0 || total.PagesFetched == 0 {
+		t.Fatalf("shared-cluster stats empty: %+v", total)
+	}
+	if mmRes.Elapsed <= 0 || pcbRes.Elapsed <= 0 || sorRes.Elapsed <= 0 {
+		t.Fatal("an application consumed no virtual time")
+	}
+}

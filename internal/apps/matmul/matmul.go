@@ -1,0 +1,284 @@
+// Package matmul implements the paper's parallel matrix multiplication
+// application (§3.2, §3.3) on the Mermaid DSM.
+//
+// The two argument matrices A and B are read-shared (and so replicate
+// across hosts); the result matrix C is write-shared. Slave threads each
+// compute a set of rows of C and the master implicitly receives the
+// result through DSM when it reads C at the end.
+//
+// Two work assignments are provided, as in §3.3: MM1 gives each thread a
+// contiguous block of rows; MM2 assigns rows round-robin, deliberately
+// creating data contention on C's pages — under the largest page size
+// algorithm an 8 KB page then holds rows belonging to up to eight
+// different threads, the false-sharing pattern whose thrashing the paper
+// studies.
+package matmul
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// Assignment selects the row-distribution policy.
+type Assignment int
+
+const (
+	// MM1 assigns each thread a contiguous block of rows.
+	MM1 Assignment = iota + 1
+	// MM2 assigns rows to threads round-robin.
+	MM2
+)
+
+// String names the assignment.
+func (a Assignment) String() string {
+	if a == MM1 {
+		return "MM1"
+	}
+	return "MM2"
+}
+
+// Config describes one matrix multiplication run.
+type Config struct {
+	// N is the matrix dimension (the paper uses 256×256 integers).
+	N int
+	// Master is the host running the master thread.
+	Master cluster.HostID
+	// Slaves places one slave thread per entry (repeats allowed: a
+	// Firefly can run several threads).
+	Slaves []cluster.HostID
+	// Assignment selects MM1 or MM2 (default MM1).
+	Assignment Assignment
+	// Verify compares the DSM result against a local multiplication.
+	Verify bool
+	// JitterPct perturbs each row's compute time by ±JitterPct (seeded
+	// by the cluster), modelling the scheduling noise behind the
+	// run-to-run fluctuations the paper reports for thrashing runs.
+	JitterPct float64
+	// WriteChunk is how many result elements a thread writes per DSM
+	// store burst. Zero writes whole rows at once. The original system
+	// stored each element as it was computed, so a contended page could
+	// be stolen mid-row; small chunks reproduce that interleaving and
+	// with it the full severity of §3.3's thrashing.
+	WriteChunk int
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// Elapsed is the virtual response time of the whole computation,
+	// measured at the master as in the paper's figures.
+	Elapsed sim.Duration
+	// Correct is false if verification failed (Verify only).
+	Correct bool
+	// Stats aggregates DSM counters across all hosts.
+	Stats dsm.Stats
+}
+
+// funcID is the registered entry point for slave threads; apps in one
+// process must not collide, so matmul claims 0x4D4D ("MM").
+const funcID threads.FuncID = 0x4D4D
+
+const semDone uint32 = 0x4D4D
+
+// app carries the shared-run state the slave closure needs.
+type app struct {
+	c        *cluster.Cluster
+	n        int
+	a, b, cm dsm.Addr
+	assign   Assignment
+	nslaves  int
+	jitter   float64
+	chunk    int
+}
+
+// Register installs matmul's thread entry point and synchronization on
+// a cluster. Call once per cluster before Run.
+func Register(c *cluster.Cluster) *Runner {
+	r := &Runner{c: c}
+	c.DefineSemaphore(semDone, 0, 0)
+	c.Funcs.MustRegister(funcID, func(t *threads.Thread, args []uint32) {
+		r.slave(t, args)
+	})
+	return r
+}
+
+// Runner executes matrix multiplications on a registered cluster.
+type Runner struct {
+	c   *cluster.Cluster
+	cur *app
+}
+
+// rowsFor lists the rows thread idx computes under the assignment.
+func (st *app) rowsFor(idx int) []int {
+	var rows []int
+	switch st.assign {
+	case MM2:
+		for r := idx; r < st.n; r += st.nslaves {
+			rows = append(rows, r)
+		}
+	default:
+		per := (st.n + st.nslaves - 1) / st.nslaves
+		lo := idx * per
+		hi := min(lo+per, st.n)
+		for r := lo; r < hi; r++ {
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// slave is the worker body: read B (replicates), then per assigned row
+// read A's row, compute with real integer arithmetic while charging the
+// calibrated MAC cost, and write the result row.
+func (r *Runner) slave(t *threads.Thread, args []uint32) {
+	st := r.cur
+	idx := int(args[0])
+	h := r.c.Hosts[t.Host()]
+	n := st.n
+
+	bRow := make([]int32, n*n)
+	h.DSM.ReadInt32s(t.P, st.b, bRow) // replicate B read-only
+	aRow := make([]int32, n)
+	cRow := make([]int32, n)
+	rowCost := time.Duration(n*n) * r.c.Params.MACCost
+
+	chunk := st.chunk
+	if chunk <= 0 || chunk > n {
+		chunk = n
+	}
+	for _, row := range st.rowsFor(idx) {
+		h.DSM.ReadInt32s(t.P, st.a+dsm.Addr(4*n*row), aRow)
+		// Compute and store the row chunk by chunk, charging compute
+		// between stores — each store may fault if another thread took
+		// the page meanwhile.
+		for j0 := 0; j0 < n; j0 += chunk {
+			j1 := min(j0+chunk, n)
+			for j := j0; j < j1; j++ {
+				var sum int32
+				for k := 0; k < n; k++ {
+					sum += aRow[k] * bRow[k*n+j]
+				}
+				cRow[j] = sum
+			}
+			cost := rowCost * time.Duration(j1-j0) / time.Duration(n)
+			if st.jitter > 0 {
+				f := 1 + st.jitter*(2*r.c.K.Rand().Float64()-1)
+				cost = time.Duration(float64(cost) * f)
+			}
+			t.Compute(cost)
+			h.DSM.WriteInt32s(t.P, st.cm+dsm.Addr(4*(n*row+j0)), cRow[j0:j1])
+		}
+	}
+	h.Sync.V(t.P, semDone)
+}
+
+// Run executes one multiplication and returns its result. The master
+// fills A and B, starts the slaves, waits for them, and reads C back.
+func (r *Runner) Run(cfg Config) (Result, error) {
+	if cfg.N <= 0 || len(cfg.Slaves) == 0 {
+		return Result{}, fmt.Errorf("matmul: need N>0 and at least one slave")
+	}
+	if cfg.Assignment == 0 {
+		cfg.Assignment = MM1
+	}
+	n := cfg.N
+	var (
+		res    Result
+		runErr error
+	)
+	elapsed := r.c.Run(cfg.Master, func(p *sim.Proc, h *cluster.Host) {
+		aAddr, err := h.DSM.Alloc(p, conv.Int32, n*n)
+		if err != nil {
+			runErr = err
+			return
+		}
+		bAddr, err := h.DSM.Alloc(p, conv.Int32, n*n)
+		if err != nil {
+			runErr = err
+			return
+		}
+		cAddr, err := h.DSM.Alloc(p, conv.Int32, n*n)
+		if err != nil {
+			runErr = err
+			return
+		}
+		r.cur = &app{
+			c: r.c, n: n, a: aAddr, b: bAddr, cm: cAddr,
+			assign: cfg.Assignment, nslaves: len(cfg.Slaves),
+			jitter: cfg.JitterPct, chunk: cfg.WriteChunk,
+		}
+
+		av := make([]int32, n*n)
+		bv := make([]int32, n*n)
+		rng := uint32(0x9e3779b9)
+		next := func() int32 {
+			rng ^= rng << 13
+			rng ^= rng >> 17
+			rng ^= rng << 5
+			return int32(rng % 97)
+		}
+		for i := range av {
+			av[i] = next()
+			bv[i] = next()
+		}
+		h.DSM.WriteInt32s(p, aAddr, av)
+		h.DSM.WriteInt32s(p, bAddr, bv)
+
+		for i, host := range cfg.Slaves {
+			if _, err := h.Threads.Create(p, host, funcID, []uint32{uint32(i)}); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for range cfg.Slaves {
+			h.Sync.P(p, semDone)
+		}
+		got := make([]int32, n*n)
+		h.DSM.ReadInt32s(p, cAddr, got)
+
+		res.Correct = true
+		if cfg.Verify {
+			want := multiplyLocal(av, bv, n)
+			for i := range want {
+				if got[i] != want[i] {
+					res.Correct = false
+					break
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	res.Elapsed = elapsed
+	res.Stats = r.c.TotalDSMStats()
+	return res, nil
+}
+
+// multiplyLocal is the sequential reference multiplication.
+func multiplyLocal(a, b []int32, n int) []int32 {
+	c := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum int32
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = sum
+		}
+	}
+	return c
+}
+
+// Sequential returns the modelled sequential execution time of an N×N
+// multiplication on one CPU of the given machine kind — the baseline
+// the paper's speedups are measured against (no DSM, no threads).
+func (r *Runner) Sequential(kind arch.Kind, n int) sim.Duration {
+	return r.c.Params.Scale(kind, time.Duration(n)*time.Duration(n)*time.Duration(n)*r.c.Params.MACCost)
+}

@@ -1,0 +1,154 @@
+package matmul
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+)
+
+func newCluster(t *testing.T, fireflies, cpus int, pageSize int) *cluster.Cluster {
+	t.Helper()
+	hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+	for i := 0; i < fireflies; i++ {
+		hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: cpus})
+	}
+	c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 42, PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMM1CorrectAcrossHeterogeneousHosts(t *testing.T) {
+	c := newCluster(t, 2, 4, 8192)
+	r := Register(c)
+	res, err := r.Run(Config{
+		N:      64,
+		Master: 0, // Sun master
+		Slaves: []cluster.HostID{1, 1, 2, 2},
+		Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("distributed result differs from local multiplication")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.Stats.Conversions == 0 {
+		t.Fatal("Sun→Firefly data moved without conversions")
+	}
+}
+
+func TestMM2CorrectDespiteContention(t *testing.T) {
+	c := newCluster(t, 2, 4, 8192)
+	r := Register(c)
+	res, err := r.Run(Config{
+		N:          64,
+		Master:     0,
+		Slaves:     []cluster.HostID{1, 1, 2, 2},
+		Assignment: MM2,
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("MM2 result wrong under row contention")
+	}
+}
+
+func TestMM2LargePagesSlowerThanMM1(t *testing.T) {
+	run := func(a Assignment) (elapsed int64) {
+		c := newCluster(t, 2, 4, 8192)
+		r := Register(c)
+		res, err := r.Run(Config{
+			N: 64, Master: 0,
+			Slaves:     []cluster.HostID{1, 1, 1, 2, 2, 2},
+			Assignment: a,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Elapsed)
+	}
+	mm1 := run(MM1)
+	mm2 := run(MM2)
+	if mm2 <= mm1 {
+		t.Fatalf("MM2 (%d) not slower than MM1 (%d) with 8KB pages; false sharing unmodelled", mm2, mm1)
+	}
+}
+
+func TestSmallPagesNarrowMM1MM2Gap(t *testing.T) {
+	// With 1 KB pages one row is one page: round-robin assignment no
+	// longer causes false sharing, so MM2 ≈ MM1 (Figure 7).
+	run := func(a Assignment, pageSize int) float64 {
+		c := newCluster(t, 2, 4, pageSize)
+		r := Register(c)
+		res, err := r.Run(Config{
+			N: 64, Master: 0,
+			Slaves:     []cluster.HostID{1, 1, 1, 2, 2, 2},
+			Assignment: a,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed.Seconds()
+	}
+	gapLarge := run(MM2, 8192) / run(MM1, 8192)
+	gapSmall := run(MM2, 1024) / run(MM1, 1024)
+	if gapSmall >= gapLarge {
+		t.Fatalf("small pages gap %.2f not below large pages gap %.2f", gapSmall, gapLarge)
+	}
+	if gapSmall > 1.35 {
+		t.Fatalf("MM2/MM1 ratio %.2f with 1KB pages; expected near parity", gapSmall)
+	}
+}
+
+func TestMoreThreadsImproveResponseTime(t *testing.T) {
+	run := func(slaves []cluster.HostID) float64 {
+		c := newCluster(t, 4, 4, 8192)
+		r := Register(c)
+		res, err := r.Run(Config{N: 128, Master: 0, Slaves: slaves})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed.Seconds()
+	}
+	one := run([]cluster.HostID{1})
+	four := run([]cluster.HostID{1, 2, 3, 4})
+	if four >= one {
+		t.Fatalf("4 threads (%.1fs) not faster than 1 (%.1fs)", four, one)
+	}
+	if one/four < 2 {
+		t.Fatalf("speedup %.2f at 4 threads; expected ≥2", one/four)
+	}
+}
+
+func TestSequentialBaseline(t *testing.T) {
+	c := newCluster(t, 1, 1, 8192)
+	r := Register(c)
+	ff := r.Sequential(arch.Firefly, 256)
+	sun := r.Sequential(arch.Sun, 256)
+	// 256³ × 2.7µs ≈ 45.3 s on a Firefly; 1.31× that on a Sun.
+	if ff.Seconds() < 40 || ff.Seconds() > 50 {
+		t.Fatalf("firefly sequential MM(256) = %.1fs, want ≈45s", ff.Seconds())
+	}
+	if ratio := sun.Seconds() / ff.Seconds(); ratio < 1.25 || ratio > 1.4 {
+		t.Fatalf("sun/firefly ratio %.2f, want 1.31", ratio)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := newCluster(t, 1, 1, 8192)
+	r := Register(c)
+	if _, err := r.Run(Config{N: 0, Slaves: []cluster.HostID{1}}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := r.Run(Config{N: 8}); err == nil {
+		t.Error("no slaves accepted")
+	}
+}

@@ -1,0 +1,206 @@
+package pcb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// Config describes one PCB inspection run.
+type Config struct {
+	// W, H are the board image dimensions in pixels. The paper's
+	// 2 cm × 16 cm area corresponds to 256×2048 at 128 px/cm.
+	W, H int
+	// Master is the host running the master thread (a Sun workstation
+	// with the bit-mapped display, in the paper's scenario).
+	Master cluster.HostID
+	// Slaves places one checking thread per entry.
+	Slaves []cluster.HostID
+	// Overlap is the stripe overlap in rows; zero means RequiredOverlap.
+	Overlap int
+	// Seed drives the synthetic board generator.
+	Seed int64
+	// Verify compares the distributed result with a sequential check.
+	Verify bool
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// Elapsed is the virtual response time at the master.
+	Elapsed sim.Duration
+	// FlawPixels is the number of violation pixels found.
+	FlawPixels int
+	// Correct is false if verification failed (Verify only).
+	Correct bool
+	// Stats aggregates DSM counters across hosts.
+	Stats dsm.Stats
+}
+
+const funcID threads.FuncID = 0x5043 // "PC"
+
+const semDone uint32 = 0x5043
+
+type app struct {
+	w, h, overlap int
+	front, back   dsm.Addr
+	flaws, counts dsm.Addr
+	stripes       int
+}
+
+// Runner executes PCB inspections on a registered cluster.
+type Runner struct {
+	c   *cluster.Cluster
+	cur *app
+}
+
+// Register installs the PCB thread entry point on a cluster.
+func Register(c *cluster.Cluster) *Runner {
+	r := &Runner{c: c}
+	c.DefineSemaphore(semDone, 0, 0)
+	c.Funcs.MustRegister(funcID, func(t *threads.Thread, args []uint32) {
+		r.slave(t, args)
+	})
+	return r
+}
+
+// stripeBounds returns the owned rows of stripe idx.
+func (st *app) stripeBounds(idx int) (lo, hi int) {
+	per := (st.h + st.stripes - 1) / st.stripes
+	lo = idx * per
+	hi = min(lo+per, st.h)
+	return lo, hi
+}
+
+// slave checks one stripe: read the stripe's context rows of both
+// images through DSM, run the real rule check, charge the calibrated
+// per-pixel cost, and write back the flaw rows and the stripe count.
+func (r *Runner) slave(t *threads.Thread, args []uint32) {
+	st := r.cur
+	idx := int(args[0])
+	h := r.c.Hosts[t.Host()]
+	lo, hi := st.stripeBounds(idx)
+	clo := max(0, lo-st.overlap)
+	chi := min(st.h, hi+st.overlap)
+	w := st.w
+
+	front := make([]byte, w*st.h)
+	back := make([]byte, w*st.h)
+	h.DSM.ReadBytes(t.P, st.front+dsm.Addr(clo*w), front[clo*w:chi*w])
+	h.DSM.ReadBytes(t.P, st.back+dsm.Addr(lo*w), back[lo*w:hi*w])
+
+	flaws := make([]byte, w*st.h)
+	flawCount, copperCount := CheckStripe(front, back, flaws, w, st.h, lo, hi, st.overlap)
+
+	// The paper's checking cost: every examined pixel (including the
+	// overlap context, which is the striping's extra work) plus a
+	// surcharge per copper pixel — feature density imbalances stripes.
+	params := r.c.Params
+	cost := time.Duration(chi-clo) * time.Duration(w) * params.PCBPixelCost
+	cost += time.Duration(copperCount) * params.PCBFeatureCost
+	t.Compute(cost)
+
+	h.DSM.WriteBytes(t.P, st.flaws+dsm.Addr(lo*w), flaws[lo*w:hi*w])
+	h.DSM.WriteInt32s(t.P, st.counts+dsm.Addr(4*idx), []int32{int32(flawCount)})
+	h.Sync.V(t.P, semDone)
+}
+
+// Run executes one inspection and returns its result.
+func (r *Runner) Run(cfg Config) (Result, error) {
+	if cfg.W <= 0 || cfg.H <= 0 || len(cfg.Slaves) == 0 {
+		return Result{}, fmt.Errorf("pcb: need positive dimensions and at least one slave")
+	}
+	overlap := cfg.Overlap
+	if overlap == 0 {
+		overlap = RequiredOverlap
+	}
+	board := GenerateBoard(cfg.W, cfg.H, cfg.Seed)
+	var (
+		res    Result
+		runErr error
+	)
+	elapsed := r.c.Run(cfg.Master, func(p *sim.Proc, host *cluster.Host) {
+		n := cfg.W * cfg.H
+		front, err := host.DSM.Alloc(p, conv.Char, n)
+		if err != nil {
+			runErr = err
+			return
+		}
+		back, err := host.DSM.Alloc(p, conv.Char, n)
+		if err != nil {
+			runErr = err
+			return
+		}
+		flaws, err := host.DSM.Alloc(p, conv.Char, n)
+		if err != nil {
+			runErr = err
+			return
+		}
+		counts, err := host.DSM.Alloc(p, conv.Int32, len(cfg.Slaves))
+		if err != nil {
+			runErr = err
+			return
+		}
+		r.cur = &app{
+			w: cfg.W, h: cfg.H, overlap: overlap,
+			front: front, back: back, flaws: flaws, counts: counts,
+			stripes: len(cfg.Slaves),
+		}
+		host.DSM.WriteBytes(p, front, board.Front)
+		host.DSM.WriteBytes(p, back, board.Back)
+
+		for i, sl := range cfg.Slaves {
+			if _, err := host.Threads.Create(p, sl, funcID, []uint32{uint32(i)}); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for range cfg.Slaves {
+			host.Sync.P(p, semDone)
+		}
+
+		got := make([]byte, n)
+		host.DSM.ReadBytes(p, flaws, got)
+		cnts := make([]int32, len(cfg.Slaves))
+		host.DSM.ReadInt32s(p, counts, cnts)
+		for _, c := range cnts {
+			res.FlawPixels += int(c)
+		}
+
+		res.Correct = true
+		if cfg.Verify {
+			want, wantCount, _ := CheckSequential(board)
+			if res.FlawPixels != wantCount {
+				res.Correct = false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					res.Correct = false
+					break
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	res.Elapsed = elapsed
+	res.Stats = r.c.TotalDSMStats()
+	return res, nil
+}
+
+// Sequential returns the modelled sequential inspection time on one CPU
+// of the given machine kind (whole board, no overlap, no DSM).
+func (r *Runner) Sequential(kind arch.Kind, w, h int, seed int64) sim.Duration {
+	board := GenerateBoard(w, h, seed)
+	_, _, copperCount := CheckSequential(board)
+	params := r.c.Params
+	cost := time.Duration(w)*time.Duration(h)*params.PCBPixelCost +
+		time.Duration(copperCount)*params.PCBFeatureCost
+	return params.Scale(kind, cost)
+}

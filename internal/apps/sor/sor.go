@@ -1,0 +1,239 @@
+// Package sor implements Jacobi grid relaxation (successive
+// over-relaxation's data pattern) over the Mermaid DSM — the classic
+// page-based-DSM stencil workload, added as an extension beyond the
+// paper's two applications.
+//
+// The grid is split into horizontal row blocks, one per thread. Each
+// iteration every thread recomputes its rows from the previous grid,
+// which requires the boundary rows of its neighbours: those rows'
+// pages replicate read-only across neighbouring hosts and are
+// invalidated when their owner rewrites them — a steady, predictable
+// page traffic of 2 boundary rows per thread per iteration, in contrast
+// to MM's bulk replication and the PCB's one-shot distribution. A
+// distributed barrier separates iterations.
+//
+// Values are float32: on a Firefly they live in memory as VAX
+// F_floating and convert to IEEE on migration, exactly like the paper's
+// numerical applications would.
+package sor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// CellCost is the per-cell virtual compute cost of one Jacobi update on
+// a Firefly (4 adds, 1 multiply on 1990 hardware).
+const CellCost = 12 * time.Microsecond
+
+// Config describes one relaxation run.
+type Config struct {
+	// W, H are the grid dimensions (W floats per row).
+	W, H int
+	// Iters is the number of Jacobi iterations.
+	Iters int
+	// Master is the coordinating host.
+	Master cluster.HostID
+	// Slaves places one worker thread per entry; H must divide evenly
+	// enough that every thread gets at least one row.
+	Slaves []cluster.HostID
+	// Verify compares against a sequential relaxation.
+	Verify bool
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	// Elapsed is the virtual response time.
+	Elapsed sim.Duration
+	// Correct is false if verification failed.
+	Correct bool
+	// Stats aggregates DSM counters.
+	Stats dsm.Stats
+}
+
+const (
+	funcID  threads.FuncID = 0x534F // "SO"
+	semDone uint32         = 0x534F
+	barIter uint32         = 0x5352 // "SR"
+)
+
+type app struct {
+	w, h, iters int
+	grids       [2]dsm.Addr // double-buffered
+	nslaves     int
+}
+
+// Runner executes relaxations on a registered cluster.
+type Runner struct {
+	c   *cluster.Cluster
+	cur *app
+}
+
+// Register installs the SOR thread entry point. The barrier is defined
+// at Run time (its party count depends on the slave count), so Register
+// must be followed by exactly one Run per cluster.
+func Register(c *cluster.Cluster) *Runner {
+	r := &Runner{c: c}
+	c.DefineSemaphore(semDone, 0, 0)
+	c.Funcs.MustRegister(funcID, func(t *threads.Thread, args []uint32) {
+		r.slave(t, args)
+	})
+	return r
+}
+
+func (st *app) rowsFor(idx int) (lo, hi int) {
+	// Interior rows 1..h-2 are distributed; boundary rows are fixed.
+	interior := st.h - 2
+	per := (interior + st.nslaves - 1) / st.nslaves
+	lo = 1 + idx*per
+	hi = min(lo+per, st.h-1)
+	return lo, hi
+}
+
+// slave relaxes its row block: per iteration, read its rows plus the
+// two neighbouring boundary rows from the source grid, compute, write
+// to the destination grid, and synchronize at the barrier.
+func (r *Runner) slave(t *threads.Thread, args []uint32) {
+	st := r.cur
+	idx := int(args[0])
+	h := r.c.Hosts[t.Host()]
+	lo, hi := st.rowsFor(idx)
+	if lo >= hi {
+		// No rows for this thread; it still participates in barriers.
+		for it := 0; it < st.iters; it++ {
+			h.Sync.BarrierArrive(t.P, barIter)
+		}
+		h.Sync.V(t.P, semDone)
+		return
+	}
+	w := st.w
+	src := make([]float32, (hi-lo+2)*w)
+	dst := make([]float32, (hi-lo)*w)
+	for it := 0; it < st.iters; it++ {
+		from := st.grids[it%2]
+		to := st.grids[(it+1)%2]
+		// Rows lo-1 .. hi (inclusive) of the source grid.
+		h.DSM.ReadFloat32s(t.P, from+dsm.Addr(4*(lo-1)*w), src)
+		for row := lo; row < hi; row++ {
+			base := (row - lo + 1) * w
+			for col := 1; col < w-1; col++ {
+				dst[(row-lo)*w+col] = 0.25 * (src[base-w+col] + src[base+w+col] +
+					src[base+col-1] + src[base+col+1])
+			}
+			// Fixed left/right boundary columns copy through.
+			dst[(row-lo)*w] = src[base]
+			dst[(row-lo)*w+w-1] = src[base+w-1]
+		}
+		t.Compute(time.Duration(hi-lo) * time.Duration(w) * CellCost)
+		h.DSM.WriteFloat32s(t.P, to+dsm.Addr(4*lo*w), dst)
+		h.Sync.BarrierArrive(t.P, barIter)
+	}
+	h.Sync.V(t.P, semDone)
+}
+
+// Run executes one relaxation.
+func (r *Runner) Run(cfg Config) (Result, error) {
+	if cfg.W < 3 || cfg.H < 3 || cfg.Iters < 1 || len(cfg.Slaves) == 0 {
+		return Result{}, fmt.Errorf("sor: need W,H ≥ 3, Iters ≥ 1, and slaves")
+	}
+	r.c.DefineBarrier(barIter, 0, len(cfg.Slaves))
+	var (
+		res    Result
+		runErr error
+	)
+	elapsed := r.c.Run(cfg.Master, func(p *sim.Proc, h *cluster.Host) {
+		w, ht := cfg.W, cfg.H
+		var grids [2]dsm.Addr
+		for g := range grids {
+			a, err := h.DSM.Alloc(p, conv.Float32, w*ht)
+			if err != nil {
+				runErr = err
+				return
+			}
+			grids[g] = a
+		}
+		r.cur = &app{w: w, h: ht, iters: cfg.Iters, grids: grids, nslaves: len(cfg.Slaves)}
+
+		init := initialGrid(w, ht)
+		h.DSM.WriteFloat32s(p, grids[0], init)
+		h.DSM.WriteFloat32s(p, grids[1], init) // fixed boundaries in both buffers
+
+		for i, host := range cfg.Slaves {
+			if _, err := h.Threads.Create(p, host, funcID, []uint32{uint32(i)}); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for range cfg.Slaves {
+			h.Sync.P(p, semDone)
+		}
+
+		final := make([]float32, w*ht)
+		h.DSM.ReadFloat32s(p, grids[cfg.Iters%2], final)
+		res.Correct = true
+		if cfg.Verify {
+			want := relaxLocal(init, w, ht, cfg.Iters)
+			for i := range want {
+				if final[i] != want[i] {
+					res.Correct = false
+					break
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	res.Elapsed = elapsed
+	res.Stats = r.c.TotalDSMStats()
+	return res, nil
+}
+
+// initialGrid builds the boundary-condition grid: a hot top edge.
+func initialGrid(w, h int) []float32 {
+	g := make([]float32, w*h)
+	for col := 0; col < w; col++ {
+		g[col] = 100
+	}
+	return g
+}
+
+// relaxLocal is the sequential Jacobi reference.
+func relaxLocal(init []float32, w, h, iters int) []float32 {
+	a := make([]float32, len(init))
+	b := make([]float32, len(init))
+	copy(a, init)
+	copy(b, init)
+	for it := 0; it < iters; it++ {
+		src, dst := a, b
+		if it%2 == 1 {
+			src, dst = b, a
+		}
+		for row := 1; row < h-1; row++ {
+			for col := 1; col < w-1; col++ {
+				dst[row*w+col] = 0.25 * (src[(row-1)*w+col] + src[(row+1)*w+col] +
+					src[row*w+col-1] + src[row*w+col+1])
+			}
+			dst[row*w] = src[row*w]
+			dst[row*w+w-1] = src[row*w+w-1]
+		}
+	}
+	if iters%2 == 1 {
+		return b
+	}
+	return a
+}
+
+// Sequential returns the modelled sequential relaxation time on one CPU
+// of the given machine kind.
+func (r *Runner) Sequential(k arch.Kind, w, h, iters int) sim.Duration {
+	cells := time.Duration(w) * time.Duration(h-2) * time.Duration(iters)
+	return r.c.Params.Scale(k, cells*CellCost)
+}

@@ -1,0 +1,151 @@
+// Package arch describes the machine architectures of the heterogeneous
+// cluster: byte order, floating-point format, native virtual-memory page
+// size, and relative CPU speed.
+//
+// The reproduction models the two machine types of the paper: Sun-3
+// workstations (M68020: big-endian, IEEE floats, 8 KB VM pages) and DEC
+// Firefly multiprocessors (CVAX: little-endian, VAX floats, 1 KB VM
+// pages, up to 7 processors sharing physical memory).
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ByteOrder identifies the byte ordering of integers in memory.
+type ByteOrder int
+
+const (
+	// BigEndian stores the most significant byte first (M68020).
+	BigEndian ByteOrder = iota + 1
+	// LittleEndian stores the least significant byte first (CVAX).
+	LittleEndian
+)
+
+// String returns the conventional name of the byte order.
+func (b ByteOrder) String() string {
+	switch b {
+	case BigEndian:
+		return "big-endian"
+	case LittleEndian:
+		return "little-endian"
+	default:
+		return fmt.Sprintf("ByteOrder(%d)", int(b))
+	}
+}
+
+// Binary returns the encoding/binary implementation of the byte order.
+func (b ByteOrder) Binary() binary.ByteOrder {
+	if b == BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// FloatFormat identifies the floating-point representation.
+type FloatFormat int
+
+const (
+	// IEEE754 is the IEEE 754 single/double format (Sun-3 with 68881).
+	IEEE754 FloatFormat = iota + 1
+	// VAXFloat is the VAX F_floating (32-bit) / G_floating (64-bit)
+	// format used by the CVAX processors of the Firefly.
+	VAXFloat
+)
+
+// String returns the name of the float format.
+func (f FloatFormat) String() string {
+	switch f {
+	case IEEE754:
+		return "IEEE-754"
+	case VAXFloat:
+		return "VAX"
+	default:
+		return fmt.Sprintf("FloatFormat(%d)", int(f))
+	}
+}
+
+// Kind identifies a machine type of the cluster.
+type Kind int
+
+const (
+	// Sun is a Sun-3/60 workstation: one M68020 CPU, big-endian, IEEE
+	// floats, 8 KB native VM pages, SunOS with the Mermaid user-level
+	// thread package.
+	Sun Kind = iota + 1
+	// Firefly is a DEC SRC Firefly: up to 7 CVAX CPUs with physically
+	// shared memory, little-endian, VAX floats, 1 KB native VM pages,
+	// Topaz system threads.
+	Firefly
+)
+
+// String returns the machine-type name.
+func (k Kind) String() string {
+	switch k {
+	case Sun:
+		return "Sun"
+	case Firefly:
+		return "Firefly"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Arch is an immutable architecture descriptor.
+type Arch struct {
+	// Kind is the machine type this descriptor belongs to.
+	Kind Kind
+	// Order is the integer byte order.
+	Order ByteOrder
+	// Floats is the floating-point representation.
+	Floats FloatFormat
+	// PageSize is the native VM page size in bytes (a power of two).
+	PageSize int
+	// MaxCPUs is the maximum number of processors on a host of this
+	// type (1 for a Sun workstation, 7 for a Firefly).
+	MaxCPUs int
+}
+
+// Compatible reports whether data can move between the two architectures
+// without any conversion (same byte order and float format).
+func (a Arch) Compatible(b Arch) bool {
+	return a.Order == b.Order && a.Floats == b.Floats
+}
+
+// String identifies the architecture.
+func (a Arch) String() string {
+	return fmt.Sprintf("%s(%s, %s floats, %dB pages)", a.Kind, a.Order, a.Floats, a.PageSize)
+}
+
+// The two architectures of the paper's cluster.
+var (
+	// SunArch describes a Sun-3/60 workstation.
+	SunArch = Arch{
+		Kind:     Sun,
+		Order:    BigEndian,
+		Floats:   IEEE754,
+		PageSize: 8192,
+		MaxCPUs:  1,
+	}
+	// FireflyArch describes a DEC Firefly multiprocessor node.
+	FireflyArch = Arch{
+		Kind:     Firefly,
+		Order:    LittleEndian,
+		Floats:   VAXFloat,
+		PageSize: 1024,
+		MaxCPUs:  7,
+	}
+)
+
+// ByKind returns the canonical descriptor for a machine kind.
+func ByKind(k Kind) (Arch, error) {
+	switch k {
+	case Sun:
+		return SunArch, nil
+	case Firefly:
+		return FireflyArch, nil
+	default:
+		return Arch{}, fmt.Errorf("arch: unknown machine kind %d", int(k))
+	}
+}

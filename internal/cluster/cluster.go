@@ -1,0 +1,254 @@
+// Package cluster assembles the simulated heterogeneous cluster: hosts
+// (each with CPUs, a network interface, a remote-operation endpoint, a
+// DSM module, a thread manager and a synchronization service) attached
+// to one shared Ethernet, all driven by one deterministic simulation
+// kernel — the Mermaid system of Figure 1 of the paper, instantiated per
+// host.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/dsync"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/remoteop"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// HostID aliases the network host identifier.
+type HostID = remoteop.HostID
+
+// HostSpec describes one host to build.
+type HostSpec struct {
+	// Kind is the machine type (Sun or Firefly).
+	Kind arch.Kind
+	// CPUs is the processor count (1 for a Sun; 1–7 for a Firefly).
+	// Zero means 1.
+	CPUs int
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Hosts lists the machines; host 0 is also the allocation manager.
+	Hosts []HostSpec
+	// PageSize selects the DSM page size algorithm: 8192 implements the
+	// largest page size algorithm, 1024 the smallest (§2.4). Zero means
+	// 8192.
+	PageSize int
+	// SpaceSize is the shared address space size in bytes; zero means
+	// 4 MiB.
+	SpaceSize int
+	// Registry is the conversion-routine table; nil builds a fresh one
+	// with the basic types.
+	Registry *conv.Registry
+	// Params overrides the calibrated cost model; nil uses Default.
+	Params *model.Params
+	// Seed drives all simulation randomness.
+	Seed int64
+	// DisableConversion turns data conversion off (ablation).
+	DisableConversion bool
+	// PreferSameKindSource enables the conversion-avoiding read-source
+	// optimization (§2.3).
+	PreferSameKindSource bool
+	// CentralManager places every page's manager on host 0 (ablation of
+	// the fixed distributed manager).
+	CentralManager bool
+	// Policy selects the coherence algorithm (default: MRSW).
+	Policy dsm.Policy
+	// UnicastInvalidate disables broadcast multicast invalidation
+	// (ablation).
+	UnicastInvalidate bool
+	// DropRate injects frame loss for fault-tolerance experiments.
+	DropRate float64
+	// Trace, when set, receives DSM protocol events from every host.
+	Trace func(dsm.TraceEvent)
+}
+
+// Host bundles one machine's modules.
+type Host struct {
+	// ID is the host's network identifier.
+	ID HostID
+	// Arch is the host's architecture.
+	Arch arch.Arch
+	// EP is the remote-operation endpoint.
+	EP *remoteop.Endpoint
+	// DSM is the shared-memory module.
+	DSM *dsm.Module
+	// Threads is the thread management module.
+	Threads *threads.Manager
+	// Sync is the distributed synchronization service.
+	Sync *dsync.Service
+}
+
+// Cluster is the assembled simulated system.
+type Cluster struct {
+	// K is the simulation kernel; Now(), RunFor() and friends live here.
+	K *sim.Kernel
+	// Net is the shared Ethernet segment.
+	Net *netsim.Network
+	// Hosts are the machines, indexed by HostID.
+	Hosts []*Host
+	// Funcs is the cluster-wide thread entry-point registry.
+	Funcs *threads.Registry
+	// Params is the active cost model.
+	Params *model.Params
+	// Registry is the active conversion table.
+	Registry *conv.Registry
+}
+
+// New builds a cluster. Call RegisterFunc (via Funcs) and define
+// synchronization primitives before Run.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("cluster: no hosts")
+	}
+	params := model.Default()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = 8192
+	}
+	spaceSize := cfg.SpaceSize
+	if spaceSize == 0 {
+		spaceSize = 4 << 20
+	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = conv.NewRegistry()
+	}
+
+	k := sim.NewKernel(cfg.Seed)
+	net := netsim.New(k, &params)
+	net.DropRate = cfg.DropRate
+	funcs := threads.NewRegistry()
+
+	dsmCfg := &dsm.Config{
+		PageSize:             pageSize,
+		SpaceSize:            spaceSize,
+		Registry:             registry,
+		Params:               &params,
+		ConversionEnabled:    !cfg.DisableConversion,
+		PreferSameKindSource: cfg.PreferSameKindSource,
+		CentralManager:       cfg.CentralManager,
+		Policy:               cfg.Policy,
+		UnicastInvalidate:    cfg.UnicastInvalidate,
+		Bases:                dsm.DefaultBases(),
+		Trace:                cfg.Trace,
+	}
+
+	archs := make([]arch.Arch, len(cfg.Hosts))
+	for i, spec := range cfg.Hosts {
+		a, err := arch.ByKind(spec.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %d: %w", i, err)
+		}
+		archs[i] = a
+	}
+
+	c := &Cluster{K: k, Net: net, Funcs: funcs, Params: &params, Registry: registry}
+	for i, spec := range cfg.Hosts {
+		ifc, err := net.Attach(netsim.HostID(i))
+		if err != nil {
+			return nil, err
+		}
+		ep := remoteop.New(k, ifc, spec.Kind, &params)
+		mod, err := dsm.New(k, ep, dsmCfg, archs)
+		if err != nil {
+			return nil, err
+		}
+		cpus := spec.CPUs
+		if cpus == 0 {
+			cpus = 1
+		}
+		tm, err := threads.New(k, ep, spec.Kind, cpus, &params, funcs)
+		if err != nil {
+			return nil, err
+		}
+		sync := dsync.New(k, ep, spec.Kind, &params)
+		ep.Start()
+		c.Hosts = append(c.Hosts, &Host{
+			ID:      netsim.HostID(i),
+			Arch:    archs[i],
+			EP:      ep,
+			DSM:     mod,
+			Threads: tm,
+			Sync:    sync,
+		})
+	}
+	// Wire thread managers together so threads can migrate (§2.2).
+	peers := make([]*threads.Manager, len(c.Hosts))
+	for i, h := range c.Hosts {
+		peers[i] = h.Threads
+	}
+	for _, h := range c.Hosts {
+		h.Threads.SetPeers(peers)
+	}
+	return c, nil
+}
+
+// DefineSemaphore declares a distributed semaphore on every host.
+func (c *Cluster) DefineSemaphore(id uint32, manager HostID, initial int) {
+	for _, h := range c.Hosts {
+		h.Sync.DefineSemaphore(id, manager, initial)
+	}
+}
+
+// DefineEvent declares a distributed event on every host.
+func (c *Cluster) DefineEvent(id uint32, manager HostID) {
+	for _, h := range c.Hosts {
+		h.Sync.DefineEvent(id, manager)
+	}
+}
+
+// DefineBarrier declares a distributed barrier on every host.
+func (c *Cluster) DefineBarrier(id uint32, manager HostID, n int) {
+	for _, h := range c.Hosts {
+		h.Sync.DefineBarrier(id, manager, n)
+	}
+}
+
+// Run executes main as a simulated process on host mainHost and drives
+// the simulation until it finishes, returning the virtual time it took.
+// Background activity (server loops, persistent retransmissions) does
+// not prolong the run.
+func (c *Cluster) Run(mainHost HostID, main func(p *sim.Proc, h *Host)) sim.Duration {
+	start := c.K.Now()
+	done := false
+	c.K.Spawn("main", func(p *sim.Proc) {
+		main(p, c.Hosts[mainHost])
+		done = true
+	})
+	c.K.RunUntil(func() bool { return done })
+	if !done {
+		panic(fmt.Sprintf("cluster: deadlock — main never finished; stalled: %v", c.K.Stalled()))
+	}
+	return c.K.Now().Sub(start)
+}
+
+// TotalDSMStats sums DSM statistics across hosts.
+func (c *Cluster) TotalDSMStats() dsm.Stats {
+	var total dsm.Stats
+	for _, h := range c.Hosts {
+		s := h.DSM.Stats()
+		total.ReadFaults += s.ReadFaults
+		total.WriteFaults += s.WriteFaults
+		total.PagesFetched += s.PagesFetched
+		total.PagesServed += s.PagesServed
+		total.Upgrades += s.Upgrades
+		total.InvalidationsSent += s.InvalidationsSent
+		total.InvalidationsReceived += s.InvalidationsReceived
+		total.Conversions += s.Conversions
+		total.ConvReport.Add(s.ConvReport)
+		total.BytesFetched += s.BytesFetched
+		total.RemoteReads += s.RemoteReads
+		total.RemoteWrites += s.RemoteWrites
+	}
+	return total
+}

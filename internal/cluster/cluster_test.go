@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+func sunAndFireflies(n int) Config {
+	hosts := []HostSpec{{Kind: arch.Sun}}
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, HostSpec{Kind: arch.Firefly, CPUs: 4})
+	}
+	return Config{Hosts: hosts, Seed: 1}
+}
+
+func TestEmptyConfigRejected(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+}
+
+func TestEndToEndMasterSlaveSum(t *testing.T) {
+	// Master on the Sun fills a shared array; slave threads on the
+	// Fireflies sum disjoint halves into a result array; the master
+	// collects. Exercises DSM, remote threads, and semaphores together.
+	cfg := sunAndFireflies(2)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const semDone = 1
+	c.DefineSemaphore(semDone, 0, 0)
+
+	const n = 1000
+	var dataAddr, outAddr uint32
+	c.Funcs.MustRegister(1, func(th *threads.Thread, args []uint32) {
+		lo, hi, slot := int(args[0]), int(args[1]), int(args[2])
+		buf := make([]int32, hi-lo)
+		h := c.Hosts[th.Host()]
+		h.DSM.ReadInt32s(th.P, dsm.Addr(dataAddr)+dsm.Addr(4*lo), buf)
+		var sum int32
+		for _, v := range buf {
+			sum += v
+		}
+		th.Compute(time.Duration(hi-lo) * time.Microsecond)
+		h.DSM.WriteInt32s(th.P, dsm.Addr(outAddr)+dsm.Addr(4*slot), []int32{sum})
+		h.Sync.V(th.P, semDone)
+	})
+
+	elapsed := c.Run(0, func(p *sim.Proc, h *Host) {
+		a, err := h.DSM.Alloc(p, conv.Int32, n)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err := h.DSM.Alloc(p, conv.Int32, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dataAddr, outAddr = uint32(a), uint32(out)
+		vals := make([]int32, n)
+		var want int32
+		for i := range vals {
+			vals[i] = int32(i * 3)
+			want += vals[i]
+		}
+		h.DSM.WriteInt32s(p, a, vals)
+
+		if _, err := h.Threads.Create(p, 1, 1, []uint32{0, n / 2, 0}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := h.Threads.Create(p, 2, 1, []uint32{n / 2, n, 1}); err != nil {
+			t.Error(err)
+			return
+		}
+		h.Sync.P(p, semDone)
+		h.Sync.P(p, semDone)
+
+		var sums [2]int32
+		h.DSM.ReadInt32s(p, out, sums[:])
+		if sums[0]+sums[1] != want {
+			t.Errorf("distributed sum %d, want %d", sums[0]+sums[1], want)
+		}
+	})
+	if elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestSyncDefinitionsAndStats(t *testing.T) {
+	c, err := New(sunAndFireflies(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DefineEvent(5, 1)
+	c.DefineBarrier(6, 0, 2)
+	c.DefineSemaphore(7, 2, 0)
+	released := 0
+	c.Funcs.MustRegister(2, func(th *threads.Thread, args []uint32) {
+		h := c.Hosts[th.Host()]
+		h.Sync.EventWait(th.P, 5)
+		h.Sync.BarrierArrive(th.P, 6)
+		released++
+		h.Sync.V(th.P, 7)
+	})
+	c.Run(0, func(p *sim.Proc, h *Host) {
+		if _, err := h.Threads.Create(p, 1, 2, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := h.Threads.Create(p, 2, 2, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * time.Millisecond)
+		h.Sync.EventSet(p, 5)
+		h.Sync.P(p, 7)
+		h.Sync.P(p, 7)
+
+		// Touch DSM so aggregate stats are non-trivial.
+		addr, err := h.DSM.Alloc(p, conv.Int32, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.Hosts[1].DSM.WriteInt32s(p, addr, []int32{9})
+	})
+	if released != 2 {
+		t.Fatalf("released %d, want 2", released)
+	}
+	total := c.TotalDSMStats()
+	if total.PagesFetched == 0 || total.WriteFaults == 0 {
+		t.Fatalf("aggregate stats empty: %+v", total)
+	}
+}
+
+func TestRunPanicsOnDeadlock(t *testing.T) {
+	c, err := New(sunAndFireflies(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.DefineSemaphore(9, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked main did not panic")
+		}
+	}()
+	c.Run(0, func(p *sim.Proc, h *Host) {
+		h.Sync.P(p, 9) // never granted; queue drains; Run must panic
+	})
+}

@@ -1,0 +1,101 @@
+package conv
+
+// Automatic generation of conversion routines. The paper's §5 reports
+// work in progress on generating conversion routines at compile time
+// from the program's type declarations, instead of having programmers
+// compose them by hand. This file is that feature's Go analogue: the
+// field list — and with it the composed conversion routine — is derived
+// from a Go struct type at setup time.
+//
+// The mapping honours the scheme's constraints (§2.3): every field must
+// be one of the fixed-size basic types (or a nested struct/array of
+// them), so that the type has the same size and field order on every
+// host. Pointers to DSM data are declared with the Ptr marker type.
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Ptr is the marker type for a DSM pointer field inside an
+// auto-registered struct: a 32-bit shared-memory address that is rebased
+// when the page converts.
+type Ptr uint32
+
+var ptrType = reflect.TypeOf(Ptr(0))
+
+// RegisterGoStruct derives the field list of a compound DSM type from a
+// Go struct type and registers it under the struct's name. Supported
+// field types: int8/uint8 (characters), int16/uint16, int32/uint32,
+// float32, float64, Ptr, fixed-size arrays of these, and nested structs
+// of supported fields. Field order follows the Go declaration, as the
+// paper requires matching declarations across hosts.
+func (r *Registry) RegisterGoStruct(t reflect.Type) (TypeID, error) {
+	if t.Kind() != reflect.Struct {
+		return Invalid, fmt.Errorf("conv: %v is not a struct", t)
+	}
+	fields, err := r.fieldsOf(t)
+	if err != nil {
+		return Invalid, err
+	}
+	name := t.Name()
+	if name == "" {
+		name = t.String()
+	}
+	return r.RegisterStruct(name, fields)
+}
+
+// fieldsOf recursively flattens a Go struct type into DSM fields.
+func (r *Registry) fieldsOf(t reflect.Type) ([]Field, error) {
+	var fields []Field
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		fs, err := r.fieldOf(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", f.Name, err)
+		}
+		fields = append(fields, fs...)
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("struct %v has no convertible fields", t)
+	}
+	return fields, nil
+}
+
+func (r *Registry) fieldOf(t reflect.Type) ([]Field, error) {
+	if t == ptrType {
+		return []Field{{Type: Pointer, Count: 1}}, nil
+	}
+	switch t.Kind() {
+	case reflect.Int8, reflect.Uint8:
+		return []Field{{Type: Char, Count: 1}}, nil
+	case reflect.Int16, reflect.Uint16:
+		return []Field{{Type: Int16, Count: 1}}, nil
+	case reflect.Int32, reflect.Uint32:
+		return []Field{{Type: Int32, Count: 1}}, nil
+	case reflect.Float32:
+		return []Field{{Type: Float32, Count: 1}}, nil
+	case reflect.Float64:
+		return []Field{{Type: Float64, Count: 1}}, nil
+	case reflect.Array:
+		inner, err := r.fieldOf(t.Elem())
+		if err != nil {
+			return nil, err
+		}
+		// An array of a single basic field scales its count; an array
+		// of a compound element repeats the whole element sequence.
+		if len(inner) == 1 {
+			inner[0].Count *= t.Len()
+			return inner, nil
+		}
+		var out []Field
+		for i := 0; i < t.Len(); i++ {
+			out = append(out, inner...)
+		}
+		return out, nil
+	case reflect.Struct:
+		return r.fieldsOf(t)
+	default:
+		return nil, fmt.Errorf("unsupported field kind %v (DSM types need fixed sizes on every host: use int8/16/32, uint8/16/32, float32/64, conv.Ptr, arrays, or nested structs)", t.Kind())
+	}
+}

@@ -1,0 +1,132 @@
+package conv
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestRegisterGoStructBasic(t *testing.T) {
+	type Sample struct {
+		A int32
+		B float32
+		C int16
+		D int16
+	}
+	r := NewRegistry()
+	id, err := r.RegisterGoStruct(reflect.TypeOf(Sample{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := r.MustGet(id)
+	if typ.Name != "Sample" {
+		t.Errorf("name %q", typ.Name)
+	}
+	if typ.Size != 4+4+2+2 {
+		t.Errorf("size %d, want 12", typ.Size)
+	}
+	if typ.Cost.Int32Ops != 1 || typ.Cost.Float32Ops != 1 || typ.Cost.Int16Ops != 2 {
+		t.Errorf("cost %+v", typ.Cost)
+	}
+}
+
+func TestRegisterGoStructConversionWorks(t *testing.T) {
+	type Record struct {
+		ID    int32
+		Score float64
+		Tag   [4]int8
+		Next  Ptr
+	}
+	r := NewRegistry()
+	id, err := r.RegisterGoStruct(reflect.TypeOf(Record{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := r.MustGet(id)
+	buf := make([]byte, typ.Size)
+	sun := arch.SunArch
+	PutInt32(sun, buf[0:], 77)
+	PutFloat64(sun, buf[4:], 2.5)
+	copy(buf[12:16], "abcd")
+	PutPointer(sun, buf[16:], 0x400)
+
+	if _, err := r.ConvertRegion(id, buf, sun, arch.FireflyArch, 0x100); err != nil {
+		t.Fatal(err)
+	}
+	ffy := arch.FireflyArch
+	if GetInt32(ffy, buf[0:]) != 77 {
+		t.Error("int corrupted")
+	}
+	if GetFloat64(ffy, buf[4:]) != 2.5 {
+		t.Error("double corrupted")
+	}
+	if string(buf[12:16]) != "abcd" {
+		t.Error("chars corrupted")
+	}
+	if GetPointer(ffy, buf[16:]) != 0x500 {
+		t.Errorf("pointer %#x, want rebased 0x500", GetPointer(ffy, buf[16:]))
+	}
+}
+
+func TestRegisterGoStructArrays(t *testing.T) {
+	type Vec struct {
+		X [3]float32
+	}
+	type Pair struct {
+		V [2]Vec
+		N int32
+	}
+	r := NewRegistry()
+	id, err := r.RegisterGoStruct(reflect.TypeOf(Pair{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := r.MustGet(id)
+	if typ.Size != 2*3*4+4 {
+		t.Fatalf("size %d, want 28", typ.Size)
+	}
+	if typ.Cost.Float32Ops != 6 || typ.Cost.Int32Ops != 1 {
+		t.Fatalf("cost %+v", typ.Cost)
+	}
+}
+
+func TestRegisterGoStructNested(t *testing.T) {
+	type Inner struct {
+		A int16
+		B int16
+	}
+	type Outer struct {
+		I Inner
+		C float32
+	}
+	r := NewRegistry()
+	id, err := r.RegisterGoStruct(reflect.TypeOf(Outer{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MustGet(id).Size != 8 {
+		t.Fatalf("size %d, want 8", r.MustGet(id).Size)
+	}
+}
+
+func TestRegisterGoStructRejectsUnsupported(t *testing.T) {
+	r := NewRegistry()
+	bad := []any{
+		struct{ S string }{},
+		struct{ P *int32 }{},
+		struct{ M map[int]int }{},
+		struct{ I int }{},     // platform-sized int violates same-size rule
+		struct{ I64 int64 }{}, // no 64-bit integer basic type in Mermaid
+		struct{ Sl []int32 }{},
+		struct{}{},
+	}
+	for _, v := range bad {
+		if _, err := r.RegisterGoStruct(reflect.TypeOf(v)); err == nil {
+			t.Errorf("%T accepted", v)
+		}
+	}
+	if _, err := r.RegisterGoStruct(reflect.TypeOf(42)); err == nil {
+		t.Error("non-struct accepted")
+	}
+}

@@ -1,0 +1,418 @@
+// Package conv implements Mermaid's data conversion mechanism (§2.3 of
+// the paper): when a DSM page migrates between hosts of incompatible
+// architectures, its contents must be converted based on the type of the
+// data stored in the page.
+//
+// Mermaid requires that a page contain data of one type only (the typed
+// allocator enforces this), that every type have the same size on every
+// host, and that a conversion routine exist for every type stored in
+// DSM. Conversion routines for user-defined compound types are composed
+// from the routines for the basic types, exactly as the paper describes:
+// "In the case of compound data structures, the conversion routine calls
+// the appropriate conversion routine for each field. In the case of
+// arrays, the conversion routine of the array type is called repeatedly."
+//
+// Pointer conversion is supported through an offset argument: if the DSM
+// region starts at different virtual addresses on the two host types,
+// pointers are rebased by (start2 - start1) during conversion.
+package conv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/vaxfloat"
+)
+
+// TypeID identifies a registered DSM data type. The identifier space is
+// global and static across the cluster, mirroring the paper's global
+// conversion-routine table.
+type TypeID uint16
+
+// Basic type identifiers. User-defined types start at FirstUserType.
+const (
+	// Invalid is the zero TypeID; it is never registered.
+	Invalid TypeID = 0
+	// Char is an 8-bit character; conversion is the identity.
+	Char TypeID = 1
+	// Int16 is a 16-bit integer ("short" in the paper's Table 3).
+	Int16 TypeID = 2
+	// Int32 is a 32-bit integer ("int").
+	Int32 TypeID = 3
+	// Float32 is a single-precision float (IEEE single / VAX F).
+	Float32 TypeID = 4
+	// Float64 is a double-precision float (IEEE double / VAX G).
+	Float64 TypeID = 5
+	// Pointer is a 32-bit DSM address, rebased during conversion.
+	Pointer TypeID = 6
+	// FirstUserType is the first identifier handed out by Register.
+	FirstUserType TypeID = 100
+)
+
+// Report accumulates the floating-point anomalies encountered while
+// converting; the paper notes precision may be lost and special IEEE
+// values (NaN, infinity, denormals) need extra handling on the VAX.
+type Report struct {
+	// Overflows counts values clamped to the largest VAX magnitude.
+	Overflows int
+	// Underflows counts values flushed to zero.
+	Underflows int
+	// NaNs counts IEEE NaNs encoded as VAX reserved operands.
+	NaNs int
+	// Elements counts elements converted.
+	Elements int
+}
+
+// Add merges other into r.
+func (r *Report) Add(other Report) {
+	r.Overflows += other.Overflows
+	r.Underflows += other.Underflows
+	r.NaNs += other.NaNs
+	r.Elements += other.Elements
+}
+
+func (r *Report) note(o vaxfloat.Outcome) {
+	switch o {
+	case vaxfloat.Overflowed:
+		r.Overflows++
+	case vaxfloat.Underflowed:
+		r.Underflows++
+	case vaxfloat.WasNaN:
+		r.NaNs++
+	}
+}
+
+// CostUnits counts the basic conversion operations performed per element
+// of a type; the calibrated cost model turns these into virtual time.
+type CostUnits struct {
+	// Int16Ops, Int32Ops: byte swaps of the given width.
+	Int16Ops int
+	Int32Ops int
+	// Float32Ops, Float64Ops: float format conversions (including the
+	// extra checks for IEEE special values).
+	Float32Ops int
+	Float64Ops int
+	// PointerOps: pointer rebasing operations.
+	PointerOps int
+	// Bytes: bytes merely copied or skipped (characters, padding).
+	Bytes int
+}
+
+func (c CostUnits) add(other CostUnits, times int) CostUnits {
+	c.Int16Ops += other.Int16Ops * times
+	c.Int32Ops += other.Int32Ops * times
+	c.Float32Ops += other.Float32Ops * times
+	c.Float64Ops += other.Float64Ops * times
+	c.PointerOps += other.PointerOps * times
+	c.Bytes += other.Bytes * times
+	return c
+}
+
+// ConvertFunc rewrites a single element in place from the source
+// architecture's representation to the destination's. ptrOff is the
+// amount to add to embedded DSM pointers (start_dst - start_src).
+type ConvertFunc func(elem []byte, from, to arch.Arch, ptrOff int32, rep *Report) error
+
+// Type describes a registered DSM data type.
+type Type struct {
+	// ID is the type's identifier.
+	ID TypeID
+	// Name is a human-readable name.
+	Name string
+	// Size is the element size in bytes, identical on every host (a
+	// stated requirement of the paper's scheme).
+	Size int
+	// Cost counts the basic operations one element conversion performs.
+	Cost CostUnits
+	// convert is the element conversion routine.
+	convert ConvertFunc
+}
+
+// Field is one field of a compound type: Count consecutive elements of
+// the type named by Type.
+type Field struct {
+	// Type is the field's element type (basic or previously registered).
+	Type TypeID
+	// Count is the number of consecutive elements (1 for a scalar;
+	// >1 models an embedded array, converted by repeated calls).
+	Count int
+}
+
+// Registry is the global static table mapping types to conversion
+// routines. It must be built identically on every host before the DSM
+// system starts (it is immutable afterwards).
+type Registry struct {
+	types  map[TypeID]*Type
+	nextID TypeID
+}
+
+// NewRegistry creates a registry with the basic types pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{
+		types:  make(map[TypeID]*Type),
+		nextID: FirstUserType,
+	}
+	r.types[Char] = &Type{
+		ID: Char, Name: "char", Size: 1,
+		Cost:    CostUnits{Bytes: 1},
+		convert: func([]byte, arch.Arch, arch.Arch, int32, *Report) error { return nil },
+	}
+	r.types[Int16] = &Type{
+		ID: Int16, Name: "short", Size: 2,
+		Cost:    CostUnits{Int16Ops: 1},
+		convert: convertInt16,
+	}
+	r.types[Int32] = &Type{
+		ID: Int32, Name: "int", Size: 4,
+		Cost:    CostUnits{Int32Ops: 1},
+		convert: convertInt32,
+	}
+	r.types[Float32] = &Type{
+		ID: Float32, Name: "float", Size: 4,
+		Cost:    CostUnits{Float32Ops: 1},
+		convert: convertFloat32,
+	}
+	r.types[Float64] = &Type{
+		ID: Float64, Name: "double", Size: 8,
+		Cost:    CostUnits{Float64Ops: 1},
+		convert: convertFloat64,
+	}
+	r.types[Pointer] = &Type{
+		ID: Pointer, Name: "pointer", Size: 4,
+		Cost:    CostUnits{PointerOps: 1},
+		convert: convertPointer,
+	}
+	return r
+}
+
+// Get returns the type registered under id.
+func (r *Registry) Get(id TypeID) (*Type, bool) {
+	t, ok := r.types[id]
+	return t, ok
+}
+
+// MustGet returns the type registered under id, panicking if absent; use
+// only for identifiers known to be registered (program invariants).
+func (r *Registry) MustGet(id TypeID) *Type {
+	t, ok := r.types[id]
+	if !ok {
+		panic(fmt.Sprintf("conv: type %d not registered", id))
+	}
+	return t
+}
+
+// RegisterStruct registers a compound type as an ordered field list. The
+// generated conversion routine calls each field's routine in order,
+// which is exactly how the paper tells application programmers to write
+// theirs. It returns the new type's identifier.
+func (r *Registry) RegisterStruct(name string, fields []Field) (TypeID, error) {
+	if len(fields) == 0 {
+		return Invalid, fmt.Errorf("conv: struct %q has no fields", name)
+	}
+	var (
+		size int
+		cost CostUnits
+	)
+	resolved := make([]*Type, len(fields))
+	for i, f := range fields {
+		ft, ok := r.types[f.Type]
+		if !ok {
+			return Invalid, fmt.Errorf("conv: struct %q field %d: type %d not registered", name, i, f.Type)
+		}
+		if f.Count <= 0 {
+			return Invalid, fmt.Errorf("conv: struct %q field %d: count %d", name, i, f.Count)
+		}
+		resolved[i] = ft
+		size += ft.Size * f.Count
+		cost = cost.add(ft.Cost, f.Count)
+	}
+	counts := make([]int, len(fields))
+	for i, f := range fields {
+		counts[i] = f.Count
+	}
+	convert := func(elem []byte, from, to arch.Arch, ptrOff int32, rep *Report) error {
+		off := 0
+		for i, ft := range resolved {
+			for j := 0; j < counts[i]; j++ {
+				if err := ft.convert(elem[off:off+ft.Size], from, to, ptrOff, rep); err != nil {
+					return err
+				}
+				off += ft.Size
+			}
+		}
+		return nil
+	}
+	return r.register(name, size, cost, convert)
+}
+
+// RegisterCustom registers a type with an application-supplied
+// conversion routine (the paper's fully general escape hatch).
+func (r *Registry) RegisterCustom(name string, size int, cost CostUnits, fn ConvertFunc) (TypeID, error) {
+	if size <= 0 {
+		return Invalid, fmt.Errorf("conv: custom type %q has size %d", name, size)
+	}
+	if fn == nil {
+		return Invalid, fmt.Errorf("conv: custom type %q has no conversion routine", name)
+	}
+	return r.register(name, size, cost, fn)
+}
+
+func (r *Registry) register(name string, size int, cost CostUnits, fn ConvertFunc) (TypeID, error) {
+	id := r.nextID
+	r.nextID++
+	r.types[id] = &Type{ID: id, Name: name, Size: size, Cost: cost, convert: fn}
+	return id, nil
+}
+
+// ConvertRegion converts, in place, the prefix of buf holding whole
+// elements of type id from the source to the destination representation.
+// Only full elements are converted; buf's length must be a multiple of
+// the element size (the typed allocator guarantees this for allocated
+// prefixes). If the architectures are compatible it is a no-op.
+func (r *Registry) ConvertRegion(id TypeID, buf []byte, from, to arch.Arch, ptrOff int32) (Report, error) {
+	var rep Report
+	if from.Compatible(to) {
+		return rep, nil
+	}
+	t, ok := r.types[id]
+	if !ok {
+		return rep, fmt.Errorf("conv: type %d not registered", id)
+	}
+	if len(buf)%t.Size != 0 {
+		return rep, fmt.Errorf("conv: region size %d not a multiple of %s element size %d", len(buf), t.Name, t.Size)
+	}
+	for off := 0; off < len(buf); off += t.Size {
+		if err := t.convert(buf[off:off+t.Size], from, to, ptrOff, &rep); err != nil {
+			return rep, fmt.Errorf("conv: element at %d: %w", off, err)
+		}
+		rep.Elements++
+	}
+	return rep, nil
+}
+
+func convertInt16(elem []byte, from, to arch.Arch, _ int32, _ *Report) error {
+	if from.Order != to.Order {
+		elem[0], elem[1] = elem[1], elem[0]
+	}
+	return nil
+}
+
+func convertInt32(elem []byte, from, to arch.Arch, _ int32, _ *Report) error {
+	if from.Order != to.Order {
+		elem[0], elem[1], elem[2], elem[3] = elem[3], elem[2], elem[1], elem[0]
+	}
+	return nil
+}
+
+func convertPointer(elem []byte, from, to arch.Arch, ptrOff int32, _ *Report) error {
+	v := from.Order.Binary().Uint32(elem)
+	// The null pointer is universal and is not rebased.
+	if v != 0 {
+		v = uint32(int32(v) + ptrOff)
+	}
+	to.Order.Binary().PutUint32(elem, v)
+	return nil
+}
+
+func convertFloat32(elem []byte, from, to arch.Arch, _ int32, rep *Report) error {
+	if from.Floats == to.Floats {
+		// Same float format, different byte order (not the case for the
+		// paper's two machines, but handled for completeness).
+		return convertInt32(elem, from, to, 0, rep)
+	}
+	if from.Floats == arch.IEEE754 {
+		bits := from.Order.Binary().Uint32(elem)
+		rep.note(vaxfloat.FromIEEESingle(bits, elem))
+		return nil
+	}
+	bits := vaxfloat.ToIEEESingle(elem)
+	to.Order.Binary().PutUint32(elem, bits)
+	return nil
+}
+
+func convertFloat64(elem []byte, from, to arch.Arch, _ int32, rep *Report) error {
+	if from.Floats == to.Floats {
+		if from.Order != to.Order {
+			v := from.Order.Binary().Uint64(elem)
+			to.Order.Binary().PutUint64(elem, v)
+		}
+		return nil
+	}
+	if from.Floats == arch.IEEE754 {
+		bits := from.Order.Binary().Uint64(elem)
+		rep.note(vaxfloat.FromIEEEDouble(bits, elem))
+		return nil
+	}
+	bits := vaxfloat.ToIEEEDouble(elem)
+	to.Order.Binary().PutUint64(elem, bits)
+	return nil
+}
+
+// The helpers below read and write values in a given architecture's
+// native memory representation. The DSM typed accessors use them so that
+// applications manipulate values while pages hold native bytes.
+
+// PutInt16 stores v at b[0:2] in a's representation.
+func PutInt16(a arch.Arch, b []byte, v int16) { a.Order.Binary().PutUint16(b, uint16(v)) }
+
+// GetInt16 loads an int16 from b[0:2] in a's representation.
+func GetInt16(a arch.Arch, b []byte) int16 { return int16(a.Order.Binary().Uint16(b)) }
+
+// PutInt32 stores v at b[0:4] in a's representation.
+func PutInt32(a arch.Arch, b []byte, v int32) { a.Order.Binary().PutUint32(b, uint32(v)) }
+
+// GetInt32 loads an int32 from b[0:4] in a's representation.
+func GetInt32(a arch.Arch, b []byte) int32 { return int32(a.Order.Binary().Uint32(b)) }
+
+// PutFloat32 stores v at b[0:4] in a's representation (IEEE or VAX F).
+// It returns the conversion outcome for VAX targets.
+func PutFloat32(a arch.Arch, b []byte, v float32) vaxfloat.Outcome {
+	if a.Floats == arch.IEEE754 {
+		a.Order.Binary().PutUint32(b, math.Float32bits(v))
+		return vaxfloat.OK
+	}
+	return vaxfloat.EncodeF(float64(v), b)
+}
+
+// GetFloat32 loads a float32 from b[0:4] in a's representation. VAX
+// reserved operands read as NaN.
+func GetFloat32(a arch.Arch, b []byte) float32 {
+	if a.Floats == arch.IEEE754 {
+		return math.Float32frombits(a.Order.Binary().Uint32(b))
+	}
+	v, _ := vaxfloat.DecodeF(b)
+	return float32(v)
+}
+
+// PutFloat64 stores v at b[0:8] in a's representation (IEEE or VAX G).
+func PutFloat64(a arch.Arch, b []byte, v float64) vaxfloat.Outcome {
+	if a.Floats == arch.IEEE754 {
+		a.Order.Binary().PutUint64(b, math.Float64bits(v))
+		return vaxfloat.OK
+	}
+	return vaxfloat.EncodeG(v, b)
+}
+
+// GetFloat64 loads a float64 from b[0:8] in a's representation.
+func GetFloat64(a arch.Arch, b []byte) float64 {
+	if a.Floats == arch.IEEE754 {
+		return math.Float64frombits(a.Order.Binary().Uint64(b))
+	}
+	v, _ := vaxfloat.DecodeG(b)
+	return v
+}
+
+// PutPointer stores a 32-bit DSM address at b[0:4] in a's representation.
+func PutPointer(a arch.Arch, b []byte, addr uint32) { a.Order.Binary().PutUint32(b, addr) }
+
+// GetPointer loads a 32-bit DSM address from b[0:4] in a's representation.
+func GetPointer(a arch.Arch, b []byte) uint32 { return a.Order.Binary().Uint32(b) }
+
+// Interface check: binary.ByteOrder is what arch exposes; assert the two
+// concrete orders satisfy it (compile-time documentation).
+var (
+	_ binary.ByteOrder = arch.BigEndian.Binary()
+	_ binary.ByteOrder = arch.LittleEndian.Binary()
+)

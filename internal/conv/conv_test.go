@@ -1,0 +1,371 @@
+package conv
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+var (
+	sun = arch.SunArch
+	ffy = arch.FireflyArch
+)
+
+func TestInt32RegionSunToFirefly(t *testing.T) {
+	r := NewRegistry()
+	// 0x01020304 on the Sun (big-endian).
+	buf := []byte{0x01, 0x02, 0x03, 0x04, 0x00, 0x00, 0x00, 0x2a}
+	rep, err := r.ConvertRegion(Int32, buf, sun, ffy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elements != 2 {
+		t.Fatalf("converted %d elements, want 2", rep.Elements)
+	}
+	if GetInt32(ffy, buf[0:4]) != 0x01020304 {
+		t.Fatalf("value 0 = %#x, want 0x01020304", GetInt32(ffy, buf[0:4]))
+	}
+	if GetInt32(ffy, buf[4:8]) != 42 {
+		t.Fatalf("value 1 = %d, want 42", GetInt32(ffy, buf[4:8]))
+	}
+}
+
+func TestInt16RegionBothDirections(t *testing.T) {
+	r := NewRegistry()
+	buf := make([]byte, 4)
+	PutInt16(sun, buf[0:2], -1234)
+	PutInt16(sun, buf[2:4], 31000)
+	if _, err := r.ConvertRegion(Int16, buf, sun, ffy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if GetInt16(ffy, buf[0:2]) != -1234 || GetInt16(ffy, buf[2:4]) != 31000 {
+		t.Fatal("sun->firefly int16 conversion wrong")
+	}
+	if _, err := r.ConvertRegion(Int16, buf, ffy, sun, 0); err != nil {
+		t.Fatal(err)
+	}
+	if GetInt16(sun, buf[0:2]) != -1234 || GetInt16(sun, buf[2:4]) != 31000 {
+		t.Fatal("firefly->sun int16 conversion wrong")
+	}
+}
+
+func TestCharRegionIsIdentity(t *testing.T) {
+	r := NewRegistry()
+	buf := []byte("hello, heterogeneous world")
+	orig := bytes.Clone(buf)
+	if _, err := r.ConvertRegion(Char, buf, sun, ffy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("character data was altered by conversion")
+	}
+}
+
+func TestCompatibleArchesNoOp(t *testing.T) {
+	r := NewRegistry()
+	buf := []byte{1, 2, 3, 4}
+	orig := bytes.Clone(buf)
+	rep, err := r.ConvertRegion(Int32, buf, sun, sun, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elements != 0 || !bytes.Equal(buf, orig) {
+		t.Fatal("same-architecture conversion not a no-op")
+	}
+}
+
+func TestFloat32RegionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	values := []float32{1.5, -2.25, 0, 1e10, -3.14159e-10}
+	buf := make([]byte, 4*len(values))
+	for i, v := range values {
+		PutFloat32(sun, buf[i*4:], v)
+	}
+	if _, err := r.ConvertRegion(Float32, buf, sun, ffy, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if got := GetFloat32(ffy, buf[i*4:]); got != v {
+			t.Errorf("value %d on firefly = %v, want %v", i, got, v)
+		}
+	}
+	if _, err := r.ConvertRegion(Float32, buf, ffy, sun, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if got := GetFloat32(sun, buf[i*4:]); got != v {
+			t.Errorf("value %d back on sun = %v, want %v", i, got, v)
+		}
+	}
+}
+
+func TestFloat32SpecialValuesReported(t *testing.T) {
+	r := NewRegistry()
+	buf := make([]byte, 16)
+	PutFloat32(sun, buf[0:], float32(math.NaN()))
+	PutFloat32(sun, buf[4:], float32(math.Inf(1)))
+	PutFloat32(sun, buf[8:], 1e-44) // deep denormal, below VAX range
+	PutFloat32(sun, buf[12:], 1.0)
+	rep, err := r.ConvertRegion(Float32, buf, sun, ffy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NaNs != 1 || rep.Overflows != 1 || rep.Underflows != 1 {
+		t.Fatalf("report %+v, want 1 NaN, 1 overflow, 1 underflow", rep)
+	}
+	if got := GetFloat32(ffy, buf[12:]); got != 1.0 {
+		t.Fatalf("normal value corrupted: %v", got)
+	}
+}
+
+func TestFloat64RegionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	values := []float64{math.Pi, -1e300, 2.5e-300, 0, 42}
+	buf := make([]byte, 8*len(values))
+	for i, v := range values {
+		PutFloat64(sun, buf[i*8:], v)
+	}
+	if _, err := r.ConvertRegion(Float64, buf, sun, ffy, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if got := GetFloat64(ffy, buf[i*8:]); got != v {
+			t.Errorf("double %d on firefly = %v, want %v", i, got, v)
+		}
+	}
+	if _, err := r.ConvertRegion(Float64, buf, ffy, sun, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if got := GetFloat64(sun, buf[i*8:]); got != v {
+			t.Errorf("double %d back on sun = %v, want %v", i, got, v)
+		}
+	}
+}
+
+func TestPointerRebasing(t *testing.T) {
+	r := NewRegistry()
+	buf := make([]byte, 8)
+	PutPointer(sun, buf[0:4], 0x1000)
+	PutPointer(sun, buf[4:8], 0) // null stays null
+	// Firefly DSM base is 0x2000 higher than the Sun's.
+	if _, err := r.ConvertRegion(Pointer, buf, sun, ffy, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if got := GetPointer(ffy, buf[0:4]); got != 0x3000 {
+		t.Fatalf("pointer = %#x, want 0x3000", got)
+	}
+	if got := GetPointer(ffy, buf[4:8]); got != 0 {
+		t.Fatalf("null pointer rebased to %#x", got)
+	}
+	// Negative offset on the way back.
+	if _, err := r.ConvertRegion(Pointer, buf, ffy, sun, -0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if got := GetPointer(sun, buf[0:4]); got != 0x1000 {
+		t.Fatalf("pointer after return = %#x, want 0x1000", got)
+	}
+}
+
+func TestRegisterStructRecord(t *testing.T) {
+	// The paper's measured compound type: records of 3 ints, 3 floats,
+	// and 4 shorts (§3.1).
+	r := NewRegistry()
+	id, err := r.RegisterStruct("record", []Field{
+		{Type: Int32, Count: 3},
+		{Type: Float32, Count: 3},
+		{Type: Int16, Count: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := r.MustGet(id)
+	if typ.Size != 3*4+3*4+4*2 {
+		t.Fatalf("record size %d, want 32", typ.Size)
+	}
+	if typ.Cost.Int32Ops != 3 || typ.Cost.Float32Ops != 3 || typ.Cost.Int16Ops != 4 {
+		t.Fatalf("cost %+v wrong", typ.Cost)
+	}
+
+	buf := make([]byte, typ.Size)
+	PutInt32(sun, buf[0:], 7)
+	PutInt32(sun, buf[4:], -8)
+	PutInt32(sun, buf[8:], 9)
+	PutFloat32(sun, buf[12:], 1.25)
+	PutFloat32(sun, buf[16:], -2.5)
+	PutFloat32(sun, buf[20:], 3.75)
+	PutInt16(sun, buf[24:], 10)
+	PutInt16(sun, buf[26:], -11)
+	PutInt16(sun, buf[28:], 12)
+	PutInt16(sun, buf[30:], -13)
+
+	if _, err := r.ConvertRegion(id, buf, sun, ffy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if GetInt32(ffy, buf[0:]) != 7 || GetInt32(ffy, buf[4:]) != -8 || GetInt32(ffy, buf[8:]) != 9 {
+		t.Fatal("record ints wrong after conversion")
+	}
+	if GetFloat32(ffy, buf[12:]) != 1.25 || GetFloat32(ffy, buf[16:]) != -2.5 || GetFloat32(ffy, buf[20:]) != 3.75 {
+		t.Fatal("record floats wrong after conversion")
+	}
+	if GetInt16(ffy, buf[24:]) != 10 || GetInt16(ffy, buf[26:]) != -11 || GetInt16(ffy, buf[28:]) != 12 || GetInt16(ffy, buf[30:]) != -13 {
+		t.Fatal("record shorts wrong after conversion")
+	}
+}
+
+func TestNestedStructs(t *testing.T) {
+	r := NewRegistry()
+	inner, err := r.RegisterStruct("point", []Field{
+		{Type: Float32, Count: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := r.RegisterStruct("segment", []Field{
+		{Type: inner, Count: 2},
+		{Type: Int32, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := r.MustGet(outer)
+	if typ.Size != 2*8+4 {
+		t.Fatalf("segment size %d, want 20", typ.Size)
+	}
+	buf := make([]byte, typ.Size)
+	PutFloat32(sun, buf[0:], 1)
+	PutFloat32(sun, buf[4:], 2)
+	PutFloat32(sun, buf[8:], 3)
+	PutFloat32(sun, buf[12:], 4)
+	PutInt32(sun, buf[16:], 5)
+	if _, err := r.ConvertRegion(outer, buf, sun, ffy, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 4}
+	for i, w := range want {
+		if got := GetFloat32(ffy, buf[i*4:]); got != w {
+			t.Fatalf("nested float %d = %v, want %v", i, got, w)
+		}
+	}
+	if GetInt32(ffy, buf[16:]) != 5 {
+		t.Fatal("nested int wrong")
+	}
+}
+
+func TestStructWithPointers(t *testing.T) {
+	r := NewRegistry()
+	id, err := r.RegisterStruct("node", []Field{
+		{Type: Int32, Count: 1},
+		{Type: Pointer, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	PutInt32(sun, buf[0:], 99)
+	PutPointer(sun, buf[4:], 0x500)
+	if _, err := r.ConvertRegion(id, buf, sun, ffy, 0x100); err != nil {
+		t.Fatal(err)
+	}
+	if GetInt32(ffy, buf[0:]) != 99 {
+		t.Fatal("node value wrong")
+	}
+	if GetPointer(ffy, buf[4:]) != 0x600 {
+		t.Fatalf("node pointer %#x, want 0x600", GetPointer(ffy, buf[4:]))
+	}
+}
+
+func TestRegisterStructErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterStruct("empty", nil); err == nil {
+		t.Error("empty struct registered")
+	}
+	if _, err := r.RegisterStruct("bad", []Field{{Type: 9999, Count: 1}}); err == nil {
+		t.Error("struct with unknown field type registered")
+	}
+	if _, err := r.RegisterStruct("zero", []Field{{Type: Int32, Count: 0}}); err == nil {
+		t.Error("struct with zero-count field registered")
+	}
+}
+
+func TestRegisterCustomErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.RegisterCustom("nosize", 0, CostUnits{}, func([]byte, arch.Arch, arch.Arch, int32, *Report) error { return nil }); err == nil {
+		t.Error("zero-size custom type registered")
+	}
+	if _, err := r.RegisterCustom("nofn", 4, CostUnits{}, nil); err == nil {
+		t.Error("custom type without routine registered")
+	}
+}
+
+func TestConvertRegionErrors(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.ConvertRegion(9999, make([]byte, 4), sun, ffy, 0); err == nil {
+		t.Error("unknown type converted")
+	}
+	if _, err := r.ConvertRegion(Int32, make([]byte, 5), sun, ffy, 0); err == nil {
+		t.Error("misaligned region converted")
+	}
+}
+
+func TestPropertyInt32ConversionIsInvolution(t *testing.T) {
+	r := NewRegistry()
+	f := func(vals []int32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		buf := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			PutInt32(sun, buf[i*4:], v)
+		}
+		orig := bytes.Clone(buf)
+		if _, err := r.ConvertRegion(Int32, buf, sun, ffy, 0); err != nil {
+			return false
+		}
+		if _, err := r.ConvertRegion(Int32, buf, ffy, sun, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyValuesSurviveMigration(t *testing.T) {
+	// Whatever int32 values an application writes on one host must read
+	// back identically on the other after page conversion.
+	r := NewRegistry()
+	f := func(vals []int32) bool {
+		buf := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			PutInt32(ffy, buf[i*4:], v)
+		}
+		if _, err := r.ConvertRegion(Int32, buf, ffy, sun, 0); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if GetInt32(sun, buf[i*4:]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkippingConversionCorruptsData(t *testing.T) {
+	// Motivates the whole mechanism: moving a page between the two
+	// architectures without conversion yields wrong values (except for
+	// palindromic byte patterns).
+	buf := make([]byte, 4)
+	PutInt32(sun, buf, 0x01020304)
+	if got := GetInt32(ffy, buf); got == 0x01020304 {
+		t.Fatal("unconverted data read correctly; heterogeneity not modelled")
+	}
+}

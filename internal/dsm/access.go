@@ -1,0 +1,269 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/conv"
+	"repro/internal/sim"
+)
+
+// Typed accessors. Applications read and write shared memory through
+// these; each call checks access rights on the spanned pages (the
+// software analogue of the MMU check) and faults in whatever is missing,
+// then moves bytes in the host's native representation. Element values
+// therefore live in memory exactly as the paper's machines stored them —
+// big-endian IEEE on a Sun, little-endian VAX-float on a Firefly — and
+// only page migration converts them.
+
+// checkTyped validates that [addr, addr+size*count) lies in pages
+// allocated for the expected type and does not straddle elements across
+// pages. Violations are programming errors in the application and panic.
+func (m *Module) checkTyped(addr Addr, id conv.TypeID, size, count int) {
+	t := m.cfg.Registry.MustGet(id)
+	if t.Size != size {
+		panic(fmt.Sprintf("dsm: type %s has size %d, accessor uses %d", t.Name, t.Size, size))
+	}
+	end := int(addr) + size*count
+	if end > m.cfg.SpaceSize {
+		panic(fmt.Sprintf("dsm: access [%d,%d) beyond space of %d bytes", addr, end, m.cfg.SpaceSize))
+	}
+	for pg := m.PageOf(addr); pg <= m.PageOf(Addr(end-1)); pg++ {
+		mt, ok := m.meta[pg]
+		if !ok {
+			panic(fmt.Sprintf("dsm: access to unallocated page %d", pg))
+		}
+		if mt.typeID != id {
+			have := m.cfg.Registry.MustGet(mt.typeID)
+			panic(fmt.Sprintf("dsm: page %d holds %s data, accessed as %s", pg, have.Name, t.Name))
+		}
+		pageStart := int(pg) * m.cfg.PageSize
+		lo := max(int(addr), pageStart)
+		hi := min(end, pageStart+m.cfg.PageSize)
+		if hi > pageStart+mt.used {
+			panic(fmt.Sprintf("dsm: access [%d,%d) beyond the %d allocated bytes of page %d", lo, hi, mt.used, pg))
+		}
+		if (lo-pageStart)%size != 0 {
+			panic(fmt.Sprintf("dsm: access at %d not aligned to %s elements", lo, t.Name))
+		}
+	}
+}
+
+// forEachSpan walks the per-page byte spans of [addr, addr+n), handing
+// the local page buffer segment to fn. Access must already be ensured.
+func (m *Module) forEachSpan(addr Addr, n int, fn func(seg []byte, off int)) {
+	end := int(addr) + n
+	off := 0
+	for pos := int(addr); pos < end; {
+		pg := m.PageOf(Addr(pos))
+		pageStart := int(pg) * m.cfg.PageSize
+		hi := min(end, pageStart+m.cfg.PageSize)
+		lp := m.local[pg]
+		fn(lp.data[pos-pageStart:hi-pageStart], off)
+		off += hi - pos
+		pos = hi
+	}
+}
+
+// ReadBytes copies n raw bytes at addr into buf (Char pages).
+func (m *Module) ReadBytes(p *sim.Proc, addr Addr, buf []byte) {
+	m.checkTyped(addr, conv.Char, 1, len(buf))
+	m.readRegion(p, addr, len(buf), func(seg []byte, off int) {
+		copy(buf[off:], seg)
+	})
+}
+
+// WriteBytes stores raw bytes at addr (Char pages).
+func (m *Module) WriteBytes(p *sim.Proc, addr Addr, data []byte) {
+	m.checkTyped(addr, conv.Char, 1, len(data))
+	m.writeRegion(p, addr, len(data), func(seg []byte, off int) {
+		copy(seg, data[off:])
+	})
+}
+
+// ReadInt32 loads one int32.
+func (m *Module) ReadInt32(p *sim.Proc, addr Addr) int32 {
+	var v [1]int32
+	m.ReadInt32s(p, addr, v[:])
+	return v[0]
+}
+
+// WriteInt32 stores one int32.
+func (m *Module) WriteInt32(p *sim.Proc, addr Addr, v int32) {
+	m.WriteInt32s(p, addr, []int32{v})
+}
+
+// ReadInt32s loads consecutive int32 elements starting at addr.
+func (m *Module) ReadInt32s(p *sim.Proc, addr Addr, dst []int32) {
+	m.checkTyped(addr, conv.Int32, 4, len(dst))
+	i := 0
+	m.readRegion(p, addr, 4*len(dst), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 4 {
+			dst[i] = conv.GetInt32(m.arch, seg[o:])
+			i++
+		}
+	})
+}
+
+// WriteInt32s stores consecutive int32 elements starting at addr.
+func (m *Module) WriteInt32s(p *sim.Proc, addr Addr, src []int32) {
+	m.checkTyped(addr, conv.Int32, 4, len(src))
+	i := 0
+	m.writeRegion(p, addr, 4*len(src), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 4 {
+			conv.PutInt32(m.arch, seg[o:], src[i])
+			i++
+		}
+	})
+}
+
+// ReadInt16s loads consecutive int16 elements starting at addr.
+func (m *Module) ReadInt16s(p *sim.Proc, addr Addr, dst []int16) {
+	m.checkTyped(addr, conv.Int16, 2, len(dst))
+	i := 0
+	m.readRegion(p, addr, 2*len(dst), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 2 {
+			dst[i] = conv.GetInt16(m.arch, seg[o:])
+			i++
+		}
+	})
+}
+
+// WriteInt16s stores consecutive int16 elements starting at addr.
+func (m *Module) WriteInt16s(p *sim.Proc, addr Addr, src []int16) {
+	m.checkTyped(addr, conv.Int16, 2, len(src))
+	i := 0
+	m.writeRegion(p, addr, 2*len(src), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 2 {
+			conv.PutInt16(m.arch, seg[o:], src[i])
+			i++
+		}
+	})
+}
+
+// ReadFloat32s loads consecutive float32 elements starting at addr.
+func (m *Module) ReadFloat32s(p *sim.Proc, addr Addr, dst []float32) {
+	m.checkTyped(addr, conv.Float32, 4, len(dst))
+	i := 0
+	m.readRegion(p, addr, 4*len(dst), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 4 {
+			dst[i] = conv.GetFloat32(m.arch, seg[o:])
+			i++
+		}
+	})
+}
+
+// WriteFloat32s stores consecutive float32 elements starting at addr.
+func (m *Module) WriteFloat32s(p *sim.Proc, addr Addr, src []float32) {
+	m.checkTyped(addr, conv.Float32, 4, len(src))
+	i := 0
+	m.writeRegion(p, addr, 4*len(src), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 4 {
+			conv.PutFloat32(m.arch, seg[o:], src[i])
+			i++
+		}
+	})
+}
+
+// ReadFloat64s loads consecutive float64 elements starting at addr.
+func (m *Module) ReadFloat64s(p *sim.Proc, addr Addr, dst []float64) {
+	m.checkTyped(addr, conv.Float64, 8, len(dst))
+	i := 0
+	m.readRegion(p, addr, 8*len(dst), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 8 {
+			dst[i] = conv.GetFloat64(m.arch, seg[o:])
+			i++
+		}
+	})
+}
+
+// WriteFloat64s stores consecutive float64 elements starting at addr.
+func (m *Module) WriteFloat64s(p *sim.Proc, addr Addr, src []float64) {
+	m.checkTyped(addr, conv.Float64, 8, len(src))
+	i := 0
+	m.writeRegion(p, addr, 8*len(src), func(seg []byte, _ int) {
+		for o := 0; o < len(seg); o += 8 {
+			conv.PutFloat64(m.arch, seg[o:], src[i])
+			i++
+		}
+	})
+}
+
+// ReadPointer loads a DSM pointer, returning the space-relative Addr.
+// The stored form is the host-virtual address (base + offset); a stored
+// zero is the null pointer, reported by ok=false.
+func (m *Module) ReadPointer(p *sim.Proc, addr Addr) (Addr, bool) {
+	m.checkTyped(addr, conv.Pointer, 4, 1)
+	var raw uint32
+	m.readRegion(p, addr, 4, func(seg []byte, _ int) {
+		raw = conv.GetPointer(m.arch, seg)
+	})
+	if raw == 0 {
+		return 0, false
+	}
+	return Addr(raw - m.Base()), true
+}
+
+// WritePointer stores a DSM pointer to target; ok=false stores null.
+func (m *Module) WritePointer(p *sim.Proc, addr Addr, target Addr, ok bool) {
+	m.checkTyped(addr, conv.Pointer, 4, 1)
+	raw := uint32(0)
+	if ok {
+		raw = m.Base() + uint32(target)
+	}
+	m.writeRegion(p, addr, 4, func(seg []byte, _ int) {
+		conv.PutPointer(m.arch, seg, raw)
+	})
+}
+
+// AtomicSwapInt32 atomically exchanges the int32 at addr with v and
+// returns the previous value. Atomicity holds because the host keeps
+// write ownership from the access check to the store without yielding.
+//
+// This is the §2.2 anti-pattern made available on purpose: building
+// locks from atomic operations on shared memory locations "would lead
+// to repeated movement of (large) DSM pages between the hosts" — which
+// is exactly why Mermaid provides the separate distributed
+// synchronization facility. The spinlock-vs-semaphore experiment uses
+// this to reproduce that comparison.
+func (m *Module) AtomicSwapInt32(p *sim.Proc, addr Addr, v int32) int32 {
+	m.checkTyped(addr, conv.Int32, 4, 1)
+	if m.cfg.Policy == PolicyCentral {
+		return m.centralSwap(p, addr, v)
+	}
+	if m.cfg.Policy == PolicyUpdate {
+		panic("dsm: atomic operations are not defined under the write-update policy; use the distributed synchronization facility")
+	}
+	m.EnsureAccess(p, addr, 4, true)
+	var old int32
+	m.forEachSpan(addr, 4, func(seg []byte, _ int) {
+		old = conv.GetInt32(m.arch, seg)
+		conv.PutInt32(m.arch, seg, v)
+	})
+	return old
+}
+
+// ReadStruct copies the raw native bytes of count elements of a
+// user-registered compound type into buf (len must be count×size).
+// Field decoding is up to the caller via the conv helpers.
+func (m *Module) ReadStruct(p *sim.Proc, addr Addr, id conv.TypeID, buf []byte) {
+	t := m.cfg.Registry.MustGet(id)
+	if len(buf)%t.Size != 0 {
+		panic(fmt.Sprintf("dsm: buffer of %d bytes not a multiple of %s size %d", len(buf), t.Name, t.Size))
+	}
+	m.checkTyped(addr, id, t.Size, len(buf)/t.Size)
+	m.readRegion(p, addr, len(buf), func(seg []byte, off int) {
+		copy(buf[off:], seg)
+	})
+}
+
+// WriteStruct stores raw native bytes of a user-registered compound type.
+func (m *Module) WriteStruct(p *sim.Proc, addr Addr, id conv.TypeID, data []byte) {
+	t := m.cfg.Registry.MustGet(id)
+	if len(data)%t.Size != 0 {
+		panic(fmt.Sprintf("dsm: buffer of %d bytes not a multiple of %s size %d", len(data), t.Name, t.Size))
+	}
+	m.checkTyped(addr, id, t.Size, len(data)/t.Size)
+	m.writeRegion(p, addr, len(data), func(seg []byte, off int) {
+		copy(seg, data[off:])
+	})
+}

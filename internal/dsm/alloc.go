@@ -1,0 +1,186 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/conv"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// The typed allocator (§2.3): a malloc-like subroutine with an extra
+// type argument that lays allocations out so a page contains data of
+// only one type. Allocation is centralized at host 0; the resulting page
+// metadata (type, bytes in use) is replicated to every host, mirroring
+// the paper's global static table, so any receiver can convert any page.
+
+// allocator is the host-0 allocation manager state.
+type allocator struct {
+	cfg *Config
+	// nextPage is the first never-touched page.
+	nextPage PageNo
+	// partial tracks, per type, a partially filled page to continue
+	// filling (the "one type per page" packing rule).
+	partial map[conv.TypeID]partialPage
+}
+
+type partialPage struct {
+	page PageNo
+	off  int
+}
+
+func newAllocator(cfg *Config) *allocator {
+	return &allocator{cfg: cfg, partial: make(map[conv.TypeID]partialPage)}
+}
+
+// assign reserves space for count elements of the given type and
+// returns the starting address plus the per-page metadata updates.
+func (a *allocator) assign(t *conv.Type, count int) (Addr, map[PageNo]pageMeta, error) {
+	if count <= 0 {
+		return 0, nil, fmt.Errorf("dsm: allocation of %d elements", count)
+	}
+	pageSize := a.cfg.PageSize
+	total := t.Size * count
+	updates := make(map[PageNo]pageMeta)
+
+	// Continue filling a partially used page of the same type when the
+	// request fits in it entirely (keeps allocations contiguous).
+	if pp, ok := a.partial[t.ID]; ok && pp.off+total <= pageSize {
+		addr := Addr(int(pp.page)*pageSize + pp.off)
+		newOff := pp.off + total
+		updates[pp.page] = pageMeta{typeID: t.ID, used: newOff}
+		if newOff == pageSize {
+			delete(a.partial, t.ID)
+		} else {
+			a.partial[t.ID] = partialPage{page: pp.page, off: newOff}
+		}
+		return addr, updates, nil
+	}
+
+	if pageSize%t.Size != 0 && total > pageSize {
+		return 0, nil, fmt.Errorf("dsm: %s elements (%d bytes) do not divide the page size %d; multi-page arrays of this type would straddle pages",
+			t.Name, t.Size, pageSize)
+	}
+	pages := (total + pageSize - 1) / pageSize
+	if int(a.nextPage)+pages > a.cfg.SpaceSize/pageSize {
+		return 0, nil, fmt.Errorf("dsm: out of shared memory (%d bytes requested)", total)
+	}
+	start := a.nextPage
+	a.nextPage += PageNo(pages)
+	addr := Addr(int(start) * pageSize)
+	remaining := total
+	for i := 0; i < pages; i++ {
+		used := min(remaining, pageSize)
+		updates[start+PageNo(i)] = pageMeta{typeID: t.ID, used: used}
+		remaining -= used
+	}
+	last := start + PageNo(pages-1)
+	lastUsed := updates[last].used
+	if lastUsed < pageSize {
+		a.partial[t.ID] = partialPage{page: last, off: lastUsed}
+	}
+	return addr, updates, nil
+}
+
+// Alloc reserves count elements of the registered type and returns the
+// DSM address of the first. It may be called from any host; the request
+// is served by the allocation manager (host 0) and the page metadata is
+// distributed to every host before the address is returned.
+func (m *Module) Alloc(p *sim.Proc, typeID conv.TypeID, count int) (Addr, error) {
+	if m.alloc != nil {
+		return m.allocLocal(p, typeID, count)
+	}
+	resp, err := m.ep.Call(p, 0, &proto.Message{
+		Kind: proto.KindAlloc,
+		Args: []uint32{uint32(typeID), uint32(count)},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Arg(1) == 0 {
+		return 0, fmt.Errorf("dsm: allocation refused by manager (type %d × %d)", typeID, count)
+	}
+	return Addr(resp.Arg(0)), nil
+}
+
+// allocLocal performs the allocation on the manager host itself.
+func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, error) {
+	t, ok := m.cfg.Registry.Get(typeID)
+	if !ok {
+		return 0, fmt.Errorf("dsm: type %d not registered", typeID)
+	}
+	addr, updates, err := m.alloc.assign(t, count)
+	if err != nil {
+		return 0, err
+	}
+	for page, mt := range updates {
+		m.meta[page] = mt
+		// First-touch ownership (page policies): the allocation manager
+		// holds every fresh page as a zero-filled writable copy until
+		// someone faults it away. Under the central policy pages live
+		// at their servers instead.
+		if m.cfg.Policy != PolicyCentral {
+			lp := m.localPageFor(page)
+			if lp.access == NoAccess {
+				lp.access = WriteAccess
+			}
+		}
+	}
+	if err := m.distributeMeta(p, updates); err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// distributeMeta replicates page metadata to every other host and waits
+// for acknowledgements.
+func (m *Module) distributeMeta(p *sim.Proc, updates map[PageNo]pageMeta) error {
+	var others []HostID
+	for h := range m.hosts {
+		if HostID(h) != m.id {
+			others = append(others, HostID(h))
+		}
+	}
+	if len(others) == 0 {
+		return nil
+	}
+	for page, mt := range updates {
+		_, err := m.ep.CallAll(p, others, func(HostID) *proto.Message {
+			return &proto.Message{
+				Kind: proto.KindPageMeta,
+				Page: uint32(page),
+				Args: []uint32{uint32(mt.typeID), uint32(mt.used)},
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("dsm: distributing metadata for page %d: %w", page, err)
+		}
+	}
+	return nil
+}
+
+// handleAlloc serves an allocation request at the allocation manager.
+func (m *Module) handleAlloc(p *sim.Proc, req *proto.Message) {
+	if m.alloc == nil {
+		return // misdirected; requester will time out
+	}
+	m.protoCPU.Use(p, m.cfg.Params.ManagerProcess.Of(m.arch.Kind))
+	addr, err := m.allocLocal(p, conv.TypeID(req.Arg(0)), int(req.Arg(1)))
+	okFlag := uint32(1)
+	if err != nil {
+		okFlag = 0
+	}
+	m.ep.Reply(p, req, &proto.Message{
+		Kind: proto.KindAllocReply,
+		Args: []uint32{uint32(addr), okFlag},
+	})
+}
+
+// handlePageMeta installs replicated allocation metadata.
+func (m *Module) handlePageMeta(p *sim.Proc, req *proto.Message) {
+	m.meta[PageNo(req.Page)] = pageMeta{
+		typeID: conv.TypeID(req.Arg(0)),
+		used:   int(req.Arg(1)),
+	}
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindPageMetaAck})
+}

@@ -1,0 +1,269 @@
+package dsm
+
+// The central-server coherence policy: no page ever leaves its server
+// (the page's manager host). Every access is a remote read or write
+// operation; the server converts data to and from the client's
+// representation per request. Cheap for small, heavily write-shared
+// data (no page ping-pong), expensive for bulk or read-mostly data — the
+// opposite end of the algorithm spectrum from MRSW, per the authors'
+// companion study cited in §2.1.
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Remote-write operation codes (Args[2] of KindRemoteWrite).
+const (
+	remoteOpStore = 0
+	remoteOpSwap  = 1
+)
+
+// readRegion makes [addr, addr+n) readable and hands its byte spans to
+// fn in order, according to the active policy. Under the page policies
+// (MRSW, migration) residency is ensured one native-VM-page group at a
+// time and the group's bytes are consumed before moving on — the
+// consistency a sequence of hardware accesses would see; a large region
+// is NOT fetched atomically, so concurrent writers interleave exactly
+// as they would against a real application's access stream. Under the
+// central policy the bytes are fetched from each page's server, already
+// converted to this host's representation.
+func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) {
+	if m.cfg.Policy != PolicyCentral {
+		off := 0
+		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
+			m.EnsureAccess(p, chunkAddr, chunkLen, m.cfg.Policy == PolicyMigration)
+			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
+				fn(seg, off+o)
+			})
+			off += chunkLen
+		})
+		return
+	}
+	off := 0
+	end := int(addr) + n
+	for pos := int(addr); pos < end; {
+		pg := m.PageOf(Addr(pos))
+		pageStart := int(pg) * m.cfg.PageSize
+		hi := min(end, pageStart+m.cfg.PageSize)
+		seg := m.centralRead(p, pg, pos-pageStart, hi-pos)
+		fn(seg, off)
+		off += hi - pos
+		pos = hi
+	}
+}
+
+// writeRegion makes [addr, addr+n) writable and lets fill produce the
+// new bytes span by span, with the same per-group granularity as
+// readRegion.
+func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) {
+	if m.cfg.Policy == PolicyUpdate {
+		m.updateWriteRegion(p, addr, n, fill)
+		return
+	}
+	if m.cfg.Policy != PolicyCentral {
+		off := 0
+		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
+			m.EnsureAccess(p, chunkAddr, chunkLen, true)
+			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
+				fill(seg, off+o)
+			})
+			off += chunkLen
+		})
+		return
+	}
+	off := 0
+	end := int(addr) + n
+	for pos := int(addr); pos < end; {
+		pg := m.PageOf(Addr(pos))
+		pageStart := int(pg) * m.cfg.PageSize
+		hi := min(end, pageStart+m.cfg.PageSize)
+		seg := make([]byte, hi-pos)
+		fill(seg, off)
+		m.centralWrite(p, pg, pos-pageStart, seg)
+		off += hi - pos
+		pos = hi
+	}
+}
+
+// forEachGroup splits [addr, addr+n) at native-VM-page-group boundaries
+// (the host's fault granularity) and calls fn per chunk, in order.
+func (m *Module) forEachGroup(addr Addr, n int, fn func(chunkAddr Addr, chunkLen int)) {
+	groupBytes := m.groupSize() * m.cfg.PageSize
+	end := int(addr) + n
+	for pos := int(addr); pos < end; {
+		groupEnd := (pos/groupBytes + 1) * groupBytes
+		hi := min(end, groupEnd)
+		fn(Addr(pos), hi-pos)
+		pos = hi
+	}
+}
+
+// centralRead fetches length bytes at offset within a page from its
+// server, in this host's representation.
+func (m *Module) centralRead(p *sim.Proc, page PageNo, offset, length int) []byte {
+	server := m.manager(page)
+	if server == m.id {
+		m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
+		lp := m.serverPageFor(page)
+		seg := make([]byte, length)
+		copy(seg, lp.data[offset:offset+length])
+		return seg
+	}
+	m.stats.RemoteReads++
+	resp, err := m.ep.Call(p, server, &proto.Message{
+		Kind: proto.KindRemoteRead,
+		Page: uint32(page),
+		Args: []uint32{uint32(offset), uint32(length)},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dsm: central read page %d: %v", page, err))
+	}
+	return resp.Data
+}
+
+// centralWrite stores bytes at offset within a page at its server.
+func (m *Module) centralWrite(p *sim.Proc, page PageNo, offset int, data []byte) {
+	server := m.manager(page)
+	if server == m.id {
+		m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
+		lp := m.serverPageFor(page)
+		copy(lp.data[offset:], data)
+		return
+	}
+	m.stats.RemoteWrites++
+	if _, err := m.ep.Call(p, server, &proto.Message{
+		Kind: proto.KindRemoteWrite,
+		Page: uint32(page),
+		Args: []uint32{uint32(offset), remoteOpStore},
+		Data: data,
+	}); err != nil {
+		panic(fmt.Sprintf("dsm: central write page %d: %v", page, err))
+	}
+}
+
+// centralSwap atomically exchanges an int32 at the server.
+func (m *Module) centralSwap(p *sim.Proc, addr Addr, v int32) int32 {
+	page := m.PageOf(addr)
+	offset := int(addr) - int(page)*m.cfg.PageSize
+	server := m.manager(page)
+	if server == m.id {
+		m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
+		lp := m.serverPageFor(page)
+		old := int32(m.arch.Order.Binary().Uint32(lp.data[offset:]))
+		m.arch.Order.Binary().PutUint32(lp.data[offset:], uint32(v))
+		return old
+	}
+	m.stats.RemoteWrites++
+	buf := make([]byte, 4)
+	m.arch.Order.Binary().PutUint32(buf, uint32(v))
+	resp, err := m.ep.Call(p, server, &proto.Message{
+		Kind: proto.KindRemoteWrite,
+		Page: uint32(page),
+		Args: []uint32{uint32(offset), remoteOpSwap},
+		Data: buf,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("dsm: central swap page %d: %v", page, err))
+	}
+	return int32(resp.Arg(0))
+}
+
+// serverPageFor returns the server-resident page image (servers always
+// hold their pages; they are created zeroed on first touch).
+func (m *Module) serverPageFor(page PageNo) *localPage {
+	lp := m.localPageFor(page)
+	if lp.access == NoAccess {
+		lp.access = WriteAccess
+	}
+	return lp
+}
+
+// handleRemoteRead serves a central-policy read: convert the requested
+// region to the client's representation and send it.
+func (m *Module) handleRemoteRead(p *sim.Proc, req *proto.Message) {
+	if m.cfg.Policy != PolicyCentral || m.manager(PageNo(req.Page)) != m.id {
+		return // misdirected; client times out
+	}
+	m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
+	page := PageNo(req.Page)
+	offset, length := int(req.Arg(0)), int(req.Arg(1))
+	lp := m.serverPageFor(page)
+	if offset < 0 || offset+length > len(lp.data) {
+		return
+	}
+	data := make([]byte, length)
+	copy(data, lp.data[offset:])
+	m.convertForClient(p, page, data, HostID(req.From), false)
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindRemoteReadReply, Page: req.Page, Data: data})
+}
+
+// handleRemoteWrite serves a central-policy store or swap.
+func (m *Module) handleRemoteWrite(p *sim.Proc, req *proto.Message) {
+	if m.cfg.Policy != PolicyCentral || m.manager(PageNo(req.Page)) != m.id {
+		return
+	}
+	m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
+	page := PageNo(req.Page)
+	offset := int(req.Arg(0))
+	lp := m.serverPageFor(page)
+	if offset < 0 || offset+len(req.Data) > len(lp.data) {
+		return
+	}
+	if req.Arg(1) == remoteOpSwap {
+		clientArch, err := arch.ByKind(arch.Kind(req.SrcArch))
+		if err != nil {
+			return
+		}
+		old := int32(m.arch.Order.Binary().Uint32(lp.data[offset:]))
+		v := int32(clientArch.Order.Binary().Uint32(req.Data))
+		m.arch.Order.Binary().PutUint32(lp.data[offset:], uint32(v))
+		m.ep.Reply(p, req, &proto.Message{
+			Kind: proto.KindRemoteWriteAck,
+			Page: req.Page,
+			Args: []uint32{uint32(old)},
+		})
+		return
+	}
+	data := make([]byte, len(req.Data))
+	copy(data, req.Data)
+	m.convertForClient(p, page, data, HostID(req.From), true)
+	copy(lp.data[offset:], data)
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindRemoteWriteAck, Page: req.Page})
+}
+
+// convertForClient converts a region between the server's and a
+// client's representations (inbound=true converts client→server).
+func (m *Module) convertForClient(p *sim.Proc, page PageNo, data []byte, client HostID, inbound bool) {
+	if !m.cfg.ConversionEnabled {
+		return
+	}
+	clientArch := m.hosts[client]
+	if clientArch.Compatible(m.arch) {
+		return
+	}
+	mt, ok := m.meta[page]
+	if !ok {
+		return
+	}
+	typ := m.cfg.Registry.MustGet(mt.typeID)
+	n := len(data) / typ.Size
+	if n == 0 {
+		return
+	}
+	p.Sleep(m.cfg.Params.RegionConvertCost(m.arch.Kind, typ.Cost, n))
+	from, to := m.arch, clientArch
+	if inbound {
+		from, to = clientArch, m.arch
+	}
+	ptrOff := int32(m.base(to.Kind)) - int32(m.base(from.Kind))
+	rep, err := m.cfg.Registry.ConvertRegion(mt.typeID, data[:n*typ.Size], from, to, ptrOff)
+	if err != nil {
+		panic(fmt.Sprintf("dsm: central conversion page %d: %v", page, err))
+	}
+	m.stats.Conversions++
+	m.stats.ConvReport.Add(rep)
+}

@@ -1,0 +1,496 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// PageReply flag bits (Args[0]).
+const (
+	// flagData marks a reply carrying the page body.
+	flagData = 1 << iota
+	// flagUpgrade marks a write grant without data: the requester's
+	// resident read copy is current and may simply be upgraded.
+	flagUpgrade
+)
+
+// EnsureAccess makes [addr, addr+n) accessible with the given right,
+// faulting in whatever is missing. Faulting granularity is the host's
+// native VM page: under the smallest page size algorithm a Sun fault
+// fetches every missing 1 KB DSM page of the 8 KB VM page (§2.4).
+//
+// The loop re-checks after fetching because a page obtained early in a
+// multi-page fault can be stolen while later ones are fetched; repeated
+// iterations under contention are precisely the page-thrashing behaviour
+// studied in §3.3.
+func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	for {
+		pages := m.requiredPages(addr, n)
+		var missing []PageNo
+		for _, pg := range pages {
+			if !m.hasAccess(pg, write) {
+				missing = append(missing, pg)
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		// One native VM fault: handler invocation, local page table
+		// processing, request transmission (Table 1).
+		if write {
+			m.stats.WriteFaults++
+			m.trace("write-fault", missing[0])
+			p.Sleep(m.jittered(m.cfg.Params.FaultWrite.Of(m.arch.Kind)))
+		} else {
+			m.stats.ReadFaults++
+			m.trace("read-fault", missing[0])
+			p.Sleep(m.jittered(m.cfg.Params.FaultRead.Of(m.arch.Kind)))
+		}
+		for _, pg := range missing {
+			m.faultPage(p, pg, write)
+		}
+	}
+}
+
+// requiredPages lists the DSM pages that must be resident to touch
+// [addr, addr+n), expanded to whole native-VM-page groups.
+func (m *Module) requiredPages(addr Addr, n int) []PageNo {
+	first := m.PageOf(addr)
+	last := m.PageOf(addr + Addr(n) - 1)
+	g := PageNo(m.groupSize())
+	first = first / g * g
+	last = last/g*g + g - 1
+	if max := PageNo(m.NumPages() - 1); last > max {
+		last = max
+	}
+	pages := make([]PageNo, 0, last-first+1)
+	for pg := first; pg <= last; pg++ {
+		pages = append(pages, pg)
+	}
+	return pages
+}
+
+// faultPage obtains one DSM page with the requested right. Concurrent
+// threads on the same host faulting on the same page are serialized so
+// the protocol runs once.
+func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) {
+	l := m.faultLockFor(page)
+	l.P(p)
+	defer l.V()
+	if m.hasAccess(page, write) {
+		return // another local thread fetched it meanwhile
+	}
+	if m.manager(page) == m.id {
+		m.localManagerFault(p, page, write)
+	} else {
+		m.remoteFault(p, page, write)
+	}
+}
+
+// remoteFault is the requester side when the manager is elsewhere: send
+// the request to the manager; the reply arrives from the manager (an
+// upgrade grant) or, forwarded, from the owner (the page body). After
+// installation the manager is asynchronously told the transfer is
+// complete so it can admit the next transaction for the page.
+func (m *Module) remoteFault(p *sim.Proc, page PageNo, write bool) {
+	kind := proto.KindGetPage
+	if write {
+		kind = proto.KindGetPageWrite
+	}
+	resp, err := m.ep.Call(p, m.manager(page), &proto.Message{Kind: kind, Page: uint32(page)})
+	if err != nil {
+		panic(fmt.Sprintf("dsm: host %d page %d fault: %v", m.id, page, err))
+	}
+	m.installBody(p, page, resp, write)
+	mgrHost := m.manager(page)
+	m.k.Spawn(fmt.Sprintf("confirm-%d-p%d", m.id, page), func(cp *sim.Proc) {
+		if _, err := m.ep.Call(cp, mgrHost, &proto.Message{Kind: proto.KindOwnerUpdate, Page: uint32(page)}); err != nil {
+			panic(fmt.Sprintf("dsm: host %d confirming page %d: %v", m.id, page, err))
+		}
+	})
+}
+
+// localManagerFault is the requester side when this host is the page's
+// manager: the owner lookup is a local page table access (Table 4's
+// R/M→O row has no manager message cost).
+func (m *Module) localManagerFault(p *sim.Proc, page PageNo, write bool) {
+	ent := m.mgrEntryFor(page)
+	ent.lock.P(p)
+	defer ent.lock.V()
+	// Creating the manager entry makes this host the initial owner of
+	// the zero-filled page with write access (Li's initialization), so
+	// the first touch of a self-managed page is satisfied right here.
+	if m.hasAccess(page, write) {
+		return
+	}
+	if write {
+		hasCopy := m.hasAccess(page, false)
+		targets := m.invalidationTargets(ent, m.id, hasCopy)
+		m.sendInvalidations(p, page, targets)
+		if ent.owner == m.id || hasCopy {
+			lp := m.localPageFor(page)
+			lp.access = WriteAccess
+			m.stats.Upgrades++
+			p.Sleep(m.jittered(m.cfg.Params.InstallCost.Of(m.arch.Kind)))
+		} else {
+			resp, err := m.ep.Call(p, ent.owner, &proto.Message{Kind: proto.KindGetPageWrite, Page: uint32(page)})
+			if err != nil {
+				panic(fmt.Sprintf("dsm: manager %d fetching page %d from owner %d: %v", m.id, page, ent.owner, err))
+			}
+			m.installBody(p, page, resp, true)
+		}
+		ent.owner = m.id
+		clear(ent.copyset)
+	} else {
+		src := m.readSource(ent, m.id)
+		if src == m.id {
+			// Owner-is-me with no access would contradict the owner
+			// invariant (the owner always holds a copy).
+			panic(fmt.Sprintf("dsm: manager %d owns page %d but holds no copy", m.id, page))
+		}
+		resp, err := m.ep.Call(p, src, &proto.Message{Kind: proto.KindGetPage, Page: uint32(page)})
+		if err != nil {
+			panic(fmt.Sprintf("dsm: manager %d fetching page %d from %d: %v", m.id, page, src, err))
+		}
+		m.installBody(p, page, resp, false)
+		ent.copyset[m.id] = struct{}{}
+	}
+}
+
+// handleGetPage serves KindGetPage and KindGetPageWrite. On the page's
+// manager it runs the transfer transaction; on any other host it is a
+// forwarded request to the owner (or, for reads, to a same-type holder).
+func (m *Module) handleGetPage(p *sim.Proc, req *proto.Message) {
+	page := PageNo(req.Page)
+	write := req.Kind == proto.KindGetPageWrite
+	if m.manager(page) != m.id {
+		// A direct request from the page's manager (the R==M fast
+		// path): serve straight back to it.
+		m.serveCopy(p, page, write, HostID(req.From), req.ReqID)
+		return
+	}
+	requester := HostID(req.From)
+	ent := m.mgrEntryFor(page)
+	ent.lock.P(p)
+	defer ent.lock.V()
+	m.protoCPU.Use(p, m.jittered(m.cfg.Params.ManagerProcess.Of(m.arch.Kind)))
+	ent.confirmed = false
+	if write {
+		m.writeTransaction(p, req, page, ent, requester)
+	} else {
+		m.readTransaction(p, req, page, ent, requester)
+	}
+	m.awaitConfirm(p, ent)
+}
+
+func (m *Module) readTransaction(p *sim.Proc, req *proto.Message, page PageNo, ent *mgrEntry, requester HostID) {
+	src := m.readSource(ent, requester)
+	if src == m.id {
+		m.serveCopy(p, page, false, requester, req.ReqID)
+	} else {
+		p.Sleep(m.cfg.Params.ForwardCost.Of(m.arch.Kind))
+		m.forwardServe(p, src, page, false, requester, req.ReqID)
+	}
+	ent.copyset[requester] = struct{}{}
+}
+
+// forwardServe reliably hands the serving job to src: a ServeRequest
+// call that src acknowledges on receipt (it then delivers the page to
+// the requester with its own reliable call). Unlike a one-way forward,
+// a lost hop is retransmitted rather than deadlocking the transaction.
+func (m *Module) forwardServe(p *sim.Proc, src HostID, page PageNo, write bool, requester HostID, origReqID uint32) {
+	w := uint32(0)
+	if write {
+		w = 1
+	}
+	if _, err := m.ep.Call(p, src, &proto.Message{
+		Kind: proto.KindServeRequest,
+		Page: uint32(page),
+		Args: []uint32{uint32(requester), origReqID, w},
+	}); err != nil {
+		panic(fmt.Sprintf("dsm: manager %d forwarding page %d to %d: %v", m.id, page, src, err))
+	}
+}
+
+func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, ent *mgrEntry, requester HostID) {
+	requesterHasCopy := ent.owner == requester
+	if _, ok := ent.copyset[requester]; ok {
+		requesterHasCopy = true
+	}
+	targets := m.invalidationTargets(ent, requester, requesterHasCopy)
+	m.sendInvalidations(p, page, targets)
+	switch {
+	case requesterHasCopy:
+		// The requester's resident copy is current: grant an upgrade
+		// without a transfer (invalidations above removed all others).
+		m.deliver(p, requester, &proto.Message{
+			Kind: proto.KindPageDeliver,
+			Page: uint32(page),
+			Args: []uint32{flagUpgrade, req.ReqID},
+		})
+	case ent.owner == m.id:
+		m.serveCopy(p, page, true, requester, req.ReqID)
+	default:
+		p.Sleep(m.cfg.Params.ForwardCost.Of(m.arch.Kind))
+		m.forwardServe(p, ent.owner, page, true, requester, req.ReqID)
+	}
+	ent.owner = requester
+	clear(ent.copyset)
+	ent.copyset[requester] = struct{}{}
+}
+
+// invalidationTargets computes who must drop their copy before a write
+// by requester proceeds: every copyset member except the requester and
+// except the owner (whose copy is consumed by the ownership transfer) —
+// unless the requester upgrades in place, in which case the old owner's
+// copy must be invalidated explicitly too.
+func (m *Module) invalidationTargets(ent *mgrEntry, requester HostID, requesterUpgrades bool) []HostID {
+	var targets []HostID
+	for h := range ent.copyset {
+		if h == requester || h == ent.owner {
+			continue
+		}
+		targets = append(targets, h)
+	}
+	if requesterUpgrades && ent.owner != requester {
+		targets = append(targets, ent.owner)
+	}
+	// Deterministic order for reproducible simulations.
+	for i := 1; i < len(targets); i++ {
+		for j := i; j > 0 && targets[j] < targets[j-1]; j-- {
+			targets[j], targets[j-1] = targets[j-1], targets[j]
+		}
+	}
+	return targets
+}
+
+// sendInvalidations multicasts invalidation requests and collects every
+// acknowledgement (write-invalidate, §1). By default one physical
+// broadcast frame reaches all hosts and the copyset members answer —
+// "multicast is used for write invalidation" (§2.2); the target list
+// travels in the message so bystanders stay silent. Copysets too large
+// for the argument list (or the unicast ablation) fall back to
+// individual calls. The local copy, if targeted, is dropped directly.
+func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) {
+	remote := targets[:0:0]
+	for _, h := range targets {
+		if h == m.id {
+			if lp := m.local[page]; lp != nil {
+				lp.access = NoAccess
+			}
+			continue
+		}
+		remote = append(remote, h)
+	}
+	if len(remote) == 0 {
+		return
+	}
+	m.stats.InvalidationsSent += len(remote)
+	var err error
+	if m.cfg.UnicastInvalidate || len(remote) > proto.MaxArgs {
+		_, err = m.ep.CallAll(p, remote, func(HostID) *proto.Message {
+			return &proto.Message{Kind: proto.KindInvalidate, Page: uint32(page)}
+		})
+	} else {
+		args := make([]uint32, len(remote))
+		for i, h := range remote {
+			args[i] = uint32(h)
+		}
+		_, err = m.ep.CallMulticast(p, remote, &proto.Message{
+			Kind: proto.KindInvalidate,
+			Page: uint32(page),
+			Args: args,
+		})
+	}
+	if err != nil {
+		panic(fmt.Sprintf("dsm: host %d invalidating page %d: %v", m.id, page, err))
+	}
+}
+
+// readSource picks the host to serve a read copy: the owner, or — with
+// PreferSameKindSource — a copyset member of the requester's machine
+// type, which avoids a data conversion (§2.3).
+func (m *Module) readSource(ent *mgrEntry, requester HostID) HostID {
+	src := ent.owner
+	if !m.cfg.PreferSameKindSource {
+		return src
+	}
+	want := m.hosts[requester].Kind
+	if m.hosts[src].Kind == want {
+		return src
+	}
+	best := HostID(-1)
+	for h := range ent.copyset {
+		if h == requester || m.hosts[h].Kind != want {
+			continue
+		}
+		if best == -1 || h < best {
+			best = h
+		}
+	}
+	if best != -1 {
+		return best
+	}
+	return src
+}
+
+// serveCopy sends this host's resident copy of the page to the original
+// requester as a reliable PageDeliver call that redeems the requester's
+// outstanding fault request. For writes, ownership leaves with the data
+// and the local copy is invalidated; for reads, the local copy is
+// downgraded to read-only (MRSW).
+func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostID, origReqID uint32) {
+	lp := m.local[page]
+	if lp == nil || lp.access == NoAccess {
+		panic(fmt.Sprintf("dsm: host %d asked to serve page %d it does not hold (access %v)",
+			m.id, page, m.Access(page)))
+	}
+	m.protoCPU.Use(p, m.jittered(m.cfg.Params.OwnerProcess.Of(m.arch.Kind)))
+	used := 0
+	if mt, ok := m.meta[page]; ok {
+		used = mt.used
+	}
+	data := make([]byte, used)
+	copy(data, lp.data[:used])
+	if write {
+		lp.access = NoAccess
+	} else {
+		lp.access = ReadAccess
+	}
+	m.stats.PagesServed++
+	m.trace("serve", page)
+	m.deliver(p, requester, &proto.Message{
+		Kind: proto.KindPageDeliver,
+		Page: uint32(page),
+		Args: []uint32{flagData, origReqID},
+		Data: data,
+	})
+}
+
+// deliver sends a PageDeliver call and waits for its acknowledgement.
+func (m *Module) deliver(p *sim.Proc, requester HostID, msg *proto.Message) {
+	if _, err := m.ep.Call(p, requester, msg); err != nil {
+		panic(fmt.Sprintf("dsm: host %d delivering page %d to %d: %v", m.id, msg.Page, requester, err))
+	}
+}
+
+// handleServeRequest is the serving host's side of a manager forward:
+// acknowledge receipt (so the manager's call completes), then deliver
+// the page to the requester.
+func (m *Module) handleServeRequest(p *sim.Proc, req *proto.Message) {
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindServeAck, Page: req.Page})
+	m.serveCopy(p, PageNo(req.Page), req.Arg(2) == 1, HostID(req.Arg(0)), req.Arg(1))
+}
+
+// handlePageDeliver receives a page body (or upgrade grant) on the
+// requester: redeem the original fault request and acknowledge.
+func (m *Module) handlePageDeliver(p *sim.Proc, req *proto.Message) {
+	m.ep.Redeem(req.Arg(1), req)
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindPageDeliverAck, Page: req.Page})
+}
+
+// installBody applies a PageReply on the requester: convert the body if
+// it comes from an incompatible machine (§2.3), store it, set the access
+// right, and charge the installation cost.
+func (m *Module) installBody(p *sim.Proc, page PageNo, resp *proto.Message, write bool) {
+	flags := resp.Arg(0)
+	lp := m.localPageFor(page)
+	switch {
+	case flags&flagUpgrade != 0:
+		lp.access = WriteAccess
+		m.stats.Upgrades++
+		m.trace("upgrade", page)
+	case flags&flagData != 0:
+		data := resp.Data
+		srcKind := arch.Kind(resp.SrcArch)
+		srcArch, err := arch.ByKind(srcKind)
+		if err != nil {
+			panic(fmt.Sprintf("dsm: page reply with unknown architecture %d", resp.SrcArch))
+		}
+		if len(data) > 0 && m.cfg.ConversionEnabled && !srcArch.Compatible(m.arch) {
+			mt, ok := m.meta[page]
+			if !ok {
+				panic(fmt.Sprintf("dsm: host %d received data for page %d with no allocation metadata", m.id, page))
+			}
+			typ := m.cfg.Registry.MustGet(mt.typeID)
+			n := len(data) / typ.Size
+			p.Sleep(m.cfg.Params.RegionConvertCost(m.arch.Kind, typ.Cost, n))
+			ptrOff := int32(m.base(m.arch.Kind)) - int32(m.base(srcKind))
+			rep, err := m.cfg.Registry.ConvertRegion(mt.typeID, data[:n*typ.Size], srcArch, m.arch, ptrOff)
+			if err != nil {
+				panic(fmt.Sprintf("dsm: converting page %d: %v", page, err))
+			}
+			m.stats.Conversions++
+			m.stats.ConvReport.Add(rep)
+		}
+		copy(lp.data, data)
+		if write {
+			lp.access = WriteAccess
+		} else {
+			lp.access = ReadAccess
+		}
+		m.stats.PagesFetched++
+		m.stats.BytesFetched += len(data)
+		m.pageFetches[page]++
+		m.trace("fetch", page)
+	default:
+		panic(fmt.Sprintf("dsm: page reply for %d with neither data nor upgrade", page))
+	}
+	p.Sleep(m.jittered(m.cfg.Params.InstallCost.Of(m.arch.Kind)))
+}
+
+// awaitConfirm parks the manager transaction until the requester reports
+// the page installed, keeping per-page transactions strictly serial.
+func (m *Module) awaitConfirm(p *sim.Proc, ent *mgrEntry) {
+	for !ent.confirmed {
+		ent.confirmW = p.PrepareWait()
+		ent.confirmArmed = true
+		p.Park()
+		ent.confirmArmed = false
+	}
+}
+
+// handleOwnerUpdate receives the requester's completion confirmation.
+func (m *Module) handleOwnerUpdate(p *sim.Proc, req *proto.Message) {
+	page := PageNo(req.Page)
+	if m.manager(page) == m.id {
+		ent := m.mgrEntryFor(page)
+		ent.confirmed = true
+		if ent.confirmArmed {
+			ent.confirmArmed = false
+			m.k.Wake(ent.confirmW, sim.WakeSignal)
+		}
+	}
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindOwnerUpdateAck, Page: req.Page})
+}
+
+// handleInvalidate discards the local copy of a page (write-invalidate).
+// A broadcast invalidation carries its target list; hosts not on it are
+// bystanders who heard the frame on the shared medium and stay silent.
+func (m *Module) handleInvalidate(p *sim.Proc, req *proto.Message) {
+	if len(req.Args) > 0 {
+		member := false
+		for _, a := range req.Args {
+			if HostID(a) == m.id {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return
+		}
+	}
+	m.protoCPU.Use(p, m.jittered(m.cfg.Params.InvalidateProcess.Of(m.arch.Kind)))
+	if lp := m.local[PageNo(req.Page)]; lp != nil {
+		lp.access = NoAccess
+	}
+	m.stats.InvalidationsReceived++
+	m.trace("invalidate", PageNo(req.Page))
+	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindInvalidateAck, Page: req.Page})
+}

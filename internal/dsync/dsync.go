@@ -1,0 +1,356 @@
+// Package dsync implements Mermaid's distributed synchronization
+// facility (§2.2): P and V semaphore operations, events, and barriers.
+//
+// The paper implemented these as a separate facility rather than with
+// atomic instructions on shared memory locations, because the latter
+// would ping-pong whole DSM pages between hosts. Each primitive has a
+// fixed manager host holding its state; operations from other hosts are
+// request–response messages, and operations that may block (P, event
+// wait, barrier arrival) use patient calls whose retransmissions are
+// absorbed by the duplicate-request cache.
+//
+// Primitives are defined identically on every host before the cluster
+// runs (a static table, like the conversion registry); only the manager
+// host materializes state.
+package dsync
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/proto"
+	"repro/internal/remoteop"
+	"repro/internal/sim"
+)
+
+// HostID aliases the network host identifier.
+type HostID = remoteop.HostID
+
+// Operation codes carried in messages.
+const (
+	opSemP = 1
+	opSemV = 2
+
+	opEventWait = 1
+	opEventSet  = 2
+)
+
+// def describes one primitive: where it lives and its parameters.
+type def struct {
+	manager HostID
+	initial int // semaphore count or barrier size
+}
+
+// grantee is a parked participant to release later: either a local
+// process or a remote request awaiting its reply.
+type grantee struct {
+	local bool
+	w     sim.Waiter
+	woken *bool
+	req   *proto.Message
+}
+
+type semState struct {
+	count   int
+	waiters []grantee
+}
+
+type eventState struct {
+	set     bool
+	waiters []grantee
+}
+
+type barrierState struct {
+	size    int
+	arrived int
+	waiters []grantee
+}
+
+// Service is one host's synchronization module.
+type Service struct {
+	k      *sim.Kernel
+	id     HostID
+	kind   arch.Kind
+	ep     *remoteop.Endpoint
+	params *model.Params
+
+	defsSem     map[uint32]def
+	defsEvent   map[uint32]def
+	defsBarrier map[uint32]def
+
+	sems     map[uint32]*semState
+	events   map[uint32]*eventState
+	barriers map[uint32]*barrierState
+}
+
+// New creates a host's synchronization service and registers handlers.
+func New(k *sim.Kernel, ep *remoteop.Endpoint, kind arch.Kind, params *model.Params) *Service {
+	s := &Service{
+		k:           k,
+		id:          ep.ID(),
+		kind:        kind,
+		ep:          ep,
+		params:      params,
+		defsSem:     make(map[uint32]def),
+		defsEvent:   make(map[uint32]def),
+		defsBarrier: make(map[uint32]def),
+		sems:        make(map[uint32]*semState),
+		events:      make(map[uint32]*eventState),
+		barriers:    make(map[uint32]*barrierState),
+	}
+	ep.Handle(proto.KindSemOp, s.handleSemOp)
+	ep.Handle(proto.KindEventOp, s.handleEventOp)
+	ep.Handle(proto.KindBarrierOp, s.handleBarrierOp)
+	return s
+}
+
+// DefineSemaphore declares semaphore id with its manager host and
+// initial count. Every host must make identical definitions at setup.
+func (s *Service) DefineSemaphore(id uint32, manager HostID, initial int) {
+	s.defsSem[id] = def{manager: manager, initial: initial}
+	if manager == s.id {
+		s.sems[id] = &semState{count: initial}
+	}
+}
+
+// DefineEvent declares event id with its manager host.
+func (s *Service) DefineEvent(id uint32, manager HostID) {
+	s.defsEvent[id] = def{manager: manager}
+	if manager == s.id {
+		s.events[id] = &eventState{}
+	}
+}
+
+// DefineBarrier declares barrier id for n participants.
+func (s *Service) DefineBarrier(id uint32, manager HostID, n int) {
+	s.defsBarrier[id] = def{manager: manager, initial: n}
+	if manager == s.id {
+		s.barriers[id] = &barrierState{size: n}
+	}
+}
+
+// release unblocks a grantee: wake a local process or answer the remote
+// request.
+func (s *Service) release(p *sim.Proc, g grantee, kind proto.Kind) {
+	if g.local {
+		*g.woken = true
+		s.k.Wake(g.w, sim.WakeSignal)
+		return
+	}
+	s.ep.Reply(p, g.req, &proto.Message{Kind: kind})
+}
+
+// hasPending reports whether the same remote request (by origin and
+// request ID) is already queued — a retransmission that outlived the
+// endpoint's duplicate cache must not enqueue a second grantee.
+func hasPending(list []grantee, req *proto.Message) bool {
+	for _, g := range list {
+		if !g.local && g.req.From == req.From && g.req.ReqID == req.ReqID {
+			return true
+		}
+	}
+	return false
+}
+
+// parkLocal parks the calling process as a grantee on the given list.
+func parkLocal(p *sim.Proc, list *[]grantee) {
+	woken := false
+	*list = append(*list, grantee{local: true, w: p.PrepareWait(), woken: &woken})
+	for !woken {
+		p.Park()
+	}
+}
+
+// --- Semaphores ---
+
+// P acquires one unit of semaphore id, blocking until granted.
+func (s *Service) P(p *sim.Proc, id uint32) {
+	d, ok := s.defsSem[id]
+	if !ok {
+		panic(fmt.Sprintf("dsync: semaphore %d not defined", id))
+	}
+	if d.manager == s.id {
+		st := s.sems[id]
+		if st.count > 0 {
+			st.count--
+			return
+		}
+		parkLocal(p, &st.waiters)
+		return
+	}
+	s.ep.CallBlocking(p, d.manager, &proto.Message{
+		Kind: proto.KindSemOp,
+		Args: []uint32{id, opSemP},
+	})
+}
+
+// V releases one unit of semaphore id, waking the oldest waiter.
+func (s *Service) V(p *sim.Proc, id uint32) {
+	d, ok := s.defsSem[id]
+	if !ok {
+		panic(fmt.Sprintf("dsync: semaphore %d not defined", id))
+	}
+	if d.manager == s.id {
+		s.semV(p, s.sems[id])
+		return
+	}
+	if _, err := s.ep.Call(p, d.manager, &proto.Message{
+		Kind: proto.KindSemOp,
+		Args: []uint32{id, opSemV},
+	}); err != nil {
+		panic(fmt.Sprintf("dsync: V(%d): %v", id, err))
+	}
+}
+
+func (s *Service) semV(p *sim.Proc, st *semState) {
+	if len(st.waiters) > 0 {
+		g := st.waiters[0]
+		st.waiters = st.waiters[1:]
+		s.release(p, g, proto.KindSemReply)
+		return
+	}
+	st.count++
+}
+
+func (s *Service) handleSemOp(p *sim.Proc, req *proto.Message) {
+	p.Sleep(s.params.SyncProcess.Of(s.kind))
+	st := s.sems[req.Arg(0)]
+	if st == nil {
+		return // undefined here: requester is misconfigured and times out
+	}
+	switch req.Arg(1) {
+	case opSemP:
+		if st.count > 0 {
+			st.count--
+			s.ep.Reply(p, req, &proto.Message{Kind: proto.KindSemReply})
+			return
+		}
+		if !hasPending(st.waiters, req) {
+			st.waiters = append(st.waiters, grantee{req: req})
+		}
+	case opSemV:
+		s.semV(p, st)
+		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindSemReply})
+	}
+}
+
+// --- Events ---
+
+// EventWait blocks until event id is set.
+func (s *Service) EventWait(p *sim.Proc, id uint32) {
+	d, ok := s.defsEvent[id]
+	if !ok {
+		panic(fmt.Sprintf("dsync: event %d not defined", id))
+	}
+	if d.manager == s.id {
+		st := s.events[id]
+		if st.set {
+			return
+		}
+		parkLocal(p, &st.waiters)
+		return
+	}
+	s.ep.CallBlocking(p, d.manager, &proto.Message{
+		Kind: proto.KindEventOp,
+		Args: []uint32{id, opEventWait},
+	})
+}
+
+// EventSet sets event id, releasing all waiters.
+func (s *Service) EventSet(p *sim.Proc, id uint32) {
+	d, ok := s.defsEvent[id]
+	if !ok {
+		panic(fmt.Sprintf("dsync: event %d not defined", id))
+	}
+	if d.manager == s.id {
+		s.eventSet(p, s.events[id])
+		return
+	}
+	if _, err := s.ep.Call(p, d.manager, &proto.Message{
+		Kind: proto.KindEventOp,
+		Args: []uint32{id, opEventSet},
+	}); err != nil {
+		panic(fmt.Sprintf("dsync: EventSet(%d): %v", id, err))
+	}
+}
+
+func (s *Service) eventSet(p *sim.Proc, st *eventState) {
+	st.set = true
+	for _, g := range st.waiters {
+		s.release(p, g, proto.KindEventReply)
+	}
+	st.waiters = nil
+}
+
+func (s *Service) handleEventOp(p *sim.Proc, req *proto.Message) {
+	p.Sleep(s.params.SyncProcess.Of(s.kind))
+	st := s.events[req.Arg(0)]
+	if st == nil {
+		return
+	}
+	switch req.Arg(1) {
+	case opEventWait:
+		if st.set {
+			s.ep.Reply(p, req, &proto.Message{Kind: proto.KindEventReply})
+			return
+		}
+		if !hasPending(st.waiters, req) {
+			st.waiters = append(st.waiters, grantee{req: req})
+		}
+	case opEventSet:
+		s.eventSet(p, st)
+		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindEventReply})
+	}
+}
+
+// --- Barriers ---
+
+// BarrierArrive announces arrival at barrier id and blocks until all
+// participants have arrived; the barrier then resets for reuse.
+func (s *Service) BarrierArrive(p *sim.Proc, id uint32) {
+	d, ok := s.defsBarrier[id]
+	if !ok {
+		panic(fmt.Sprintf("dsync: barrier %d not defined", id))
+	}
+	if d.manager == s.id {
+		st := s.barriers[id]
+		st.arrived++
+		if st.arrived >= st.size {
+			st.arrived = 0
+			for _, g := range st.waiters {
+				s.release(p, g, proto.KindBarrierReply)
+			}
+			st.waiters = nil
+			return
+		}
+		parkLocal(p, &st.waiters)
+		return
+	}
+	s.ep.CallBlocking(p, d.manager, &proto.Message{
+		Kind: proto.KindBarrierOp,
+		Args: []uint32{id},
+	})
+}
+
+func (s *Service) handleBarrierOp(p *sim.Proc, req *proto.Message) {
+	p.Sleep(s.params.SyncProcess.Of(s.kind))
+	st := s.barriers[req.Arg(0)]
+	if st == nil {
+		return
+	}
+	if hasPending(st.waiters, req) {
+		return // retransmission of an arrival already counted
+	}
+	st.arrived++
+	if st.arrived >= st.size {
+		st.arrived = 0
+		for _, g := range st.waiters {
+			s.release(p, g, proto.KindBarrierReply)
+		}
+		st.waiters = nil
+		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindBarrierReply})
+		return
+	}
+	st.waiters = append(st.waiters, grantee{req: req})
+}

@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// SyncStyleResult compares synchronizing through atomic operations on
+// shared memory (a spinlock on a DSM word) with the distributed
+// semaphore facility, validating §2.2's design rationale: "In practice
+// … this would lead to repeated movement of (large) DSM pages between
+// the hosts involved."
+type SyncStyleResult struct {
+	// SpinlockS and SemaphoreS are the run times of the same critical-
+	// section workload under each style.
+	SpinlockS, SemaphoreS float64
+	// SpinlockTransfers and SemaphoreTransfers count page bodies moved.
+	SpinlockTransfers, SemaphoreTransfers int
+}
+
+// SyncStyles runs `rounds` critical sections from each of four hosts,
+// once with a test-and-set spinlock on a shared word and once with a
+// distributed semaphore.
+func SyncStyles(rounds int) SyncStyleResult {
+	var out SyncStyleResult
+	out.SpinlockS, out.SpinlockTransfers = runSyncStyle(rounds, true)
+	out.SemaphoreS, out.SemaphoreTransfers = runSyncStyle(rounds, false)
+	return out
+}
+
+func runSyncStyle(rounds int, spinlock bool) (float64, int) {
+	hosts := []cluster.HostSpec{
+		{Kind: arch.Sun},
+		{Kind: arch.Firefly, CPUs: 2},
+		{Kind: arch.Firefly, CPUs: 2},
+		{Kind: arch.Sun},
+	}
+	c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	const (
+		semDone  = 1
+		semMutex = 2
+	)
+	c.DefineSemaphore(semDone, 0, 0)
+	c.DefineSemaphore(semMutex, 0, 1)
+
+	// The workers run as bare simulation processes (one per host); the
+	// comparison is about synchronization traffic, not thread
+	// scheduling. Work between critical sections keeps the lock's page
+	// from staying parked on one host, as in any real mutual-exclusion
+	// workload.
+	var lockAddr, counterAddr dsm.Addr
+
+	worker := func(h *cluster.Host, p *sim.Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Sleep(60 * time.Millisecond) // non-critical work
+			if spinlock {
+				// Test-and-set loop on a shared word: every attempt is
+				// a write fault that steals the lock's page (§2.2's
+				// "repeated movement of (large) DSM pages").
+				for h.DSM.AtomicSwapInt32(p, lockAddr, 1) != 0 {
+					p.Sleep(time.Millisecond) // backoff
+				}
+			} else {
+				h.Sync.P(p, semMutex)
+			}
+			v := h.DSM.ReadInt32(p, counterAddr)
+			p.Sleep(200 * time.Microsecond) // the critical section
+			h.DSM.WriteInt32(p, counterAddr, v+1)
+			if spinlock {
+				h.DSM.AtomicSwapInt32(p, lockAddr, 0)
+			} else {
+				h.Sync.V(p, semMutex)
+			}
+		}
+	}
+
+	var elapsed sim.Duration
+	elapsed = c.Run(0, func(p *sim.Proc, h *cluster.Host) {
+		var err error
+		// Page-filling allocations keep the lock word and the counter
+		// on separate pages, isolating lock traffic from data traffic.
+		lockAddr, err = h.DSM.Alloc(p, conv.Int32, 2048)
+		if err != nil {
+			panic(err)
+		}
+		counterAddr, err = h.DSM.Alloc(p, conv.Int32, 2048)
+		if err != nil {
+			panic(err)
+		}
+		h.DSM.WriteInt32(p, lockAddr, 0)
+		h.DSM.WriteInt32(p, counterAddr, 0)
+
+		done := sim.NewSemaphore(c.K, 0)
+		for i := range hosts {
+			host := c.Hosts[i]
+			c.K.Spawn("sync-worker", func(wp *sim.Proc) {
+				worker(host, wp)
+				done.V()
+			})
+		}
+		for range hosts {
+			done.P(p)
+		}
+		if got := h.DSM.ReadInt32(p, counterAddr); got != int32(rounds*len(hosts)) {
+			panic("sync-style workload lost updates")
+		}
+	})
+	return elapsed.Seconds(), c.TotalDSMStats().PagesFetched
+}
+
+// ManagerPlacementResult compares the fixed distributed manager with a
+// centralized manager on host 0 under a manager-heavy MM workload.
+type ManagerPlacementResult struct {
+	DistributedS, CentralS                 float64
+	DistributedTransfers, CentralTransfers int
+}
+
+// ManagerPlacement isolates manager processing with a parallel fault
+// storm: six Fireflies each own 60 pages (written first), then every
+// Firefly reads its neighbour's pages concurrently. The owners are
+// distributed either way, so the only serial resource that differs is
+// manager processing — all on host 0 when centralized (Li's known
+// central-manager bottleneck), spread across hosts when distributed
+// (the paper's fixed distributed managers).
+func ManagerPlacement() ManagerPlacementResult {
+	run := func(central bool) (float64, int) {
+		const (
+			nf       = 6
+			pagesPer = 60
+		)
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < nf; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: 2})
+		}
+		// 1 KB pages keep the shared wire unsaturated so manager
+		// processing — the resource under study — dominates, and
+		// per-request jitter breaks the deterministic lockstep that
+		// would otherwise let one manager pipeline the request waves.
+		pv := model.Default()
+		pv.ProcessJitterPct = 0.25
+		c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1, CentralManager: central, PageSize: 1024, Params: &pv})
+		if err != nil {
+			panic(err)
+		}
+		var storm sim.Duration
+		c.Run(0, func(p *sim.Proc, h0 *cluster.Host) {
+			const per = 256 // ints per 1 KB page
+			addr, err := h0.DSM.Alloc(p, conv.Int32, per*pagesPer*nf)
+			if err != nil {
+				panic(err)
+			}
+			// Ownership setup: Firefly i takes its own block.
+			spawnPerHost(c, p, func(h *cluster.Host, wp *sim.Proc) {
+				if h.ID == 0 {
+					return
+				}
+				base := addr + dsm.Addr(4*per*pagesPer*(int(h.ID)-1))
+				buf := make([]int32, per)
+				for pg := 0; pg < pagesPer; pg++ {
+					h.DSM.WriteInt32s(wp, base+dsm.Addr(4*per*pg), buf)
+				}
+			})
+			// The storm: every Firefly runs two reader streams over its
+			// two neighbours' blocks (12 concurrent fault streams).
+			start := p.Now()
+			done := sim.NewSemaphore(c.K, 0)
+			streams := 0
+			for hid := 1; hid <= nf; hid++ {
+				h := c.Hosts[hid]
+				for lane := 1; lane <= 2; lane++ {
+					neighbour := (int(h.ID)-1+lane)%nf + 1
+					base := addr + dsm.Addr(4*per*pagesPer*(neighbour-1))
+					streams++
+					c.K.Spawn("storm", func(wp *sim.Proc) {
+						buf := make([]int32, per)
+						for pg := 0; pg < pagesPer; pg++ {
+							h.DSM.ReadInt32s(wp, base+dsm.Addr(4*per*pg), buf)
+						}
+						done.V()
+					})
+				}
+			}
+			for i := 0; i < streams; i++ {
+				done.P(p)
+			}
+			storm = p.Now().Sub(start)
+		})
+		return storm.Seconds(), c.TotalDSMStats().PagesFetched
+	}
+	var out ManagerPlacementResult
+	out.DistributedS, out.DistributedTransfers = run(false)
+	out.CentralS, out.CentralTransfers = run(true)
+	return out
+}
+
+// InvalidationRow measures one write fault that must invalidate a
+// copyset of the given size, under broadcast multicast (the paper's
+// §2.2 mechanism) and under per-member unicast (ablation).
+type InvalidationRow struct {
+	// Copyset is the number of read replicas invalidated.
+	Copyset int
+	// BroadcastMS and UnicastMS are the write-fault delays.
+	BroadcastMS, UnicastMS float64
+	// BroadcastFrames and UnicastFrames count wire frames during the
+	// invalidating write.
+	BroadcastFrames, UnicastFrames int
+}
+
+// InvalidationScaling measures invalidation cost against copyset size.
+func InvalidationScaling(sizes []int) []InvalidationRow {
+	measure := func(copyset int, unicast bool) (float64, int) {
+		hosts := make([]cluster.HostSpec, copyset+2)
+		for i := range hosts {
+			hosts[i] = cluster.HostSpec{Kind: arch.Sun}
+		}
+		c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1, UnicastInvalidate: unicast})
+		if err != nil {
+			panic(err)
+		}
+		var ms float64
+		var frames int
+		c.Run(0, func(p *sim.Proc, h0 *cluster.Host) {
+			addr, err := h0.DSM.Alloc(p, conv.Int32, 2048)
+			if err != nil {
+				panic(err)
+			}
+			h0.DSM.WriteInt32s(p, addr, make([]int32, 2048))
+			var v [1]int32
+			for i := 0; i < copyset; i++ {
+				c.Hosts[1+i].DSM.ReadInt32s(p, addr, v[:])
+			}
+			writer := c.Hosts[copyset+1]
+			framesBefore := c.Net.Stats().FramesSent
+			start := p.Now()
+			writer.DSM.WriteInt32s(p, addr, []int32{1})
+			ms = float64(p.Now().Sub(start)) / float64(time.Millisecond)
+			frames = c.Net.Stats().FramesSent - framesBefore
+		})
+		return ms, frames
+	}
+	var rows []InvalidationRow
+	for _, n := range sizes {
+		row := InvalidationRow{Copyset: n}
+		row.BroadcastMS, row.BroadcastFrames = measure(n, false)
+		row.UnicastMS, row.UnicastFrames = measure(n, true)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// InvalidationTable formats the invalidation-scaling comparison.
+func InvalidationTable(rows []InvalidationRow) *Table {
+	t := &Table{
+		Title:  "Write invalidation vs copyset size: broadcast multicast (§2.2) vs unicast",
+		Header: []string{"copyset", "broadcast ms", "unicast ms", "broadcast frames", "unicast frames"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Copyset),
+			fmt.Sprintf("%.1f", r.BroadcastMS),
+			fmt.Sprintf("%.1f", r.UnicastMS),
+			fmt.Sprintf("%d", r.BroadcastFrames),
+			fmt.Sprintf("%d", r.UnicastFrames),
+		})
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§3) from the simulated system. Each experiment builds a
+// fresh cluster, runs the measurement, and returns structured results
+// carrying both the simulated value and the paper's published value so
+// harnesses (cmd/mermaid-bench, the root benchmarks, EXPERIMENTS.md) can
+// compare shapes.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+)
+
+// Table is a printable result table.
+type Table struct {
+	// Title names the artifact ("Table 2", "Figure 4", …).
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows hold formatted cells.
+	Rows [][]string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// kindName abbreviates machine kinds the way the paper's tables do.
+func kindName(k arch.Kind) string {
+	if k == arch.Sun {
+		return "Sun"
+	}
+	return "Ffly"
+}
+
+// sunMasterCluster builds the paper's representative heterogeneous
+// configuration: a Sun workstation master (host 0) plus nf Fireflies
+// with cpus processors each.
+func sunMasterCluster(nf, cpus, pageSize int, seed int64) (*cluster.Cluster, error) {
+	hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+	for i := 0; i < nf; i++ {
+		hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: cpus})
+	}
+	return cluster.New(cluster.Config{Hosts: hosts, PageSize: pageSize, Seed: seed})
+}
+
+// placeThreads spreads t threads over fireflies 1..nf round-robin,
+// approximately balanced as in §3.2.
+func placeThreads(t, nf int) []cluster.HostID {
+	slaves := make([]cluster.HostID, t)
+	for i := range slaves {
+		slaves[i] = cluster.HostID(1 + i%nf)
+	}
+	return slaves
+}
+
+// firefliesFor picks how many Fireflies serve t threads: the paper used
+// one to four machines with balanced thread counts (≤4 per machine
+// before adding another, capped at 4 machines).
+func firefliesFor(t int) int {
+	nf := (t + 3) / 4
+	if nf < 1 {
+		nf = 1
+	}
+	if nf > 4 {
+		nf = 4
+	}
+	return nf
+}

@@ -1,0 +1,523 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps/matmul"
+	"repro/internal/apps/pcb"
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/model"
+)
+
+// The paper's workload parameters.
+const (
+	// MMSize is the matrix dimension (256×256 integers, §3.2).
+	MMSize = 256
+	// PCBWidth and PCBHeight are the board image dimensions: the
+	// 2 cm × 16 cm area at 128 px/cm, stored with the long (16 cm) axis
+	// as rows so stripes follow it.
+	PCBWidth  = 256
+	PCBHeight = 2048
+	// fireflyCPUs is the per-Firefly processor count used by the
+	// figures (the machines had up to 7; Topaz keeps one busy).
+	fireflyCPUs = 6
+)
+
+// FigPoint is one point of a response-time series.
+type FigPoint struct {
+	// Threads is the slave thread count.
+	Threads int
+	// Seconds is the response time in virtual seconds.
+	Seconds float64
+	// Transfers counts DSM page bodies moved during the run.
+	Transfers int
+}
+
+// runMM executes one matrix multiplication on a fresh cluster.
+func runMM(hosts []cluster.HostSpec, master cluster.HostID, slaves []cluster.HostID,
+	assign matmul.Assignment, pageSize int, seed int64, jitter float64) FigPoint {
+	return runMMChunked(hosts, master, slaves, assign, pageSize, seed, jitter, 0)
+}
+
+// runMMChunked additionally controls the result-store granularity and
+// applies per-request processing jitter matching the compute jitter.
+func runMMChunked(hosts []cluster.HostSpec, master cluster.HostID, slaves []cluster.HostID,
+	assign matmul.Assignment, pageSize int, seed int64, jitter float64, chunk int) FigPoint {
+	var params *model.Params
+	if jitter > 0 {
+		pv := model.Default()
+		pv.ProcessJitterPct = jitter
+		params = &pv
+	}
+	c, err := cluster.New(cluster.Config{Hosts: hosts, PageSize: pageSize, Seed: seed, Params: params})
+	if err != nil {
+		panic(err)
+	}
+	r := matmul.Register(c)
+	res, err := r.Run(matmul.Config{
+		N: MMSize, Master: master, Slaves: slaves,
+		Assignment: assign, JitterPct: jitter, WriteChunk: chunk,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return FigPoint{
+		Threads:   len(slaves),
+		Seconds:   res.Elapsed.Seconds(),
+		Transfers: res.Stats.PagesFetched,
+	}
+}
+
+// Figure3Result holds the two series of Figure 3.
+type Figure3Result struct {
+	// Physical: all slave threads on the CPUs of one Firefly (physical
+	// shared memory), master on another Firefly.
+	Physical []FigPoint
+	// Distributed: one slave thread per Firefly (DSM), master on yet
+	// another Firefly.
+	Distributed []FigPoint
+}
+
+// Figure3 compares physical and distributed shared memory for MM (§3.2,
+// Figure 3): the same thread counts either share one Firefly's memory
+// or span machines.
+func Figure3(maxThreads int) Figure3Result {
+	var out Figure3Result
+	for t := 1; t <= maxThreads; t++ {
+		// Physical: host 0 master Firefly, host 1 the compute Firefly.
+		hosts := []cluster.HostSpec{
+			{Kind: arch.Firefly, CPUs: 1},
+			{Kind: arch.Firefly, CPUs: fireflyCPUs},
+		}
+		slaves := make([]cluster.HostID, t)
+		for i := range slaves {
+			slaves[i] = 1
+		}
+		out.Physical = append(out.Physical, runMM(hosts, 0, slaves, matmul.MM1, 8192, 1, 0))
+
+		// Distributed: master on host 0, one thread on each of t Fireflies.
+		hosts = []cluster.HostSpec{{Kind: arch.Firefly, CPUs: 1}}
+		slaves = slaves[:0]
+		for i := 1; i <= t; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: 1})
+			slaves = append(slaves, cluster.HostID(i))
+		}
+		out.Distributed = append(out.Distributed, runMM(hosts, 0, slaves, matmul.MM1, 8192, 1, 0))
+	}
+	return out
+}
+
+// Figure3Table formats Figure 3.
+func Figure3Table(res Figure3Result) *Table {
+	t := &Table{
+		Title:  "Figure 3: MM response time, physical vs distributed shared memory (s)",
+		Header: []string{"threads", "one Firefly (physical)", "multiple Fireflies (DSM)"},
+	}
+	for i := range res.Physical {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", res.Physical[i].Threads),
+			fmt.Sprintf("%.1f", res.Physical[i].Seconds),
+			fmt.Sprintf("%.1f", res.Distributed[i].Seconds),
+		})
+	}
+	return t
+}
+
+// Figure4 measures MM with the master on a Sun and slaves balanced over
+// one to four Fireflies (§3.2, Figure 4). Threads ranges over
+// 1..maxThreads.
+func Figure4(maxThreads int) []FigPoint {
+	var out []FigPoint
+	for t := 1; t <= maxThreads; t++ {
+		nf := firefliesFor(t)
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < nf; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+		}
+		out = append(out, runMM(hosts, 0, placeThreads(t, nf), matmul.MM1, 8192, 1, 0))
+	}
+	return out
+}
+
+// SeriesTable formats a single response-time series.
+func SeriesTable(title string, pts []FigPoint) *Table {
+	t := &Table{Title: title, Header: []string{"threads", "seconds", "page transfers"}}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Threads),
+			fmt.Sprintf("%.1f", p.Seconds),
+			fmt.Sprintf("%d", p.Transfers),
+		})
+	}
+	return t
+}
+
+// Figure5Point extends FigPoint with speedup over the sequential Sun run.
+type Figure5Point struct {
+	FigPoint
+	// Speedup is sequential-Sun time divided by this response time.
+	Speedup float64
+}
+
+// Figure5 measures PCB inspection with the master on a Sun and checking
+// threads on one to four Fireflies (§3.2, Figure 5).
+func Figure5(maxThreads int) []Figure5Point {
+	var out []Figure5Point
+	var seqSeconds float64
+	for t := 1; t <= maxThreads; t++ {
+		nf := firefliesFor(t)
+		c, err := sunMasterCluster(nf, fireflyCPUs, 8192, 1)
+		if err != nil {
+			panic(err)
+		}
+		r := pcb.Register(c)
+		if seqSeconds == 0 {
+			seqSeconds = r.Sequential(arch.Sun, PCBWidth, PCBHeight, 5).Seconds()
+		}
+		res, err := r.Run(pcb.Config{
+			W: PCBWidth, H: PCBHeight,
+			Master: 0, Slaves: placeThreads(t, nf), Seed: 5,
+		})
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, Figure5Point{
+			FigPoint: FigPoint{
+				Threads:   t,
+				Seconds:   res.Elapsed.Seconds(),
+				Transfers: res.Stats.PagesFetched,
+			},
+			Speedup: seqSeconds / res.Elapsed.Seconds(),
+		})
+	}
+	return out
+}
+
+// Figure5Table formats Figure 5.
+func Figure5Table(pts []Figure5Point) *Table {
+	t := &Table{
+		Title:  "Figure 5: PCB inspection, master on Sun, slaves on 1–4 Fireflies",
+		Header: []string{"threads", "seconds", "speedup vs Sun sequential"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.Threads),
+			fmt.Sprintf("%.1f", p.Seconds),
+			fmt.Sprintf("%.1f", p.Speedup),
+		})
+	}
+	return t
+}
+
+// Figure6Result holds the two series of Figure 6.
+type Figure6Result struct {
+	// Large uses 8 KB DSM pages, Small 1 KB, both running MM1.
+	Large, Small []FigPoint
+}
+
+// Figure6 compares the largest and smallest page size algorithms on MM1
+// (§3.3, Figure 6).
+func Figure6(maxThreads int) Figure6Result {
+	var out Figure6Result
+	for t := 1; t <= maxThreads; t++ {
+		nf := firefliesFor(t)
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < nf; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+		}
+		slaves := placeThreads(t, nf)
+		out.Large = append(out.Large, runMM(hosts, 0, slaves, matmul.MM1, 8192, 1, 0))
+		out.Small = append(out.Small, runMM(hosts, 0, slaves, matmul.MM1, 1024, 1, 0))
+	}
+	return out
+}
+
+// Figure6Table formats Figure 6.
+func Figure6Table(res Figure6Result) *Table {
+	t := &Table{
+		Title:  "Figure 6: MM1 with the large vs small page size algorithm (s)",
+		Header: []string{"threads", "8KB pages", "1KB pages"},
+	}
+	for i := range res.Large {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", res.Large[i].Threads),
+			fmt.Sprintf("%.1f", res.Large[i].Seconds),
+			fmt.Sprintf("%.1f", res.Small[i].Seconds),
+		})
+	}
+	return t
+}
+
+// Figure7Result holds the two series of Figure 7.
+type Figure7Result struct {
+	// MM1 and MM2 both run under the smallest page size algorithm.
+	MM1, MM2 []FigPoint
+}
+
+// Figure7 compares MM1 and MM2 under the smallest page size algorithm
+// (§3.3, Figure 7): with one row per 1 KB page, round-robin assignment
+// causes no false sharing and the two behave similarly.
+func Figure7(maxThreads int) Figure7Result {
+	var out Figure7Result
+	for t := 1; t <= maxThreads; t++ {
+		nf := firefliesFor(t)
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < nf; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+		}
+		slaves := placeThreads(t, nf)
+		out.MM1 = append(out.MM1, runMM(hosts, 0, slaves, matmul.MM1, 1024, 1, 0))
+		out.MM2 = append(out.MM2, runMM(hosts, 0, slaves, matmul.MM2, 1024, 1, 0))
+	}
+	return out
+}
+
+// Figure7Table formats Figure 7.
+func Figure7Table(res Figure7Result) *Table {
+	t := &Table{
+		Title:  "Figure 7: MM1 vs MM2 with the small page size algorithm (s)",
+		Header: []string{"threads", "MM1", "MM2"},
+	}
+	for i := range res.MM1 {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", res.MM1[i].Threads),
+			fmt.Sprintf("%.1f", res.MM1[i].Seconds),
+			fmt.Sprintf("%.1f", res.MM2[i].Seconds),
+		})
+	}
+	return t
+}
+
+// ThrashingResult summarizes the §3.3 thrashing experiment.
+type ThrashingResult struct {
+	// Threads is the slave thread count over the Fireflies.
+	Threads int
+	// MinS, MaxS, MeanS summarize response times across seeds.
+	MinS, MaxS, MeanS float64
+	// SequentialS is the one-Firefly sequential baseline.
+	SequentialS float64
+	// MeanTransfers is the average page-body count moved per run.
+	MeanTransfers float64
+	// MM1Transfers is MM1's transfer count at the same configuration,
+	// for contrast.
+	MM1Transfers int
+}
+
+// Thrashing runs MM2 under the largest page size algorithm — the
+// paper's worst case, where an 8 KB page is shared by up to eight
+// threads — across several seeds, reproducing the large, fluctuating
+// execution times and page transfer counts of §3.3.
+func Thrashing(threadCounts []int, seeds []int64) []ThrashingResult {
+	var out []ThrashingResult
+	for _, t := range threadCounts {
+		// The paper ran MM2 on two or three Fireflies; three maximizes
+		// the page ping-pong parties.
+		const nf = 3
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < nf; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+		}
+		slaves := placeThreads(t, nf)
+		res := ThrashingResult{Threads: t, MinS: 1e18}
+		// Element-burst stores (the original system stored each result
+		// element as computed) let contended pages be stolen mid-row:
+		// the ingredient of full-severity thrashing.
+		const chunk = 4
+		for _, seed := range seeds {
+			pt := runMMChunked(hosts, 0, slaves, matmul.MM2, 8192, seed, 0.03, chunk)
+			res.MeanS += pt.Seconds
+			res.MeanTransfers += float64(pt.Transfers)
+			res.MinS = min(res.MinS, pt.Seconds)
+			res.MaxS = max(res.MaxS, pt.Seconds)
+		}
+		res.MeanS /= float64(len(seeds))
+		res.MeanTransfers /= float64(len(seeds))
+		mm1 := runMM(hosts, 0, slaves, matmul.MM1, 8192, seeds[0], 0.03)
+		res.MM1Transfers = mm1.Transfers
+		// One-thread sequential-equivalent baseline on a Firefly.
+		c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		res.SequentialS = matmul.Register(c).Sequential(arch.Firefly, MMSize).Seconds()
+		out = append(out, res)
+	}
+	return out
+}
+
+// ThrashingTable formats the thrashing summary.
+func ThrashingTable(rows []ThrashingResult) *Table {
+	t := &Table{
+		Title:  "Thrashing (§3.3): MM2 with 8KB pages across seeds",
+		Header: []string{"threads", "min s", "mean s", "max s", "seq s", "×seq", "transfers (MM2)", "transfers (MM1)"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.1f", r.MinS),
+			fmt.Sprintf("%.1f", r.MeanS),
+			fmt.Sprintf("%.1f", r.MaxS),
+			fmt.Sprintf("%.1f", r.SequentialS),
+			fmt.Sprintf("%.1f", r.MeanS/r.SequentialS),
+			fmt.Sprintf("%.0f", r.MeanTransfers),
+			fmt.Sprintf("%d", r.MM1Transfers),
+		})
+	}
+	return t
+}
+
+// OverheadResult is the §3.2 single-slave overhead check.
+type OverheadResult struct {
+	App string
+	// SequentialS is the modelled sequential time on the host.
+	SequentialS float64
+	// DSMS is the DSM run with one slave on the same host.
+	DSMS float64
+	// OverheadPct is the relative difference.
+	OverheadPct float64
+}
+
+// SingleThreadOverhead reproduces the §3.2 observation that DSM
+// initialization, thread creation and synchronization overheads are
+// near zero: a one-slave DSM run on a single host is compared with the
+// sequential time.
+func SingleThreadOverhead() []OverheadResult {
+	var out []OverheadResult
+
+	// MM on one Firefly.
+	hosts := []cluster.HostSpec{{Kind: arch.Firefly, CPUs: 2}}
+	c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	mr := matmul.Register(c)
+	seq := mr.Sequential(arch.Firefly, MMSize).Seconds()
+	res, err := mr.Run(matmul.Config{N: MMSize, Master: 0, Slaves: []cluster.HostID{0}})
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, OverheadResult{
+		App: "MM", SequentialS: seq, DSMS: res.Elapsed.Seconds(),
+		OverheadPct: 100 * (res.Elapsed.Seconds() - seq) / seq,
+	})
+
+	// PCB on one Sun.
+	hosts = []cluster.HostSpec{{Kind: arch.Sun}}
+	c2, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	pr := pcb.Register(c2)
+	seqP := pr.Sequential(arch.Sun, PCBWidth, PCBHeight, 5).Seconds()
+	resP, err := pr.Run(pcb.Config{W: PCBWidth, H: PCBHeight, Master: 0, Slaves: []cluster.HostID{0}, Seed: 5, Overlap: 1})
+	if err != nil {
+		panic(err)
+	}
+	out = append(out, OverheadResult{
+		App: "PCB", SequentialS: seqP, DSMS: resP.Elapsed.Seconds(),
+		OverheadPct: 100 * (resP.Elapsed.Seconds() - seqP) / seqP,
+	})
+	return out
+}
+
+// OverheadTable formats the single-slave overhead check.
+func OverheadTable(rows []OverheadResult) *Table {
+	t := &Table{
+		Title:  "DSM initialization and thread overhead (§3.2): sequential vs 1-slave DSM",
+		Header: []string{"app", "sequential s", "DSM 1-slave s", "overhead %"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.App,
+			fmt.Sprintf("%.1f", r.SequentialS),
+			fmt.Sprintf("%.1f", r.DSMS),
+			fmt.Sprintf("%.1f", r.OverheadPct),
+		})
+	}
+	return t
+}
+
+// AblationResult compares a toggled optimization.
+type AblationResult struct {
+	Name                    string
+	BaselineS, TunedS       float64
+	BaselineConv, TunedConv int
+}
+
+// AblationSameKindSource measures the §2.3 optimization of serving read
+// faults from a same-type holder: Firefly readers of Sun-written data
+// should convert once, not once per reader.
+func AblationSameKindSource() AblationResult {
+	run := func(prefer bool) (float64, int) {
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < 4; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+		}
+		c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 1, PreferSameKindSource: prefer})
+		if err != nil {
+			panic(err)
+		}
+		r := matmul.Register(c)
+		res, err := r.Run(matmul.Config{
+			N: MMSize, Master: 0,
+			Slaves: placeThreads(8, 4),
+		})
+		if err != nil {
+			panic(err)
+		}
+		return res.Elapsed.Seconds(), res.Stats.Conversions
+	}
+	base, baseConv := run(false)
+	tuned, tunedConv := run(true)
+	return AblationResult{
+		Name:      "prefer same-kind read source",
+		BaselineS: base, TunedS: tuned,
+		BaselineConv: baseConv, TunedConv: tunedConv,
+	}
+}
+
+// PageSizePoint is one cell of the page-size sweep.
+type PageSizePoint struct {
+	// PageSize is the DSM page size in bytes.
+	PageSize int
+	// MM1S and MM2S are response times of the two assignments (s).
+	MM1S, MM2S float64
+}
+
+// PageSizeSweep explores the §2.4 observation that the two page-size
+// algorithms are the extremes of a spectrum: MM1 and MM2 run at every
+// power-of-two DSM page size between 1 KB and 8 KB. Larger pages help
+// the well-behaved MM1 (fewer faults) and hurt the false-sharing MM2.
+func PageSizeSweep(threads int) []PageSizePoint {
+	nf := firefliesFor(threads)
+	hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+	for i := 0; i < nf; i++ {
+		hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+	}
+	slaves := placeThreads(threads, nf)
+	var out []PageSizePoint
+	for _, ps := range []int{1024, 2048, 4096, 8192} {
+		p := PageSizePoint{PageSize: ps}
+		p.MM1S = runMMChunked(hosts, 0, slaves, matmul.MM1, ps, 1, 0.03, 4).Seconds
+		p.MM2S = runMMChunked(hosts, 0, slaves, matmul.MM2, ps, 1, 0.03, 4).Seconds
+		out = append(out, p)
+	}
+	return out
+}
+
+// PageSizeSweepTable formats the sweep.
+func PageSizeSweepTable(pts []PageSizePoint) *Table {
+	t := &Table{
+		Title:  "Page size spectrum (§2.4): MM1 vs MM2 response time (s), 8 threads",
+		Header: []string{"DSM page", "MM1 (block rows)", "MM2 (round robin)"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dB", p.PageSize),
+			fmt.Sprintf("%.1f", p.MM1S),
+			fmt.Sprintf("%.1f", p.MM2S),
+		})
+	}
+	return t
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/conv"
+)
+
+func TestWireTime(t *testing.T) {
+	p := Default()
+	// 1024 bytes + 64 header = 1088 bytes = 8704 bits at 10 Mb/s = 870.4 µs.
+	got := p.WireTime(1024)
+	want := 870400 * time.Nanosecond
+	if got != want {
+		t.Fatalf("WireTime(1024) = %v, want %v", got, want)
+	}
+}
+
+func TestFragments(t *testing.T) {
+	p := Default()
+	tests := []struct {
+		give int
+		want int
+	}{
+		{0, 1}, {1, 1}, {1400, 1}, {1401, 2}, {8192, 6}, {1024, 1},
+	}
+	for _, tt := range tests {
+		if got := p.Fragments(tt.give); got != tt.want {
+			t.Errorf("Fragments(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestFaultCostsMatchTable1(t *testing.T) {
+	p := Default()
+	if p.FaultRead.Of(arch.Sun) != 1980*time.Microsecond {
+		t.Error("Sun read fault cost drifted from Table 1")
+	}
+	if p.FaultWrite.Of(arch.Sun) != 2040*time.Microsecond {
+		t.Error("Sun write fault cost drifted from Table 1")
+	}
+	if p.FaultRead.Of(arch.Firefly) != 6800*time.Microsecond {
+		t.Error("Firefly read fault cost drifted from Table 1")
+	}
+	if p.FaultWrite.Of(arch.Firefly) != 6700*time.Microsecond {
+		t.Error("Firefly write fault cost drifted from Table 1")
+	}
+}
+
+func TestConversionCostsMatchTable3(t *testing.T) {
+	// Converting a full 8 KB page on a Firefly must land near the
+	// paper's Table 3 values (ms): int 10.9, short 11.0, float 21.6,
+	// double 28.9.
+	p := Default()
+	tests := []struct {
+		name   string
+		unit   conv.CostUnits
+		size   int
+		wantMS float64
+	}{
+		{name: "int", unit: conv.CostUnits{Int32Ops: 1}, size: 4, wantMS: 10.9},
+		{name: "short", unit: conv.CostUnits{Int16Ops: 1}, size: 2, wantMS: 11.0},
+		{name: "float", unit: conv.CostUnits{Float32Ops: 1}, size: 4, wantMS: 21.6},
+		{name: "double", unit: conv.CostUnits{Float64Ops: 1}, size: 8, wantMS: 28.9},
+	}
+	for _, tt := range tests {
+		n := 8192 / tt.size
+		got := p.RegionConvertCost(arch.Firefly, tt.unit, n)
+		gotMS := float64(got) / float64(time.Millisecond)
+		if gotMS < tt.wantMS*0.97 || gotMS > tt.wantMS*1.03 {
+			t.Errorf("8KB %s conversion = %.2f ms, want ≈%.1f ms", tt.name, gotMS, tt.wantMS)
+		}
+	}
+}
+
+func TestCompoundRecordConversionMatchesPaper(t *testing.T) {
+	// §3.1: converting an 8 KB page of records (3 ints, 3 floats, 4
+	// shorts) took 19.6 ms on a Sun3/60.
+	p := Default()
+	unit := conv.CostUnits{Int32Ops: 3, Float32Ops: 3, Int16Ops: 4}
+	recSize := 3*4 + 3*4 + 4*2 // 32 bytes
+	n := 8192 / recSize
+	got := p.RegionConvertCost(arch.Sun, unit, n)
+	gotMS := float64(got) / float64(time.Millisecond)
+	if gotMS < 17.5 || gotMS > 21.5 {
+		t.Errorf("8KB record conversion on Sun = %.2f ms, want ≈19.6 ms", gotMS)
+	}
+}
+
+func TestScaleAppliesCPUFactor(t *testing.T) {
+	p := Default()
+	d := time.Millisecond
+	if p.Scale(arch.Firefly, d) != d {
+		t.Error("Firefly factor must be 1.0")
+	}
+	if p.Scale(arch.Sun, d) != time.Duration(1.31*float64(d)) {
+		t.Error("Sun factor must be 1.31")
+	}
+}
+
+func TestPerKindOf(t *testing.T) {
+	pk := PerKind{Sun: time.Second, Firefly: time.Minute}
+	if pk.Of(arch.Sun) != time.Second || pk.Of(arch.Firefly) != time.Minute {
+		t.Fatal("PerKind.Of dispatches incorrectly")
+	}
+}

@@ -1,0 +1,156 @@
+// Package netsim models the cluster's 10 Mb/s shared-bus Ethernet in
+// virtual time. The cable is a single resource: one frame transmits at a
+// time, occupying the medium for its wire time; delivery to the
+// destination's interface queue happens after a fixed latency.
+//
+// The model enforces the MTU — larger messages must be fragmented above
+// this layer, exactly as Mermaid had to fragment at user level because
+// the Firefly's UDP lacked fragmentation (§2.2). Seeded frame loss can
+// be injected to exercise the remote-operation layer's retransmission.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// HostID identifies a host on the network. IDs are dense and start at 0.
+type HostID int
+
+// Broadcast is the destination for physical broadcast frames.
+const Broadcast HostID = -1
+
+// Frame is one link-layer frame. Payload is an opaque reference (the
+// remote-operation layer passes fragment structs); Size is the payload
+// size in bytes used for wire-time accounting.
+type Frame struct {
+	// From is the sending host.
+	From HostID
+	// To is the destination host, or Broadcast.
+	To HostID
+	// Size is the payload length in bytes (headers are accounted by the
+	// cost model, not included here).
+	Size int
+	// Payload carries the upper-layer data.
+	Payload any
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	// FramesSent counts transmission attempts.
+	FramesSent int
+	// FramesDropped counts frames lost to injected loss.
+	FramesDropped int
+	// BytesSent counts payload bytes transmitted.
+	BytesSent int
+	// BusyTime is the total time the medium was occupied.
+	BusyTime sim.Duration
+}
+
+// Network is a simulated shared Ethernet segment.
+type Network struct {
+	k      *sim.Kernel
+	params *model.Params
+	cable  *sim.Resource
+	ifaces map[HostID]*Interface
+	// DropRate is the probability a frame is lost after transmission.
+	// It must only be changed before traffic starts.
+	DropRate float64
+	stats    Stats
+}
+
+// Interface is a host's attachment to the network: an inbound queue the
+// host's protocol server consumes.
+type Interface struct {
+	id  HostID
+	net *Network
+	rx  *sim.Queue
+}
+
+// New creates a network using the kernel's clock and randomness.
+func New(k *sim.Kernel, params *model.Params) *Network {
+	return &Network{
+		k:      k,
+		params: params,
+		cable:  sim.NewResource(k, 1),
+		ifaces: make(map[HostID]*Interface),
+	}
+}
+
+// Attach creates the interface for a host. Attaching the same ID twice
+// is a configuration error.
+func (n *Network) Attach(id HostID) (*Interface, error) {
+	if _, dup := n.ifaces[id]; dup {
+		return nil, fmt.Errorf("netsim: host %d already attached", id)
+	}
+	ifc := &Interface{id: id, net: n, rx: sim.NewQueue(n.k)}
+	n.ifaces[id] = ifc
+	return ifc, nil
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Send transmits one frame, blocking the calling process for medium
+// acquisition plus wire time. Delivery (or loss) happens asynchronously
+// after the packet latency. Frames above the MTU are rejected: the
+// caller must fragment.
+func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
+	n := ifc.net
+	if f.Size > n.params.MTUPayload {
+		return fmt.Errorf("netsim: frame of %d bytes exceeds MTU payload %d", f.Size, n.params.MTUPayload)
+	}
+	if f.From != ifc.id {
+		return fmt.Errorf("netsim: frame From %d sent via interface %d", f.From, ifc.id)
+	}
+	tx := n.params.WireTime(f.Size)
+	n.cable.Acquire(p)
+	p.Sleep(tx)
+	n.cable.Release()
+	n.stats.FramesSent++
+	n.stats.BytesSent += f.Size
+	n.stats.BusyTime += tx
+	if n.DropRate > 0 && n.k.Rand().Float64() < n.DropRate {
+		n.stats.FramesDropped++
+		return nil
+	}
+	n.k.After(n.params.PacketLatency, func() { n.deliver(f) })
+	return nil
+}
+
+func (n *Network) deliver(f Frame) {
+	if f.To == Broadcast {
+		for id, ifc := range n.ifaces {
+			if id != f.From {
+				ifc.rx.Put(f)
+			}
+		}
+		return
+	}
+	if ifc, ok := n.ifaces[f.To]; ok {
+		ifc.rx.Put(f)
+	}
+	// Frames to unknown hosts vanish, like on a real wire.
+}
+
+// Recv blocks until a frame arrives and returns it.
+func (ifc *Interface) Recv(p *sim.Proc) Frame {
+	return ifc.rx.Get(p).(Frame)
+}
+
+// RecvTimeout is Recv with a deadline.
+func (ifc *Interface) RecvTimeout(p *sim.Proc, d sim.Duration) (Frame, bool) {
+	v, ok := ifc.rx.GetTimeout(p, d)
+	if !ok {
+		return Frame{}, false
+	}
+	return v.(Frame), true
+}
+
+// Pending returns the number of frames queued for this interface.
+func (ifc *Interface) Pending() int { return ifc.rx.Len() }
+
+// ID returns the interface's host ID.
+func (ifc *Interface) ID() HostID { return ifc.id }

@@ -1,0 +1,243 @@
+// Package proto defines the binary wire format of Mermaid's messages.
+//
+// As in the paper (§2.2), there is no general marshalling layer: page
+// contents are transferred as raw, unstructured bytes (conversion is a
+// higher-level, type-driven concern), and control information is a small
+// fixed header plus a handful of scalar arguments. All header fields are
+// network byte order (big-endian).
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind identifies a message type.
+type Kind uint8
+
+// Message kinds. Request/response pairing is by ReqID, not by kind, so
+// forwarded requests can be answered by a host other than the one the
+// requester contacted.
+const (
+	// KindInvalid is the zero Kind.
+	KindInvalid Kind = iota
+	// KindGetPage requests a page copy for reading (to manager/owner).
+	KindGetPage
+	// KindGetPageWrite requests a page with ownership for writing.
+	KindGetPageWrite
+	// KindPageReply carries the page contents (and, for writes,
+	// ownership) back to the requester.
+	KindPageReply
+	// KindServeRequest is the manager's reliable forward to the serving
+	// host: "send page P to host Args[0], redeeming its request
+	// Args[1]". Acked immediately with KindServeAck.
+	KindServeRequest
+	// KindServeAck acknowledges receipt of a serve request.
+	KindServeAck
+	// KindPageDeliver carries the page body (or an upgrade grant) from
+	// the serving host to the requester as a reliable call of its own;
+	// Args[1] names the requester's original request to redeem.
+	KindPageDeliver
+	// KindPageDeliverAck acknowledges a page delivery.
+	KindPageDeliverAck
+	// KindInvalidate tells a copyset member to discard its copy.
+	KindInvalidate
+	// KindInvalidateAck acknowledges an invalidation.
+	KindInvalidateAck
+	// KindOwnerUpdate tells the manager the new owner of a page.
+	KindOwnerUpdate
+	// KindOwnerUpdateAck acknowledges an owner update.
+	KindOwnerUpdateAck
+	// KindThreadCreate asks a host to start an application thread.
+	KindThreadCreate
+	// KindThreadCreated acknowledges thread creation with its ID.
+	KindThreadCreated
+	// KindThreadExited notifies the creator that a thread finished.
+	KindThreadExited
+	// KindThreadExitedAck acknowledges the exit notification.
+	KindThreadExitedAck
+	// KindThreadMigrate carries a thread's state to a new host (§2.2:
+	// threads may be created and later moved to other hosts).
+	KindThreadMigrate
+	// KindThreadMigrateAck confirms the state was installed.
+	KindThreadMigrateAck
+	// KindSemOp performs P or V on a distributed semaphore.
+	KindSemOp
+	// KindSemReply grants a P or acknowledges a V.
+	KindSemReply
+	// KindEventOp waits for or sets a distributed event.
+	KindEventOp
+	// KindEventReply unblocks an event waiter or acks a set.
+	KindEventReply
+	// KindBarrierOp announces arrival at a distributed barrier.
+	KindBarrierOp
+	// KindBarrierReply releases a barrier participant.
+	KindBarrierReply
+	// KindAlloc asks the allocation manager for DSM memory.
+	KindAlloc
+	// KindAllocReply returns the allocated address.
+	KindAllocReply
+	// KindPageMeta distributes a page's type and allocated length to
+	// every host at allocation time.
+	KindPageMeta
+	// KindPageMetaAck acknowledges a page-meta update.
+	KindPageMetaAck
+	// KindUpdateWrite asks the page's manager to sequence and
+	// distribute a write under the write-update coherence policy.
+	KindUpdateWrite
+	// KindUpdateWriteAck tells the writer its update is applied
+	// everywhere and may be applied locally.
+	KindUpdateWriteAck
+	// KindApplyUpdate pushes sequenced update bytes to replica holders
+	// (broadcast; the target list travels in the arguments).
+	KindApplyUpdate
+	// KindApplyUpdateAck confirms a pushed update.
+	KindApplyUpdateAck
+	// KindRemoteRead fetches bytes from a page's server without caching
+	// (the central-server coherence policy).
+	KindRemoteRead
+	// KindRemoteReadReply carries the requested bytes, already in the
+	// requester's representation.
+	KindRemoteReadReply
+	// KindRemoteWrite stores bytes at a page's server.
+	KindRemoteWrite
+	// KindRemoteWriteAck confirms a remote store. Arg 0 carries the
+	// previous value for atomic swaps.
+	KindRemoteWriteAck
+	// KindEcho and KindEchoReply support tests and calibration.
+	KindEcho
+	// KindEchoReply is the response to KindEcho.
+	KindEchoReply
+)
+
+// String names the message kind.
+func (k Kind) String() string {
+	names := [...]string{
+		"invalid", "get-page", "get-page-write", "page-reply",
+		"serve-request", "serve-ack", "page-deliver", "page-deliver-ack",
+		"invalidate", "invalidate-ack", "owner-update", "owner-update-ack",
+		"thread-create", "thread-created", "thread-exited", "thread-exited-ack",
+		"thread-migrate", "thread-migrate-ack",
+		"sem-op", "sem-reply", "event-op", "event-reply",
+		"barrier-op", "barrier-reply", "alloc", "alloc-reply",
+		"page-meta", "page-meta-ack",
+		"update-write", "update-write-ack", "apply-update", "apply-update-ack",
+		"remote-read", "remote-read-reply", "remote-write", "remote-write-ack",
+		"echo", "echo-reply",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsReply reports whether the kind is a response that should complete a
+// pending call rather than be dispatched to a handler.
+func (k Kind) IsReply() bool {
+	switch k {
+	case KindPageReply, KindServeAck, KindPageDeliverAck, KindInvalidateAck, KindOwnerUpdateAck,
+		KindThreadCreated, KindThreadExitedAck, KindThreadMigrateAck, KindSemReply, KindEventReply,
+		KindBarrierReply, KindAllocReply, KindPageMetaAck,
+		KindUpdateWriteAck, KindApplyUpdateAck,
+		KindRemoteReadReply, KindRemoteWriteAck, KindEchoReply:
+		return true
+	default:
+		return false
+	}
+}
+
+// MaxArgs is the maximum number of scalar arguments per message.
+const MaxArgs = 15
+
+// headerSize is the fixed encoded header length in bytes.
+const headerSize = 1 + 1 + 1 + 1 + 4 + 4 + 4 + 4
+
+// Message is one Mermaid protocol message.
+type Message struct {
+	// Kind is the message type.
+	Kind Kind
+	// ReqID correlates a response (or forwarded request) with the
+	// original call. Assigned by the remote-operation layer.
+	ReqID uint32
+	// From is the *original* requester host; it survives forwarding so
+	// the owner can reply directly (§2.2's forwarding capability).
+	From uint32
+	// Page is the DSM page number the message concerns (0 if unused).
+	Page uint32
+	// SrcArch is the arch.Kind of the host whose native format Data is
+	// in (meaningful when Data is non-empty).
+	SrcArch uint8
+	// Args carries small scalar arguments whose meaning depends on Kind.
+	Args []uint32
+	// Data carries bulk payload — page contents — as raw bytes.
+	Data []byte
+}
+
+// EncodedSize returns the length of the encoded message in bytes.
+func (m *Message) EncodedSize() int {
+	return headerSize + 4*len(m.Args) + len(m.Data)
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.Args) > MaxArgs {
+		return nil, fmt.Errorf("proto: %d args exceeds maximum %d", len(m.Args), MaxArgs)
+	}
+	buf := make([]byte, m.EncodedSize())
+	buf[0] = byte(m.Kind)
+	buf[1] = m.SrcArch
+	buf[2] = byte(len(m.Args))
+	buf[3] = 0 // reserved
+	binary.BigEndian.PutUint32(buf[4:], m.ReqID)
+	binary.BigEndian.PutUint32(buf[8:], m.From)
+	binary.BigEndian.PutUint32(buf[12:], m.Page)
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(m.Data)))
+	off := headerSize
+	for _, a := range m.Args {
+		binary.BigEndian.PutUint32(buf[off:], a)
+		off += 4
+	}
+	copy(buf[off:], m.Data)
+	return buf, nil
+}
+
+// Decode parses an encoded message.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("proto: message of %d bytes shorter than header %d", len(buf), headerSize)
+	}
+	m := &Message{
+		Kind:    Kind(buf[0]),
+		SrcArch: buf[1],
+		ReqID:   binary.BigEndian.Uint32(buf[4:]),
+		From:    binary.BigEndian.Uint32(buf[8:]),
+		Page:    binary.BigEndian.Uint32(buf[12:]),
+	}
+	nargs := int(buf[2])
+	dataLen := int(binary.BigEndian.Uint32(buf[16:]))
+	want := headerSize + 4*nargs + dataLen
+	if len(buf) != want {
+		return nil, fmt.Errorf("proto: message length %d, header implies %d", len(buf), want)
+	}
+	off := headerSize
+	if nargs > 0 {
+		m.Args = make([]uint32, nargs)
+		for i := range m.Args {
+			m.Args[i] = binary.BigEndian.Uint32(buf[off:])
+			off += 4
+		}
+	}
+	if dataLen > 0 {
+		m.Data = make([]byte, dataLen)
+		copy(m.Data, buf[off:])
+	}
+	return m, nil
+}
+
+// Arg returns Args[i], or 0 if absent — convenient for optional args.
+func (m *Message) Arg(i int) uint32 {
+	if i < len(m.Args) {
+		return m.Args[i]
+	}
+	return 0
+}

@@ -1,0 +1,593 @@
+// Package remoteop implements Mermaid's remote operations module: a
+// simple request–response protocol with forwarding and multicast
+// capabilities on top of the datagram network (§2.2 of the paper).
+//
+// Messages larger than the MTU are fragmented and reassembled at user
+// level, because (as on the Firefly's UDP) the transport provides no
+// fragmentation. Requests are retransmitted on timeout; duplicate
+// requests are detected and answered from a small reply cache so that
+// retransmission does not re-execute handlers. Responses are correlated
+// to requests by ReqID, which lets a *forwarded* request (requester →
+// manager → owner) be answered by a host other than the one originally
+// contacted — the owner replies straight to the requester.
+//
+// Virtual-time cost accounting for bulk (page-carrying) messages lives
+// here: the sender charges MsgSetup plus FragCost per fragment, and the
+// receiver charges MsgSetup plus FragCost per fragment (plus
+// CrossPenalty between unlike machine types) when reassembly completes.
+// Control messages are free at this layer; their handling costs are
+// role-specific (manager vs owner vs copyset member) and are charged by
+// the DSM protocol handlers.
+package remoteop
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// HostID identifies a host; it aliases the network's host identifier.
+type HostID = netsim.HostID
+
+// ErrTimeout is returned when a call exhausts its retransmissions.
+var ErrTimeout = errors.New("remoteop: request timed out")
+
+// Handler processes one inbound request. It runs on its own simulated
+// process and typically ends by calling Reply or Forward.
+type Handler func(p *sim.Proc, req *proto.Message)
+
+// Stats counts protocol-level activity at one endpoint.
+type Stats struct {
+	// Sent counts messages sent (requests, replies, forwards).
+	Sent int
+	// Received counts complete messages received.
+	Received int
+	// FragmentsSent and FragmentsReceived count link fragments.
+	FragmentsSent     int
+	FragmentsReceived int
+	// Retransmits counts request retransmissions.
+	Retransmits int
+	// Duplicates counts duplicate requests absorbed by the reply cache.
+	Duplicates int
+	// BulkBytes counts page payload bytes sent.
+	BulkBytes int
+}
+
+// fragment is the link-layer payload: one piece of an encoded message.
+type fragment struct {
+	srcHost HostID
+	srcKind arch.Kind
+	msgID   uint64
+	idx     int
+	total   int
+	bulk    bool
+	chunk   []byte
+}
+
+type reasmKey struct {
+	src   HostID
+	msgID uint64
+}
+
+type reasmBuf struct {
+	chunks  [][]byte
+	have    int
+	bulk    bool
+	srcKind arch.Kind
+}
+
+type dedupKey struct {
+	from  uint32
+	reqID uint32
+}
+
+type dedupEntry struct {
+	done  bool
+	reply *proto.Message
+	to    HostID
+}
+
+type pendingCall struct {
+	reply *proto.Message
+	// multi/want are set for multicast calls: replies are collected per
+	// responder until every wanted host has answered.
+	multi map[HostID]*proto.Message
+	want  map[HostID]struct{}
+	w     sim.Waiter
+	armed bool
+}
+
+// done reports whether the call has everything it is waiting for.
+func (pc *pendingCall) done() bool {
+	if pc.multi != nil {
+		return len(pc.multi) == len(pc.want)
+	}
+	return pc.reply != nil
+}
+
+// Endpoint is one host's remote-operation engine. Create it with New,
+// register handlers, then Start its server process.
+type Endpoint struct {
+	k       *sim.Kernel
+	id      HostID
+	kind    arch.Kind
+	ifc     *netsim.Interface
+	params  *model.Params
+	handler map[proto.Kind]Handler
+
+	pending map[uint32]*pendingCall
+	nextReq uint32
+	nextMsg uint64
+	reasm   map[reasmKey]*reasmBuf
+	dedup   map[dedupKey]*dedupEntry
+	dedupQ  []dedupKey
+	stats   Stats
+	started bool
+}
+
+// dedupCap bounds the duplicate-detection cache per endpoint.
+const dedupCap = 2048
+
+// New creates an endpoint for a host of the given machine kind attached
+// to the network through ifc.
+func New(k *sim.Kernel, ifc *netsim.Interface, kind arch.Kind, params *model.Params) *Endpoint {
+	return &Endpoint{
+		k:       k,
+		id:      ifc.ID(),
+		kind:    kind,
+		ifc:     ifc,
+		params:  params,
+		handler: make(map[proto.Kind]Handler),
+		pending: make(map[uint32]*pendingCall),
+		reasm:   make(map[reasmKey]*reasmBuf),
+		dedup:   make(map[dedupKey]*dedupEntry),
+	}
+}
+
+// ID returns the endpoint's host ID.
+func (e *Endpoint) ID() HostID { return e.id }
+
+// Kind returns the endpoint's machine kind.
+func (e *Endpoint) Kind() arch.Kind { return e.kind }
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Handle registers the handler for a request kind. It must be called
+// before Start.
+func (e *Endpoint) Handle(kind proto.Kind, h Handler) {
+	e.handler[kind] = h
+}
+
+// Start launches the endpoint's server process, which receives
+// fragments, reassembles messages, completes pending calls, and
+// dispatches requests to handlers.
+func (e *Endpoint) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.k.Spawn(fmt.Sprintf("net-server-%d", e.id), e.serve)
+}
+
+func (e *Endpoint) serve(p *sim.Proc) {
+	for {
+		frame := e.ifc.Recv(p)
+		frag, ok := frame.Payload.(fragment)
+		if !ok {
+			continue // alien frame on the wire
+		}
+		e.stats.FragmentsReceived++
+		buf, done := e.reassemble(frag)
+		if !done {
+			continue
+		}
+		// Bulk receive processing: reassembly and page copy, plus the
+		// cross-type penalty (§2.2; fitted to Table 2).
+		if frag.bulk {
+			cost := e.params.MsgSetup.Of(e.kind) +
+				sim.Duration(frag.total)*e.params.FragCost.Of(e.kind)
+			if frag.srcKind != e.kind {
+				cost += e.params.CrossPenalty
+			}
+			p.Sleep(cost)
+		}
+		m, err := proto.Decode(buf)
+		if err != nil {
+			continue // corrupt message; sender will retransmit
+		}
+		e.stats.Received++
+		e.dispatch(m)
+	}
+}
+
+func (e *Endpoint) reassemble(frag fragment) ([]byte, bool) {
+	if frag.total == 1 {
+		return frag.chunk, true
+	}
+	key := reasmKey{src: frag.srcHost, msgID: frag.msgID}
+	buf := e.reasm[key]
+	if buf == nil {
+		buf = &reasmBuf{chunks: make([][]byte, frag.total), bulk: frag.bulk, srcKind: frag.srcKind}
+		e.reasm[key] = buf
+	}
+	if frag.idx >= len(buf.chunks) || buf.chunks[frag.idx] != nil {
+		return nil, false // duplicate or inconsistent fragment
+	}
+	buf.chunks[frag.idx] = frag.chunk
+	buf.have++
+	if buf.have < len(buf.chunks) {
+		return nil, false
+	}
+	delete(e.reasm, key)
+	var out []byte
+	for _, c := range buf.chunks {
+		out = append(out, c...)
+	}
+	return out, true
+}
+
+func (e *Endpoint) dispatch(m *proto.Message) {
+	if m.Kind.IsReply() {
+		pc := e.pending[m.ReqID]
+		if pc == nil {
+			return // stale reply
+		}
+		if pc.multi != nil {
+			from := HostID(m.From)
+			if _, wanted := pc.want[from]; !wanted {
+				return // ack from a bystander or duplicate source
+			}
+			if _, dup := pc.multi[from]; dup {
+				return
+			}
+			pc.multi[from] = m
+			if pc.done() && pc.armed {
+				pc.armed = false
+				e.k.Wake(pc.w, sim.WakeSignal)
+			}
+			return
+		}
+		if pc.reply != nil {
+			return // duplicate reply
+		}
+		pc.reply = m
+		if pc.armed {
+			pc.armed = false
+			e.k.Wake(pc.w, sim.WakeSignal)
+		}
+		return
+	}
+	key := dedupKey{from: m.From, reqID: m.ReqID}
+	if ent, seen := e.dedup[key]; seen {
+		e.stats.Duplicates++
+		if ent.done && ent.reply != nil {
+			// Answer the retransmission from the reply cache.
+			reply, dst := ent.reply, ent.to
+			e.k.Spawn(fmt.Sprintf("resend-%d", e.id), func(p *sim.Proc) {
+				e.send(p, dst, reply)
+			})
+		}
+		return // in progress: the original execution will answer
+	}
+	e.remember(key, &dedupEntry{})
+	h := e.handler[m.Kind]
+	if h == nil {
+		return // no handler: request vanishes, requester times out
+	}
+	e.k.Spawn(fmt.Sprintf("handler-%d-%s", e.id, m.Kind), func(p *sim.Proc) {
+		h(p, m)
+	})
+}
+
+func (e *Endpoint) remember(key dedupKey, ent *dedupEntry) {
+	if len(e.dedupQ) >= dedupCap {
+		oldest := e.dedupQ[0]
+		e.dedupQ = e.dedupQ[1:]
+		delete(e.dedup, oldest)
+	}
+	e.dedup[key] = ent
+	e.dedupQ = append(e.dedupQ, key)
+}
+
+// send encodes and transmits m to dst, fragmenting as needed and
+// charging bulk costs. It blocks for the sender-side virtual time.
+func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
+	if m.SrcArch == 0 {
+		m.SrcArch = uint8(e.kind)
+	}
+	buf, err := m.Encode()
+	if err != nil {
+		// Encoding errors are programming errors in protocol code.
+		panic(fmt.Sprintf("remoteop: encode %v: %v", m.Kind, err))
+	}
+	bulk := len(m.Data) > 0
+	total := e.params.Fragments(len(buf))
+	e.nextMsg++
+	msgID := e.nextMsg
+	if bulk {
+		p.Sleep(e.params.MsgSetup.Of(e.kind))
+		e.stats.BulkBytes += len(m.Data)
+	}
+	for idx := 0; idx < total; idx++ {
+		lo := idx * e.params.MTUPayload
+		hi := min(lo+e.params.MTUPayload, len(buf))
+		if bulk {
+			p.Sleep(e.params.FragCost.Of(e.kind))
+		}
+		frame := netsim.Frame{
+			From: e.id,
+			To:   dst,
+			Size: hi - lo,
+			Payload: fragment{
+				srcHost: e.id,
+				srcKind: e.kind,
+				msgID:   msgID,
+				idx:     idx,
+				total:   total,
+				bulk:    bulk,
+				chunk:   buf[lo:hi],
+			},
+		}
+		if err := e.ifc.Send(p, frame); err != nil {
+			panic(fmt.Sprintf("remoteop: send: %v", err))
+		}
+		e.stats.FragmentsSent++
+	}
+	e.stats.Sent++
+}
+
+// Call sends a request to dst and blocks until the matching reply
+// arrives (possibly from a different host, if the request was
+// forwarded), retransmitting on timeout. The request's ReqID and From
+// are assigned here.
+func (e *Endpoint) Call(p *sim.Proc, dst HostID, m *proto.Message) (*proto.Message, error) {
+	e.nextReq++
+	m.ReqID = e.nextReq
+	m.From = uint32(e.id)
+	pc := &pendingCall{}
+	e.pending[m.ReqID] = pc
+	defer delete(e.pending, m.ReqID)
+
+	for try := 0; try <= e.params.MaxRetries; try++ {
+		if try > 0 {
+			e.stats.Retransmits++
+		}
+		e.send(p, dst, m)
+		if pc.reply != nil {
+			return pc.reply, nil
+		}
+		pc.w = p.PrepareWait()
+		pc.armed = true
+		reason := p.ParkTimeout(e.params.RequestTimeout)
+		pc.armed = false
+		if pc.reply != nil {
+			return pc.reply, nil
+		}
+		if reason == sim.WakeSignal {
+			// Spurious wake without a reply cannot happen by
+			// construction, but guard anyway.
+			continue
+		}
+	}
+	return nil, fmt.Errorf("%w (kind %v to host %d)", ErrTimeout, m.Kind, dst)
+}
+
+// CallBlocking is Call for operations that may legitimately wait a long
+// time for their reply (P on a held semaphore, event waits, barrier
+// arrivals): it never gives up, retransmitting every
+// BlockingRetryInterval. Duplicate-request absorption at the receiver
+// makes the retransmissions harmless.
+func (e *Endpoint) CallBlocking(p *sim.Proc, dst HostID, m *proto.Message) *proto.Message {
+	e.nextReq++
+	m.ReqID = e.nextReq
+	m.From = uint32(e.id)
+	pc := &pendingCall{}
+	e.pending[m.ReqID] = pc
+	defer delete(e.pending, m.ReqID)
+	for try := 0; ; try++ {
+		if try > 0 {
+			e.stats.Retransmits++
+		}
+		e.send(p, dst, m)
+		if pc.reply != nil {
+			return pc.reply
+		}
+		pc.w = p.PrepareWait()
+		pc.armed = true
+		p.ParkTimeout(e.params.BlockingRetryInterval)
+		pc.armed = false
+		if pc.reply != nil {
+			return pc.reply
+		}
+	}
+}
+
+// SendOneWay transmits a message without expecting any response — used
+// by notifications and by calibration harnesses that time a bare
+// transfer. The caller blocks for the sender-side virtual time only.
+func (e *Endpoint) SendOneWay(p *sim.Proc, dst HostID, m *proto.Message) {
+	e.nextReq++
+	m.ReqID = e.nextReq
+	m.From = uint32(e.id)
+	e.send(p, dst, m)
+}
+
+// Redeem completes a pending call made from this endpoint with the
+// given message, as if it were the call's reply. It lets a payload that
+// arrives as an independent (reliable, acked) request — such as a page
+// delivery forwarded through a manager — satisfy the original call. It
+// reports whether a pending call was completed (false for duplicates or
+// stale deliveries).
+func (e *Endpoint) Redeem(reqID uint32, m *proto.Message) bool {
+	pc := e.pending[reqID]
+	if pc == nil || pc.reply != nil {
+		return false
+	}
+	pc.reply = m
+	if pc.armed {
+		pc.armed = false
+		e.k.Wake(pc.w, sim.WakeSignal)
+	}
+	return true
+}
+
+// Reply sends resp as the answer to req, directly to the original
+// requester, and caches it for duplicate absorption. The response
+// carries this endpoint as its From so multicast callers can attribute
+// acknowledgements.
+func (e *Endpoint) Reply(p *sim.Proc, req *proto.Message, resp *proto.Message) {
+	resp.ReqID = req.ReqID
+	resp.From = uint32(e.id)
+	dst := HostID(req.From)
+	key := dedupKey{from: req.From, reqID: req.ReqID}
+	if ent, ok := e.dedup[key]; ok {
+		ent.done = true
+		ent.reply = resp
+		ent.to = dst
+	}
+	e.send(p, dst, resp)
+}
+
+// Forward passes req on to dst unchanged (same ReqID and original From),
+// so dst can reply directly to the requester — the protocol's forwarding
+// capability used for the manager → owner hop.
+func (e *Endpoint) Forward(p *sim.Proc, dst HostID, req *proto.Message) {
+	e.send(p, dst, req)
+}
+
+// CallMulticast transmits one request as a physical broadcast frame and
+// blocks until every host in targets has acknowledged — the multicast
+// the paper's remote operations module provides for write invalidation
+// (§2.2). Hosts outside targets also receive the frame; the message's
+// arguments must let their handlers recognize they are bystanders (and
+// stay silent). Missing acknowledgements are recovered by re-sending
+// the same request to the stragglers individually.
+func (e *Endpoint) CallMulticast(p *sim.Proc, targets []HostID, m *proto.Message) ([]*proto.Message, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	e.nextReq++
+	m.ReqID = e.nextReq
+	m.From = uint32(e.id)
+	pc := &pendingCall{
+		multi: make(map[HostID]*proto.Message, len(targets)),
+		want:  make(map[HostID]struct{}, len(targets)),
+	}
+	for _, t := range targets {
+		pc.want[t] = struct{}{}
+	}
+	e.pending[m.ReqID] = pc
+	defer delete(e.pending, m.ReqID)
+
+	e.send(p, Broadcast, m)
+	for try := 0; try <= e.params.MaxRetries; try++ {
+		deadline := p.Now().Add(e.params.RequestTimeout)
+		for !pc.done() {
+			remaining := deadline.Sub(p.Now())
+			if remaining <= 0 {
+				break
+			}
+			pc.w = p.PrepareWait()
+			pc.armed = true
+			p.ParkTimeout(remaining)
+			pc.armed = false
+		}
+		if pc.done() {
+			replies := make([]*proto.Message, 0, len(targets))
+			for _, t := range targets {
+				replies = append(replies, pc.multi[t])
+			}
+			return replies, nil
+		}
+		// Chase the stragglers individually (their duplicate caches
+		// absorb re-delivery and resend the lost acks).
+		e.stats.Retransmits++
+		for _, t := range targets {
+			if _, ok := pc.multi[t]; !ok {
+				e.send(p, t, m)
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w (multicast to %d hosts)", ErrTimeout, len(targets))
+}
+
+// Broadcast is the physical broadcast destination.
+const Broadcast = netsim.Broadcast
+
+// CallAll sends one request per destination (built by mk, which receives
+// the destination) and blocks until every reply has arrived — the
+// multicast used for write invalidation. Lost requests are retransmitted
+// individually.
+func (e *Endpoint) CallAll(p *sim.Proc, dsts []HostID, mk func(dst HostID) *proto.Message) ([]*proto.Message, error) {
+	if len(dsts) == 0 {
+		return nil, nil
+	}
+	msgs := make([]*proto.Message, len(dsts))
+	calls := make([]*pendingCall, len(dsts))
+	for i, dst := range dsts {
+		m := mk(dst)
+		e.nextReq++
+		m.ReqID = e.nextReq
+		m.From = uint32(e.id)
+		msgs[i] = m
+		calls[i] = &pendingCall{}
+		e.pending[m.ReqID] = calls[i]
+	}
+	defer func() {
+		for _, m := range msgs {
+			delete(e.pending, m.ReqID)
+		}
+	}()
+
+	allDone := func() bool {
+		for _, pc := range calls {
+			if pc.reply == nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	for try := 0; try <= e.params.MaxRetries; try++ {
+		for i, dst := range dsts {
+			if calls[i].reply == nil {
+				if try > 0 {
+					e.stats.Retransmits++
+				}
+				e.send(p, dst, msgs[i])
+			}
+		}
+		deadline := p.Now().Add(e.params.RequestTimeout)
+		for !allDone() {
+			remaining := deadline.Sub(p.Now())
+			if remaining <= 0 {
+				break
+			}
+			w := p.PrepareWait()
+			for _, pc := range calls {
+				if pc.reply == nil {
+					pc.w = w
+					pc.armed = true
+				}
+			}
+			p.ParkTimeout(remaining)
+			for _, pc := range calls {
+				pc.armed = false
+			}
+		}
+		if allDone() {
+			replies := make([]*proto.Message, len(calls))
+			for i, pc := range calls {
+				replies[i] = pc.reply
+			}
+			return replies, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (multicast to %d hosts)", ErrTimeout, len(dsts))
+}

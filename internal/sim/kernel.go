@@ -1,0 +1,335 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// A Kernel owns a virtual clock and a set of processes. Exactly one
+// process executes at any moment: the kernel and the running process hand
+// control back and forth over channels, so no locking is needed anywhere
+// in simulation code and runs are fully deterministic for a given seed.
+//
+// Processes are ordinary functions running on goroutines. They interact
+// with virtual time exclusively through their *Proc handle: Sleep, Park,
+// and the synchronization primitives in this package (Semaphore, Queue,
+// Resource, Event, Barrier). Wall-clock time never enters the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for virtual durations so that callers
+// can write sim.Duration in signatures without importing time.
+type Duration = time.Duration
+
+// String formats a Time as a duration since simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as floating-point seconds since start.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Milliseconds returns the time as floating-point milliseconds since start.
+func (t Time) Milliseconds() float64 { return float64(t) / 1e6 }
+
+// WakeReason reports why a parked process resumed.
+type WakeReason int
+
+const (
+	// WakeSignal means another process (or event callback) woke the process.
+	WakeSignal WakeReason = iota + 1
+	// WakeTimeout means the park's deadline expired first.
+	WakeTimeout
+)
+
+type event struct {
+	at       Time
+	seq      uint64
+	proc     *proc  // process to wake, or nil for a callback event
+	epoch    uint64 // park epoch the wake targets (ignored for callbacks)
+	reason   WakeReason
+	fn       func() // callback; must not block
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+func (h eventHeap) isEmpty() bool { return len(h) == 0 }
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create one with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan yieldMsg
+	procs  map[int]*proc
+	nextID int
+	rng    *rand.Rand
+}
+
+type yieldKind int
+
+const (
+	yieldParked yieldKind = iota + 1
+	yieldDone
+	yieldPanic
+)
+
+type yieldMsg struct {
+	kind yieldKind
+	p    *proc
+	pval any // panic value for yieldPanic
+}
+
+// NewKernel creates a kernel whose random source is seeded with seed.
+// The same seed and the same program produce the same execution.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan yieldMsg),
+		procs: make(map[int]*proc),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from simulation context (inside processes or callbacks).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// schedule inserts an event and returns it (for cancellation).
+func (k *Kernel) schedule(at Time, e *event) *event {
+	if at < k.now {
+		at = k.now
+	}
+	e.at = at
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn to run at the current time plus d. fn runs in kernel
+// context and must not block; use Spawn for blocking work.
+func (k *Kernel) After(d Duration, fn func()) {
+	k.schedule(k.now.Add(d), &event{fn: fn})
+}
+
+// Spawn creates a new process named name running fn. The process starts
+// at the current virtual time (after already-scheduled events at this
+// time). It may be called before Run or from any simulation context.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt is Spawn with an explicit start time.
+func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	k.nextID++
+	pr := &proc{
+		k:      k,
+		id:     k.nextID,
+		name:   name,
+		resume: make(chan WakeReason),
+	}
+	k.procs[pr.id] = pr
+	public := &Proc{pr}
+	go func() {
+		reason := <-pr.resume
+		_ = reason
+		defer func() {
+			if r := recover(); r != nil {
+				k.yield <- yieldMsg{kind: yieldPanic, p: pr, pval: r}
+				return
+			}
+			k.yield <- yieldMsg{kind: yieldDone, p: pr}
+		}()
+		fn(public)
+	}()
+	pr.wakePending = true
+	k.schedule(at, &event{proc: pr, epoch: pr.epoch, reason: WakeSignal})
+	return public
+}
+
+// Run executes events until none remain, then returns. Processes still
+// parked when the event queue drains (for example server loops blocked on
+// empty queues) are left suspended; Stalled reports them.
+//
+// Run panics if a process panicked, re-raising the process's panic value
+// wrapped with its name.
+func (k *Kernel) Run() {
+	for !k.events.isEmpty() {
+		k.step(heap.Pop(&k.events).(*event))
+	}
+}
+
+// RunUntil executes events until done() reports true (checked after
+// every event) or the queue drains. Use it when background activity —
+// server loops, persistent retransmission — would otherwise keep the
+// event queue non-empty forever.
+func (k *Kernel) RunUntil(done func() bool) {
+	for !done() && !k.events.isEmpty() {
+		k.step(heap.Pop(&k.events).(*event))
+	}
+}
+
+// RunFor executes events until the clock would pass the given deadline,
+// leaving later events queued, or until no events remain. The clock is
+// advanced to the deadline even if the queue drains earlier.
+func (k *Kernel) RunFor(d Duration) {
+	deadline := k.now.Add(d)
+	for !k.events.isEmpty() && k.events.Peek().at <= deadline {
+		k.step(heap.Pop(&k.events).(*event))
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// step dispatches one event: run its callback, or resume its process and
+// wait for the process to park again or finish.
+func (k *Kernel) step(e *event) {
+	if e.canceled {
+		return
+	}
+	k.now = e.at
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	p := e.proc
+	// The epoch gate drops stale wakes: any event targeting a park
+	// episode the process has already left is a no-op. wakePending is
+	// only a scheduling dedupe, not a correctness gate, because timer
+	// events (Sleep, ParkTimeout) are scheduled without setting it.
+	if p.done || p.epoch != e.epoch {
+		return
+	}
+	p.wakePending = false
+	p.epoch++
+	p.resume <- e.reason
+	msg := <-k.yield
+	switch msg.kind {
+	case yieldParked:
+		// The process registered its next wake condition before parking.
+	case yieldDone:
+		msg.p.done = true
+		delete(k.procs, msg.p.id)
+	case yieldPanic:
+		msg.p.done = true
+		delete(k.procs, msg.p.id)
+		panic(fmt.Sprintf("sim: process %q panicked: %v", msg.p.name, msg.pval))
+	}
+}
+
+// Stalled returns the names of processes that are still parked. After Run
+// returns, a non-empty result that includes non-daemon workers usually
+// indicates a deadlock in the simulated system.
+func (k *Kernel) Stalled() []string {
+	names := make([]string, 0, len(k.procs))
+	for _, p := range k.procs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// proc is the kernel-internal process state.
+type proc struct {
+	k           *Kernel
+	id          int
+	name        string
+	resume      chan WakeReason
+	epoch       uint64
+	wakePending bool
+	done        bool
+}
+
+// Proc is the handle a process function uses to interact with virtual
+// time. It is valid only inside the process's own goroutine.
+type Proc struct {
+	p *proc
+}
+
+// Name returns the process name given at Spawn.
+func (pp *Proc) Name() string { return pp.p.name }
+
+// Kernel returns the kernel this process runs on.
+func (pp *Proc) Kernel() *Kernel { return pp.p.k }
+
+// Now returns the current virtual time.
+func (pp *Proc) Now() Time { return pp.p.k.now }
+
+// park suspends the process until it is woken. The caller must have
+// arranged a wake (an event or membership in a waiter list) first.
+func (pp *Proc) park() WakeReason {
+	p := pp.p
+	p.k.yield <- yieldMsg{kind: yieldParked, p: p}
+	return <-p.resume
+}
+
+// wakeToken identifies one parked episode of a process, so that stale
+// wakes (after the process has already resumed) are ignored.
+type wakeToken struct {
+	p     *proc
+	epoch uint64
+}
+
+// token captures the current park epoch; a subsequent wake with this
+// token only fires if the process has not resumed in between.
+func (pp *Proc) token() wakeToken { return wakeToken{p: pp.p, epoch: pp.p.epoch} }
+
+// wake schedules a resume for the token's park episode at the current
+// time. Duplicate wakes for the same episode are ignored.
+func (k *Kernel) wake(t wakeToken, reason WakeReason) {
+	p := t.p
+	if p.done || p.epoch != t.epoch || p.wakePending {
+		return
+	}
+	p.wakePending = true
+	k.schedule(k.now, &event{proc: p, epoch: t.epoch, reason: reason})
+}
+
+// Sleep suspends the process for virtual duration d.
+func (pp *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		return
+	}
+	k := pp.p.k
+	t := pp.token()
+	pp.p.wakePending = true
+	k.schedule(k.now.Add(d), &event{proc: t.p, epoch: t.epoch, reason: WakeTimeout})
+	pp.park()
+}
+
+// Yield reschedules the process at the current time, letting other
+// processes scheduled for this instant run first.
+func (pp *Proc) Yield() {
+	k := pp.p.k
+	t := pp.token()
+	pp.p.wakePending = true
+	k.schedule(k.now, &event{proc: t.p, epoch: t.epoch, reason: WakeSignal})
+	pp.park()
+}

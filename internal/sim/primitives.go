@@ -1,0 +1,251 @@
+package sim
+
+// This file provides the synchronization primitives used by simulated
+// code: counting semaphores, FIFO message queues, counted resources, and
+// one-shot events. All of them operate purely in virtual time.
+
+// Waiter is an opaque handle to one parked episode of a process. External
+// code (for example a protocol engine matching responses to requests)
+// can capture a Waiter before parking and wake it later.
+type Waiter struct {
+	t wakeToken
+}
+
+// PrepareWait captures a wake handle for the process's next Park. The
+// returned Waiter may be woken at most once, from any simulation context.
+func (pp *Proc) PrepareWait() Waiter { return Waiter{t: pp.token()} }
+
+// Park suspends the process until the Waiter captured by PrepareWait is
+// woken. It returns the reason supplied to Wake.
+func (pp *Proc) Park() WakeReason { return pp.park() }
+
+// ParkTimeout suspends the process until its Waiter is woken or d
+// elapses, whichever is first. It returns WakeTimeout on expiry.
+func (pp *Proc) ParkTimeout(d Duration) WakeReason {
+	k := pp.p.k
+	t := pp.token()
+	k.schedule(k.now.Add(d), &event{proc: t.p, epoch: t.epoch, reason: WakeTimeout})
+	return pp.park()
+}
+
+// Wake resumes the parked episode identified by w. Waking an episode that
+// already resumed (or was woken before) has no effect.
+func (k *Kernel) Wake(w Waiter, reason WakeReason) { k.wake(w.t, reason) }
+
+// Semaphore is a counting semaphore with FIFO wakeup order, providing the
+// P and V operations of the paper's distributed synchronization facility
+// (this is the local, single-kernel building block).
+type Semaphore struct {
+	k       *Kernel
+	count   int
+	waiters []wakeToken
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, initial int) *Semaphore {
+	return &Semaphore{k: k, count: initial}
+}
+
+// Count returns the current token count (not counting parked waiters).
+func (s *Semaphore) Count() int { return s.count }
+
+// P acquires one token, blocking the calling process until available.
+func (s *Semaphore) P(p *Proc) {
+	if s.count > 0 {
+		s.count--
+		return
+	}
+	s.waiters = append(s.waiters, p.token())
+	p.park()
+}
+
+// TryP acquires one token without blocking; it reports success.
+func (s *Semaphore) TryP() bool {
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// V releases one token, waking the longest-parked waiter if any. The
+// token is handed directly to the woken process.
+func (s *Semaphore) V() {
+	for len(s.waiters) > 0 {
+		t := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if t.p.done || t.p.epoch != t.epoch {
+			continue // waiter vanished (timeout or kill); drop it
+		}
+		s.k.wake(t, WakeSignal)
+		return
+	}
+	s.count++
+}
+
+// Queue is an unbounded FIFO of arbitrary items with blocking Get. It is
+// the delivery surface for simulated network interfaces.
+type Queue struct {
+	k       *Kernel
+	items   []any
+	waiters []wakeToken
+}
+
+// NewQueue creates an empty queue.
+func NewQueue(k *Kernel) *Queue { return &Queue{k: k} }
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends an item and wakes one waiting getter. It never blocks and
+// is safe to call from kernel callbacks (for example delivery events).
+func (q *Queue) Put(v any) {
+	q.items = append(q.items, v)
+	for len(q.waiters) > 0 {
+		t := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if t.p.done || t.p.epoch != t.epoch {
+			continue
+		}
+		q.k.wake(t, WakeSignal)
+		return
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p.token())
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// GetTimeout is Get with a deadline; ok is false if d elapsed first.
+func (q *Queue) GetTimeout(p *Proc, d Duration) (v any, ok bool) {
+	deadline := p.Now().Add(d)
+	for len(q.items) == 0 {
+		remaining := deadline.Sub(p.Now())
+		if remaining <= 0 {
+			return nil, false
+		}
+		q.waiters = append(q.waiters, p.token())
+		if p.ParkTimeout(remaining) == WakeTimeout {
+			q.removeWaiter(p)
+			if len(q.items) == 0 {
+				return nil, false
+			}
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *Queue) removeWaiter(p *Proc) {
+	for i, t := range q.waiters {
+		if t.p == p.p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Resource models a pool of identical servers (CPUs, a network cable)
+// acquired for timed use. Use is the common pattern: acquire, hold for a
+// virtual duration, release.
+type Resource struct {
+	sem *Semaphore
+	cap int
+}
+
+// NewResource creates a resource with the given capacity.
+func NewResource(k *Kernel, capacity int) *Resource {
+	return &Resource{sem: NewSemaphore(k, capacity), cap: capacity}
+}
+
+// Capacity returns the total number of servers.
+func (r *Resource) Capacity() int { return r.cap }
+
+// InUse returns how many servers are currently held.
+func (r *Resource) InUse() int { return r.cap - r.sem.Count() }
+
+// Acquire takes one server, blocking until available.
+func (r *Resource) Acquire(p *Proc) { r.sem.P(p) }
+
+// Release returns one server.
+func (r *Resource) Release() { r.sem.V() }
+
+// Use acquires a server, holds it for d, and releases it.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Event is a broadcast flag: processes wait until it is set; setting it
+// wakes all current and future waiters until Reset.
+type Event struct {
+	k       *Kernel
+	set     bool
+	waiters []wakeToken
+}
+
+// NewEvent creates an unset event.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// IsSet reports whether the event is currently set.
+func (e *Event) IsSet() bool { return e.set }
+
+// Set sets the event and wakes every waiter.
+func (e *Event) Set() {
+	if e.set {
+		return
+	}
+	e.set = true
+	for _, t := range e.waiters {
+		e.k.wake(t, WakeSignal)
+	}
+	e.waiters = nil
+}
+
+// Reset clears the event so subsequent Wait calls block again.
+func (e *Event) Reset() { e.set = false }
+
+// Wait blocks the process until the event is set.
+func (e *Event) Wait(p *Proc) {
+	for !e.set {
+		e.waiters = append(e.waiters, p.token())
+		p.park()
+	}
+}
+
+// Barrier blocks processes until n of them have arrived, then releases
+// all of them and resets for reuse.
+type Barrier struct {
+	k       *Kernel
+	n       int
+	arrived int
+	waiters []wakeToken
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(k *Kernel, n int) *Barrier { return &Barrier{k: k, n: n} }
+
+// Arrive blocks until n processes (including this one) have arrived.
+func (b *Barrier) Arrive(p *Proc) {
+	b.arrived++
+	if b.arrived >= b.n {
+		b.arrived = 0
+		for _, t := range b.waiters {
+			b.k.wake(t, WakeSignal)
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p.token())
+	p.park()
+}

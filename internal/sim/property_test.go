@@ -1,0 +1,143 @@
+package sim
+
+// Model-based property tests: random operation sequences against
+// reference models of the primitives.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPropertySemaphoreAgainstReferenceModel(t *testing.T) {
+	// Random interleavings of P/V across many processes must never let
+	// the number of in-critical-section processes exceed the initial
+	// count, and total grants must equal initial + V's when demand is
+	// unbounded.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		initial := 1 + rng.Intn(3)
+		sem := NewSemaphore(k, initial)
+		inside := 0
+		maxInside := 0
+		grants := 0
+		procs := 4 + rng.Intn(5)
+		for i := 0; i < procs; i++ {
+			delay := time.Duration(rng.Intn(50)) * time.Millisecond
+			hold := time.Duration(1+rng.Intn(20)) * time.Millisecond
+			k.Spawn("p", func(p *Proc) {
+				p.Sleep(delay)
+				sem.P(p)
+				grants++
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Sleep(hold)
+				inside--
+				sem.V()
+			})
+		}
+		k.Run()
+		if maxInside > initial {
+			t.Fatalf("seed %d: %d processes inside with count %d", seed, maxInside, initial)
+		}
+		if grants != procs {
+			t.Fatalf("seed %d: %d grants for %d processes", seed, grants, procs)
+		}
+		if sem.Count() != initial {
+			t.Fatalf("seed %d: final count %d, want %d restored", seed, sem.Count(), initial)
+		}
+	}
+}
+
+func TestPropertyQueueIsFIFOUnderRandomTiming(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		q := NewQueue(k)
+		const items = 30
+		var got []int
+		k.Spawn("producer", func(p *Proc) {
+			for i := 0; i < items; i++ {
+				p.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+				q.Put(i)
+			}
+		})
+		k.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < items; i++ {
+				got = append(got, q.Get(p).(int))
+			}
+		})
+		k.Run()
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("seed %d: item %d = %d, FIFO violated", seed, i, v)
+			}
+		}
+	}
+}
+
+func TestPropertyResourceNeverOversubscribed(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		capacity := 1 + rng.Intn(4)
+		r := NewResource(k, capacity)
+		over := false
+		for i := 0; i < 12; i++ {
+			delay := time.Duration(rng.Intn(30)) * time.Millisecond
+			hold := time.Duration(1+rng.Intn(15)) * time.Millisecond
+			k.Spawn("u", func(p *Proc) {
+				p.Sleep(delay)
+				r.Acquire(p)
+				if r.InUse() > capacity {
+					over = true
+				}
+				p.Sleep(hold)
+				r.Release()
+			})
+		}
+		k.Run()
+		if over {
+			t.Fatalf("seed %d: resource oversubscribed beyond %d", seed, capacity)
+		}
+		if r.InUse() != 0 {
+			t.Fatalf("seed %d: %d still in use at end", seed, r.InUse())
+		}
+	}
+}
+
+func TestPropertyVirtualTimeNeverDecreases(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		last := Time(0)
+		violated := false
+		check := func(p *Proc) {
+			if p.Now() < last {
+				violated = true
+			}
+			last = p.Now()
+		}
+		sem := NewSemaphore(k, 1)
+		for i := 0; i < 10; i++ {
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(rng.Intn(10)) * time.Millisecond)
+					check(p)
+					sem.P(p)
+					check(p)
+					p.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+					sem.V()
+					check(p)
+				}
+			})
+		}
+		k.Run()
+		if violated {
+			t.Fatalf("seed %d: virtual time went backwards", seed)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package threads
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/remoteop"
+	"repro/internal/sim"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	reg  *Registry
+	mgrs []*Manager
+}
+
+func newRig(t *testing.T, specs []struct {
+	kind arch.Kind
+	cpus int
+}) *rig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	params := model.Default()
+	net := netsim.New(k, &params)
+	reg := NewRegistry()
+	r := &rig{k: k, reg: reg}
+	for i, spec := range specs {
+		ifc, err := net.Attach(netsim.HostID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := remoteop.New(k, ifc, spec.kind, &params)
+		mgr, err := New(k, ep, spec.kind, spec.cpus, &params, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.Start()
+		r.mgrs = append(r.mgrs, mgr)
+	}
+	for _, m := range r.mgrs {
+		m.SetPeers(r.mgrs)
+	}
+	return r
+}
+
+func twoHosts(t *testing.T) *rig {
+	return newRig(t, []struct {
+		kind arch.Kind
+		cpus int
+	}{
+		{arch.Sun, 1},
+		{arch.Firefly, 4},
+	})
+}
+
+func TestLocalThreadCreateAndJoin(t *testing.T) {
+	r := twoHosts(t)
+	ran := false
+	r.reg.MustRegister(1, func(th *Thread, args []uint32) {
+		th.Compute(10 * time.Millisecond)
+		ran = true
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		h, err := r.mgrs[0].Create(p, 0, 1, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.Join(p)
+		if !ran {
+			t.Error("joined before the thread ran")
+		}
+	})
+	r.k.Run()
+}
+
+func TestRemoteThreadCreation(t *testing.T) {
+	r := twoHosts(t)
+	var ranOn HostID = -1
+	var gotArgs []uint32
+	r.reg.MustRegister(7, func(th *Thread, args []uint32) {
+		ranOn = th.Host()
+		gotArgs = args
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		h, err := r.mgrs[0].Create(p, 1, 7, []uint32{10, 20, 30})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.Join(p)
+	})
+	r.k.Run()
+	if ranOn != 1 {
+		t.Fatalf("thread ran on host %d, want 1", ranOn)
+	}
+	if len(gotArgs) != 3 || gotArgs[0] != 10 || gotArgs[2] != 30 {
+		t.Fatalf("thread args %v", gotArgs)
+	}
+}
+
+func TestUnregisteredFunctionRejected(t *testing.T) {
+	r := twoHosts(t)
+	r.k.Spawn("main", func(p *sim.Proc) {
+		if _, err := r.mgrs[0].Create(p, 0, 99, nil); err == nil {
+			t.Error("created thread with unregistered function")
+		}
+	})
+	r.k.Run()
+}
+
+func TestComputeScalesBySunFactor(t *testing.T) {
+	r := twoHosts(t)
+	var sunTime, ffTime sim.Duration
+	r.reg.MustRegister(1, func(th *Thread, args []uint32) {
+		start := th.P.Now()
+		th.Compute(100 * time.Millisecond)
+		if th.Kind() == arch.Sun {
+			sunTime = th.P.Now().Sub(start)
+		} else {
+			ffTime = th.P.Now().Sub(start)
+		}
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		h0, _ := r.mgrs[0].Create(p, 0, 1, nil)
+		h1, _ := r.mgrs[1].Create(p, 1, 1, nil)
+		h0.Join(p)
+		h1.Join(p)
+	})
+	r.k.Run()
+	if ffTime != 100*time.Millisecond {
+		t.Fatalf("firefly compute %v, want 100ms", ffTime)
+	}
+	if sunTime != 131*time.Millisecond {
+		t.Fatalf("sun compute %v, want 131ms (1.31×)", sunTime)
+	}
+}
+
+func TestSingleCPUSerializesThreads(t *testing.T) {
+	r := twoHosts(t)
+	var ends []sim.Time
+	r.reg.MustRegister(1, func(th *Thread, args []uint32) {
+		th.Compute(100 * time.Millisecond)
+		ends = append(ends, th.P.Now())
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		var hs []*Handle
+		for i := 0; i < 3; i++ {
+			h, err := r.mgrs[0].Create(p, 0, 1, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			h.Join(p)
+		}
+	})
+	r.k.Run()
+	if len(ends) != 3 {
+		t.Fatalf("%d threads finished, want 3", len(ends))
+	}
+	// Sun: one CPU at 1.31× cost: completions at ≈131, 262, 393 ms
+	// (plus creation costs); strictly serial spacing of ≥131 ms.
+	for i := 1; i < len(ends); i++ {
+		if gap := ends[i].Sub(ends[i-1]); gap < 131*time.Millisecond {
+			t.Fatalf("completion gap %v < one compute slot; CPU not serialized", gap)
+		}
+	}
+}
+
+func TestMultiprocessorRunsThreadsInParallel(t *testing.T) {
+	r := twoHosts(t)
+	var ends []sim.Time
+	r.reg.MustRegister(1, func(th *Thread, args []uint32) {
+		th.Compute(100 * time.Millisecond)
+		ends = append(ends, th.P.Now())
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		var hs []*Handle
+		for i := 0; i < 4; i++ {
+			h, err := r.mgrs[1].Create(p, 1, 1, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			h.Join(p)
+		}
+	})
+	r.k.Run()
+	// Four threads, four CPUs: all finish within creation stagger of
+	// each other (serial execution would spread them over 400 ms).
+	for i := 1; i < len(ends); i++ {
+		if gap := ends[i].Sub(ends[0]); gap > 5*time.Millisecond {
+			t.Fatalf("ends %v spread over %v; threads not parallel on a 4-CPU firefly", ends, gap)
+		}
+	}
+}
+
+func TestCPUCountValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	params := model.Default()
+	net := netsim.New(k, &params)
+	ifc, _ := net.Attach(0)
+	ep := remoteop.New(k, ifc, arch.Sun, &params)
+	reg := NewRegistry()
+	if _, err := New(k, ep, arch.Sun, 2, &params, reg); err == nil {
+		t.Error("2-CPU Sun accepted (Sun-3/60 has one CPU)")
+	}
+	if _, err := New(k, ep, arch.Firefly, 8, &params, reg); err == nil {
+		t.Error("8-CPU Firefly accepted (maximum is 7)")
+	}
+	if _, err := New(k, ep, arch.Firefly, 0, &params, reg); err == nil {
+		t.Error("0-CPU host accepted")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(1, func(*Thread, []uint32) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(1, func(*Thread, []uint32) {}); err == nil {
+		t.Fatal("duplicate function ID registered")
+	}
+}
+
+func TestManyRemoteThreadsJoinAll(t *testing.T) {
+	r := twoHosts(t)
+	count := 0
+	r.reg.MustRegister(1, func(th *Thread, args []uint32) {
+		th.Compute(time.Duration(args[0]) * time.Millisecond)
+		count++
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		var hs []*Handle
+		for i := 0; i < 10; i++ {
+			h, err := r.mgrs[0].Create(p, 1, 1, []uint32{uint32(i + 1)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			hs = append(hs, h)
+		}
+		for _, h := range hs {
+			h.Join(p)
+		}
+		if count != 10 {
+			t.Errorf("joined with %d of 10 threads complete", count)
+		}
+	})
+	r.k.Run()
+}
+
+func TestMigrateToMovesComputeVenue(t *testing.T) {
+	r := twoHosts(t)
+	var before, after sim.Duration
+	r.reg.MustRegister(2, func(th *Thread, args []uint32) {
+		s := th.P.Now()
+		th.Compute(100 * time.Millisecond) // on the Firefly: 100ms
+		before = th.P.Now().Sub(s)
+		if err := th.MigrateTo(0); err != nil {
+			t.Error(err)
+		}
+		s = th.P.Now()
+		th.Compute(100 * time.Millisecond) // on the Sun: 131ms
+		after = th.P.Now().Sub(s)
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		h, err := r.mgrs[1].Create(p, 1, 2, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.Join(p)
+	})
+	r.k.Run()
+	if before != 100*time.Millisecond {
+		t.Fatalf("pre-migration compute %v, want 100ms", before)
+	}
+	if after != 131*time.Millisecond {
+		t.Fatalf("post-migration compute %v, want 131ms (Sun factor)", after)
+	}
+}
+
+func TestMigrateToSameHostIsNoop(t *testing.T) {
+	r := twoHosts(t)
+	r.reg.MustRegister(2, func(th *Thread, args []uint32) {
+		start := th.P.Now()
+		if err := th.MigrateTo(th.Host()); err != nil {
+			t.Error(err)
+		}
+		if th.P.Now() != start {
+			t.Error("no-op migration consumed time")
+		}
+	})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		h, _ := r.mgrs[0].Create(p, 0, 2, nil)
+		h.Join(p)
+	})
+	r.k.Run()
+}
+
+func TestMigrateWithoutPeersFails(t *testing.T) {
+	k := sim.NewKernel(1)
+	params := model.Default()
+	net := netsim.New(k, &params)
+	ifc, _ := net.Attach(0)
+	ep := remoteop.New(k, ifc, arch.Sun, &params)
+	reg := NewRegistry()
+	var migErr error
+	reg.MustRegister(1, func(th *Thread, args []uint32) {
+		migErr = th.MigrateTo(5)
+	})
+	m, err := New(k, ep, arch.Sun, 1, &params, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.Start()
+	k.Spawn("main", func(p *sim.Proc) {
+		h, _ := m.Create(p, 0, 1, nil)
+		h.Join(p)
+	})
+	k.Run()
+	if migErr == nil {
+		t.Fatal("migration without peer wiring succeeded")
+	}
+}
+
+func TestThreadAccessors(t *testing.T) {
+	r := twoHosts(t)
+	r.reg.MustRegister(3, func(th *Thread, args []uint32) {
+		if th.ID().Host() != 1 {
+			t.Errorf("thread ID host %d, want 1", th.ID().Host())
+		}
+		if th.Kind() != arch.Firefly {
+			t.Errorf("kind %v", th.Kind())
+		}
+	})
+	if r.mgrs[1].CPUs() != 4 {
+		t.Fatalf("CPUs %d, want 4", r.mgrs[1].CPUs())
+	}
+	r.k.Spawn("main", func(p *sim.Proc) {
+		h, err := r.mgrs[0].Create(p, 1, 3, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		h.Join(p)
+	})
+	r.k.Run()
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(9, func(*Thread, []uint32) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate MustRegister did not panic")
+		}
+	}()
+	reg.MustRegister(9, func(*Thread, []uint32) {})
+}
+
+func TestCreateWithTooManyArgs(t *testing.T) {
+	r := twoHosts(t)
+	r.reg.MustRegister(4, func(*Thread, []uint32) {})
+	r.k.Spawn("main", func(p *sim.Proc) {
+		if _, err := r.mgrs[0].Create(p, 1, 4, make([]uint32, 20)); err == nil {
+			t.Error("20 wire args accepted")
+		}
+	})
+	r.k.Run()
+}

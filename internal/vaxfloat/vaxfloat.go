@@ -1,0 +1,260 @@
+// Package vaxfloat encodes and decodes the VAX F_floating (32-bit) and
+// G_floating (64-bit) formats used by the CVAX processors of the DEC
+// Firefly, and converts between them and IEEE 754.
+//
+// Both VAX formats represent (-1)^s × 0.1f₂ × 2^(e-bias): the significand
+// lies in [0.5, 1) with a hidden leading fraction bit, unlike IEEE's
+// [1, 2). In memory a VAX float is a sequence of little-endian 16-bit
+// words whose *first* word carries the sign, exponent and high fraction
+// bits — the famous "middle-endian" layout, reproduced here byte for
+// byte.
+//
+// The VAX has no NaNs, infinities, or gradual underflow. As the paper
+// notes (§2.3), converting IEEE values therefore requires extra checks
+// for these cases; this package detects them and applies the documented
+// policy (NaN → reserved operand, ±Inf/overflow → clamp to the largest
+// magnitude, underflow → zero), reporting what happened through Outcome
+// so callers can keep precision-loss statistics.
+package vaxfloat
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Outcome classifies what happened during one IEEE→VAX conversion.
+type Outcome int
+
+const (
+	// OK means the value was representable (possibly rounded).
+	OK Outcome = iota + 1
+	// Overflowed means |v| exceeded the VAX range and was clamped to
+	// the largest finite VAX magnitude. Infinities also report this.
+	Overflowed
+	// Underflowed means |v| was below the smallest VAX magnitude and
+	// was flushed to zero.
+	Underflowed
+	// WasNaN means v was an IEEE NaN and was encoded as the VAX
+	// reserved operand (sign=1, exponent=0), which faults when read.
+	WasNaN
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Overflowed:
+		return "overflow"
+	case Underflowed:
+		return "underflow"
+	case WasNaN:
+		return "nan"
+	default:
+		return "unknown"
+	}
+}
+
+// F_floating parameters: 8-bit exponent, bias 128, 23 stored fraction
+// bits (24 significant bits with the hidden bit).
+const (
+	fBias     = 128
+	fExpMax   = 255
+	fFracBits = 23
+)
+
+// G_floating parameters: 11-bit exponent, bias 1024, 52 stored fraction
+// bits (53 significant bits with the hidden bit).
+const (
+	gBias     = 1024
+	gExpMax   = 2047
+	gFracBits = 52
+)
+
+// MaxF is the largest finite F_floating value.
+var MaxF = math.Ldexp(float64(1<<24-1)/(1<<24), 127)
+
+// MinF is the smallest positive F_floating value.
+var MinF = math.Ldexp(0.5, -fBias+1)
+
+// MaxG is the largest finite G_floating value.
+var MaxG = math.Ldexp(float64(1<<53-1)/(1<<53), 1023)
+
+// MinG is the smallest positive G_floating value.
+var MinG = math.Ldexp(0.5, -gBias+1)
+
+// EncodeF encodes v into the 4-byte VAX F_floating memory image at
+// b[0:4], applying the conversion policy for unrepresentable values.
+func EncodeF(v float64, b []byte) Outcome {
+	_ = b[3]
+	sign := uint16(0)
+	if math.Signbit(v) {
+		sign = 1
+	}
+	switch {
+	case math.IsNaN(v):
+		// Reserved operand: sign=1, exponent=0, fraction=0.
+		binary.LittleEndian.PutUint16(b[0:2], 1<<15)
+		binary.LittleEndian.PutUint16(b[2:4], 0)
+		return WasNaN
+	case math.IsInf(v, 0):
+		putF(b, sign, fExpMax, 1<<fFracBits-1)
+		return Overflowed
+	case v == 0:
+		putF(b, 0, 0, 0)
+		return OK
+	}
+	frac, exp := math.Frexp(math.Abs(v)) // frac in [0.5,1)
+	// Round the significand to 24 bits; rounding can carry into the
+	// exponent (0.999…→1.0 becomes 0.5 with exponent+1).
+	scaled := uint64(math.RoundToEven(frac * (1 << (fFracBits + 1))))
+	if scaled == 1<<(fFracBits+1) {
+		scaled >>= 1
+		exp++
+	}
+	expField := exp + fBias
+	if expField > fExpMax {
+		putF(b, sign, fExpMax, 1<<fFracBits-1)
+		return Overflowed
+	}
+	if expField < 1 {
+		putF(b, 0, 0, 0)
+		return Underflowed
+	}
+	putF(b, sign, uint16(expField), uint32(scaled)&(1<<fFracBits-1))
+	return OK
+}
+
+func putF(b []byte, sign, expField uint16, frac23 uint32) {
+	w0 := sign<<15 | expField<<7 | uint16(frac23>>16)
+	w1 := uint16(frac23)
+	binary.LittleEndian.PutUint16(b[0:2], w0)
+	binary.LittleEndian.PutUint16(b[2:4], w1)
+}
+
+// DecodeF decodes the 4-byte VAX F_floating memory image at b[0:4].
+// ok is false for the reserved operand (which faults on a real VAX).
+func DecodeF(b []byte) (v float64, ok bool) {
+	_ = b[3]
+	w0 := binary.LittleEndian.Uint16(b[0:2])
+	w1 := binary.LittleEndian.Uint16(b[2:4])
+	sign := w0 >> 15
+	expField := int(w0>>7) & 0xff
+	frac23 := uint32(w0&0x7f)<<16 | uint32(w1)
+	if expField == 0 {
+		if sign == 1 {
+			return math.NaN(), false // reserved operand
+		}
+		return 0, true // true zero (fraction ignored by hardware)
+	}
+	mant := float64(1<<fFracBits|frac23) / (1 << (fFracBits + 1))
+	v = math.Ldexp(mant, expField-fBias)
+	if sign == 1 {
+		v = -v
+	}
+	return v, true
+}
+
+// EncodeG encodes v into the 8-byte VAX G_floating memory image at
+// b[0:8], applying the conversion policy for unrepresentable values.
+func EncodeG(v float64, b []byte) Outcome {
+	_ = b[7]
+	sign := uint16(0)
+	if math.Signbit(v) {
+		sign = 1
+	}
+	switch {
+	case math.IsNaN(v):
+		putG(b, 1<<15, 0)
+		return WasNaN
+	case math.IsInf(v, 0):
+		putG(b, sign<<15|uint16(gExpMax)<<4|0xf, 1<<48-1)
+		return Overflowed
+	case v == 0:
+		putG(b, 0, 0)
+		return OK
+	}
+	frac, exp := math.Frexp(math.Abs(v))
+	scaled := uint64(math.RoundToEven(frac * (1 << (gFracBits + 1))))
+	if scaled == 1<<(gFracBits+1) {
+		scaled >>= 1
+		exp++
+	}
+	expField := exp + gBias
+	if expField > gExpMax {
+		putG(b, sign<<15|uint16(gExpMax)<<4|0xf, 1<<48-1)
+		return Overflowed
+	}
+	if expField < 1 {
+		putG(b, 0, 0)
+		return Underflowed
+	}
+	frac52 := scaled & (1<<gFracBits - 1)
+	w0 := sign<<15 | uint16(expField)<<4 | uint16(frac52>>48)
+	putG(b, w0, frac52&(1<<48-1))
+	return OK
+}
+
+func putG(b []byte, w0 uint16, frac48 uint64) {
+	binary.LittleEndian.PutUint16(b[0:2], w0)
+	binary.LittleEndian.PutUint16(b[2:4], uint16(frac48>>32))
+	binary.LittleEndian.PutUint16(b[4:6], uint16(frac48>>16))
+	binary.LittleEndian.PutUint16(b[6:8], uint16(frac48))
+}
+
+// DecodeG decodes the 8-byte VAX G_floating memory image at b[0:8].
+// ok is false for the reserved operand.
+func DecodeG(b []byte) (v float64, ok bool) {
+	_ = b[7]
+	w0 := binary.LittleEndian.Uint16(b[0:2])
+	w1 := binary.LittleEndian.Uint16(b[2:4])
+	w2 := binary.LittleEndian.Uint16(b[4:6])
+	w3 := binary.LittleEndian.Uint16(b[6:8])
+	sign := w0 >> 15
+	expField := int(w0>>4) & 0x7ff
+	frac52 := uint64(w0&0xf)<<48 | uint64(w1)<<32 | uint64(w2)<<16 | uint64(w3)
+	if expField == 0 {
+		if sign == 1 {
+			return math.NaN(), false
+		}
+		return 0, true
+	}
+	mant := float64(1<<gFracBits|frac52) / (1 << (gFracBits + 1))
+	v = math.Ldexp(mant, expField-gBias)
+	if sign == 1 {
+		v = -v
+	}
+	return v, true
+}
+
+// FromIEEESingle converts the 4 bytes of an IEEE 754 single (given as its
+// bit pattern) to a VAX F_floating image in dst[0:4].
+func FromIEEESingle(bits uint32, dst []byte) Outcome {
+	return EncodeF(float64(math.Float32frombits(bits)), dst)
+}
+
+// ToIEEESingle converts the VAX F_floating image in src[0:4] to IEEE 754
+// single bits. The reserved operand converts to a quiet NaN.
+func ToIEEESingle(src []byte) uint32 {
+	v, ok := DecodeF(src)
+	if !ok {
+		return math.Float32bits(float32(math.NaN()))
+	}
+	return math.Float32bits(float32(v))
+}
+
+// FromIEEEDouble converts IEEE 754 double bits to a VAX G_floating image
+// in dst[0:8].
+func FromIEEEDouble(bits uint64, dst []byte) Outcome {
+	return EncodeG(math.Float64frombits(bits), dst)
+}
+
+// ToIEEEDouble converts the VAX G_floating image in src[0:8] to IEEE 754
+// double bits. The reserved operand converts to a quiet NaN.
+func ToIEEEDouble(src []byte) uint64 {
+	v, ok := DecodeG(src)
+	if !ok {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(v)
+}

@@ -1,0 +1,295 @@
+package vaxfloat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeFKnownValues(t *testing.T) {
+	tests := []struct {
+		give float64
+		w0   uint16 // first little-endian word: sign|exp|frac-hi
+		w1   uint16
+	}{
+		{give: 1.0, w0: 0x4080, w1: 0x0000},  // 0.5 × 2^1, exp field 129
+		{give: -1.0, w0: 0xc080, w1: 0x0000}, // sign bit set
+		{give: 0.5, w0: 0x4000, w1: 0x0000},  // exp field 128
+		{give: 2.0, w0: 0x4100, w1: 0x0000},  // exp field 130
+		{give: 0.0, w0: 0x0000, w1: 0x0000},
+		{give: 3.0, w0: 0x4140, w1: 0x0000}, // 0.75 × 2^2, frac hi bit set
+	}
+	for _, tt := range tests {
+		var b [4]byte
+		if out := EncodeF(tt.give, b[:]); out != OK {
+			t.Errorf("EncodeF(%v) outcome %v", tt.give, out)
+		}
+		w0 := uint16(b[0]) | uint16(b[1])<<8
+		w1 := uint16(b[2]) | uint16(b[3])<<8
+		if w0 != tt.w0 || w1 != tt.w1 {
+			t.Errorf("EncodeF(%v) = %04x %04x, want %04x %04x", tt.give, w0, w1, tt.w0, tt.w1)
+		}
+	}
+}
+
+func TestDecodeFRoundTripExactValues(t *testing.T) {
+	// Values with ≤24 significant bits and in-range exponents must
+	// round-trip exactly.
+	values := []float64{0, 1, -1, 0.5, 2, 3, 0.75, 1234.5, -98304, 0.015625}
+	for _, v := range values {
+		var b [4]byte
+		if out := EncodeF(v, b[:]); out != OK {
+			t.Fatalf("EncodeF(%v) outcome %v", v, out)
+		}
+		got, ok := DecodeF(b[:])
+		if !ok || got != v {
+			t.Errorf("round trip %v -> %v (ok=%v)", v, got, ok)
+		}
+	}
+}
+
+func TestEncodeFOverflowClampsToMax(t *testing.T) {
+	var b [4]byte
+	if out := EncodeF(1e39, b[:]); out != Overflowed {
+		t.Fatalf("outcome %v, want Overflowed", out)
+	}
+	got, ok := DecodeF(b[:])
+	if !ok || got != MaxF {
+		t.Fatalf("clamped to %v, want MaxF=%v", got, MaxF)
+	}
+	if out := EncodeF(math.Inf(1), b[:]); out != Overflowed {
+		t.Fatalf("Inf outcome %v, want Overflowed", out)
+	}
+	if out := EncodeF(math.Inf(-1), b[:]); out != Overflowed {
+		t.Fatalf("-Inf outcome %v, want Overflowed", out)
+	}
+	got, _ = DecodeF(b[:])
+	if got != -MaxF {
+		t.Fatalf("-Inf clamped to %v, want -MaxF", got)
+	}
+}
+
+func TestEncodeFUnderflowFlushesToZero(t *testing.T) {
+	var b [4]byte
+	if out := EncodeF(1e-40, b[:]); out != Underflowed {
+		t.Fatalf("outcome %v, want Underflowed", out)
+	}
+	got, ok := DecodeF(b[:])
+	if !ok || got != 0 {
+		t.Fatalf("flushed to %v, want 0", got)
+	}
+}
+
+func TestEncodeFNaNReservedOperand(t *testing.T) {
+	var b [4]byte
+	if out := EncodeF(math.NaN(), b[:]); out != WasNaN {
+		t.Fatalf("outcome %v, want WasNaN", out)
+	}
+	_, ok := DecodeF(b[:])
+	if ok {
+		t.Fatal("reserved operand decoded as a valid value")
+	}
+}
+
+func TestLargeIEEEDenormalsRepresentableInF(t *testing.T) {
+	// VAX F minimum ≈ 2.94e-39; large IEEE single denormals (≈1.1e-38)
+	// exceed it and must convert without underflow.
+	v := 1.1e-38
+	var b [4]byte
+	if out := EncodeF(v, b[:]); out != OK {
+		t.Fatalf("outcome %v, want OK", out)
+	}
+	got, _ := DecodeF(b[:])
+	if rel := math.Abs(got-v) / v; rel > 1e-6 {
+		t.Fatalf("denormal converted to %v (rel err %v)", got, rel)
+	}
+}
+
+func TestEncodeGKnownValues(t *testing.T) {
+	var b [8]byte
+	if out := EncodeG(1.0, b[:]); out != OK {
+		t.Fatalf("outcome %v", out)
+	}
+	// 1.0 = 0.5 × 2^1: exponent field 1025 = 0x401, w0 = 0x401<<4 = 0x4010.
+	w0 := uint16(b[0]) | uint16(b[1])<<8
+	if w0 != 0x4010 {
+		t.Fatalf("G encode 1.0 w0 = %04x, want 4010", w0)
+	}
+}
+
+func TestGRoundTripExactDoubles(t *testing.T) {
+	values := []float64{0, 1, -1, 0.5, 1e300, -2.5e-300, 3.141592653589793, 6.02214076e23}
+	for _, v := range values {
+		var b [8]byte
+		if out := EncodeG(v, b[:]); out != OK {
+			t.Fatalf("EncodeG(%v) outcome %v", v, out)
+		}
+		got, ok := DecodeG(b[:])
+		if !ok || got != v {
+			t.Errorf("G round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestGOverflowNearIEEEMax(t *testing.T) {
+	// IEEE doubles at or above 2^1023 exceed the G range and clamp.
+	var b [8]byte
+	if out := EncodeG(math.MaxFloat64, b[:]); out != Overflowed {
+		t.Fatalf("outcome %v, want Overflowed", out)
+	}
+	got, _ := DecodeG(b[:])
+	if got != MaxG {
+		t.Fatalf("clamped to %v, want MaxG", got)
+	}
+}
+
+func TestGNaNAndUnderflow(t *testing.T) {
+	var b [8]byte
+	if out := EncodeG(math.NaN(), b[:]); out != WasNaN {
+		t.Fatalf("NaN outcome %v", out)
+	}
+	if _, ok := DecodeG(b[:]); ok {
+		t.Fatal("G reserved operand decoded as valid")
+	}
+	if out := EncodeG(1e-320, b[:]); out != Underflowed {
+		t.Fatalf("underflow outcome %v", out)
+	}
+}
+
+func TestRangeConstants(t *testing.T) {
+	if MaxF < 1.7e38 || MaxF > 1.71e38 {
+		t.Errorf("MaxF = %v, want ≈1.7e38", MaxF)
+	}
+	if MinF < 2.9e-39 || MinF > 3.0e-39 {
+		t.Errorf("MinF = %v, want ≈2.94e-39", MinF)
+	}
+	var b [4]byte
+	if out := EncodeF(MaxF, b[:]); out != OK {
+		t.Errorf("MaxF does not encode: %v", out)
+	}
+	if out := EncodeF(MinF, b[:]); out != OK {
+		t.Errorf("MinF does not encode: %v", out)
+	}
+}
+
+func TestPropertyFRoundTripWithin1ULP(t *testing.T) {
+	f := func(v float32) bool {
+		fv := float64(v)
+		if math.IsNaN(fv) || math.IsInf(fv, 0) {
+			return true
+		}
+		if math.Abs(fv) > MaxF || (fv != 0 && math.Abs(fv) < MinF) {
+			return true
+		}
+		var b [4]byte
+		if EncodeF(fv, b[:]) != OK {
+			return false
+		}
+		got, ok := DecodeF(b[:])
+		if !ok {
+			return false
+		}
+		if fv == 0 {
+			return got == 0
+		}
+		// 24-bit significands on both sides: at most 1 ulp of float32.
+		ulp := math.Abs(fv) / (1 << 23)
+		return math.Abs(got-fv) <= ulp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGRoundTripExactForInRangeDoubles(t *testing.T) {
+	// G_floating has a full 53-bit significand, so every in-range IEEE
+	// double must round-trip exactly.
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		if math.Abs(v) > MaxG || (v != 0 && math.Abs(v) < MinG) {
+			return true
+		}
+		var b [8]byte
+		if EncodeG(v, b[:]) != OK {
+			return false
+		}
+		got, ok := DecodeG(b[:])
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEncodePreservesSign(t *testing.T) {
+	f := func(v float32) bool {
+		fv := float64(v)
+		if math.IsNaN(fv) || fv == 0 {
+			return true
+		}
+		var b [4]byte
+		EncodeF(fv, b[:])
+		got, ok := DecodeF(b[:])
+		if !ok {
+			return true
+		}
+		return got == 0 || math.Signbit(got) == math.Signbit(fv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIEEESingleBridging(t *testing.T) {
+	v := float32(2.75)
+	var b [4]byte
+	if out := FromIEEESingle(math.Float32bits(v), b[:]); out != OK {
+		t.Fatalf("outcome %v", out)
+	}
+	back := math.Float32frombits(ToIEEESingle(b[:]))
+	if back != v {
+		t.Fatalf("bridged %v -> %v", v, back)
+	}
+}
+
+func TestIEEEDoubleBridging(t *testing.T) {
+	v := 2.718281828459045
+	var b [8]byte
+	if out := FromIEEEDouble(math.Float64bits(v), b[:]); out != OK {
+		t.Fatalf("outcome %v", out)
+	}
+	back := math.Float64frombits(ToIEEEDouble(b[:]))
+	if back != v {
+		t.Fatalf("bridged %v -> %v", v, back)
+	}
+}
+
+func TestReservedOperandBridgesToNaN(t *testing.T) {
+	var b [4]byte
+	EncodeF(math.NaN(), b[:])
+	if v := math.Float32frombits(ToIEEESingle(b[:])); !math.IsNaN(float64(v)) {
+		t.Fatalf("reserved operand bridged to %v, want NaN", v)
+	}
+	var g [8]byte
+	EncodeG(math.NaN(), g[:])
+	if v := math.Float64frombits(ToIEEEDouble(g[:])); !math.IsNaN(v) {
+		t.Fatalf("G reserved operand bridged to %v, want NaN", v)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		give Outcome
+		want string
+	}{
+		{OK, "ok"}, {Overflowed, "overflow"}, {Underflowed, "underflow"},
+		{WasNaN, "nan"}, {Outcome(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
