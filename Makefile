@@ -1,0 +1,29 @@
+# The check target runs exactly what CI runs (.github/workflows/ci.yml);
+# keep the two in lockstep.
+
+.PHONY: check build vet fmt test race mermaid-vet
+
+check: build vet fmt test race mermaid-vet
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sim/... ./internal/dsm/... ./internal/dsync/...
+
+mermaid-vet:
+	go run ./cmd/mermaid-vet ./...

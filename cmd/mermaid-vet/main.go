@@ -1,0 +1,150 @@
+// Command mermaid-vet runs the project's custom static analyzer
+// (internal/vet) over the module's packages:
+//
+//	go run ./cmd/mermaid-vet ./...
+//
+// It type-checks every package from source, resolving imports through
+// the gc export data that `go list -export` produces — standard
+// library only, no network, no third-party analysis frameworks — and
+// exits non-zero if any rule fires. See internal/vet for the rules.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/vet"
+)
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mermaid-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	module, err := goModulePath()
+	if err != nil {
+		return err
+	}
+
+	// One `go list` resolves everything: the module packages to
+	// analyze, their dependency closure, and the compiled export data
+	// that lets go/types resolve every import offline.
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return err
+	}
+	exports := map[string]string{}
+	var targets []*listedPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && strings.HasPrefix(p.ImportPath, module) {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	cfg := vet.DefaultConfig(module)
+	var findings []vet.Finding
+	for _, p := range targets {
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg := vet.NewPackage(fset, p.ImportPath, files, imp)
+		findings = append(findings, vet.Check(pkg, cfg)...)
+	}
+
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "mermaid-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// goModulePath reports the main module's path.
+func goModulePath() (string, error) {
+	out, err := exec.Command("go", "list", "-m").Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	mod := strings.TrimSpace(string(out))
+	if mod == "" {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return mod, nil
+}
+
+// goList runs `go list -json -export -deps` over the patterns and
+// decodes the package stream.
+func goList(patterns []string) ([]*listedPackage, error) {
+	cmdArgs := append([]string{"list", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -13,17 +13,24 @@ import (
 	"repro/internal/apps/sor"
 	"repro/internal/arch"
 	"repro/internal/cluster"
+	"repro/internal/sctrace"
 )
 
 func TestAllApplicationsShareOneCluster(t *testing.T) {
+	// The whole suite runs under the runtime protocol invariant checker
+	// and with sequential-consistency trace recording: the three real
+	// workloads double as a correctness witness for the protocol.
+	rec := sctrace.NewRecorder()
 	c, err := cluster.New(cluster.Config{
 		Hosts: []cluster.HostSpec{
 			{Kind: arch.Sun},
 			{Kind: arch.Firefly, CPUs: 4},
 			{Kind: arch.Firefly, CPUs: 4},
 		},
-		Seed:      9,
-		SpaceSize: 16 << 20,
+		Seed:            9,
+		SpaceSize:       16 << 20,
+		InvariantChecks: true,
+		SCTrace:         rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,5 +83,23 @@ func TestAllApplicationsShareOneCluster(t *testing.T) {
 	}
 	if mmRes.Elapsed <= 0 || pcbRes.Elapsed <= 0 || sorRes.Elapsed <= 0 {
 		t.Fatal("an application consumed no virtual time")
+	}
+
+	// The protocol checker must have audited the run, silently.
+	if c.Check.Checks() == 0 {
+		t.Fatal("invariant checker never fired")
+	}
+	if c.Check.Violations() != 0 {
+		t.Fatalf("protocol invariants violated %d times", c.Check.Violations())
+	}
+	c.Check.CheckAll("suite-teardown")
+
+	// And the recorded access trace of all three workloads, across a
+	// Sun and two Fireflies, must be sequentially consistent.
+	if rec.Len() == 0 {
+		t.Fatal("SC recorder captured no operations")
+	}
+	if v := sctrace.Check(rec.Ops()); len(v) != 0 {
+		t.Fatalf("execution not sequentially consistent:\n%s", sctrace.Report(v, 10))
 	}
 }

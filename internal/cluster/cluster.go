@@ -16,6 +16,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/remoteop"
+	"repro/internal/sctrace"
 	"repro/internal/sim"
 	"repro/internal/threads"
 )
@@ -67,6 +68,14 @@ type Config struct {
 	DropRate float64
 	// Trace, when set, receives DSM protocol events from every host.
 	Trace func(dsm.TraceEvent)
+	// InvariantChecks attaches a dsm.InvariantChecker across all hosts:
+	// every protocol transition is audited against Li's global
+	// invariants (unique writer, copyset accuracy, owner agreement) and
+	// a violation panics. The checker is returned via Cluster.Check.
+	InvariantChecks bool
+	// SCTrace, when set, records every DSM access from every host for
+	// offline sequential-consistency checking (internal/sctrace).
+	SCTrace *sctrace.Recorder
 }
 
 // Host bundles one machine's modules.
@@ -99,6 +108,9 @@ type Cluster struct {
 	Params *model.Params
 	// Registry is the active conversion table.
 	Registry *conv.Registry
+	// Check is the attached protocol invariant checker (nil unless
+	// Config.InvariantChecks was set).
+	Check *dsm.InvariantChecker
 }
 
 // New builds a cluster. Call RegisterFunc (via Funcs) and define
@@ -141,6 +153,7 @@ func New(cfg Config) (*Cluster, error) {
 		UnicastInvalidate:    cfg.UnicastInvalidate,
 		Bases:                dsm.DefaultBases(),
 		Trace:                cfg.Trace,
+		SCRecorder:           cfg.SCTrace,
 	}
 
 	archs := make([]arch.Arch, len(cfg.Hosts))
@@ -189,6 +202,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for _, h := range c.Hosts {
 		h.Threads.SetPeers(peers)
+	}
+	if cfg.InvariantChecks {
+		mods := make([]*dsm.Module, len(c.Hosts))
+		for i, h := range c.Hosts {
+			mods[i] = h.DSM
+		}
+		c.Check = dsm.AttachChecker(mods...)
 	}
 	return c, nil
 }

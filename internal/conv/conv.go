@@ -75,6 +75,8 @@ func (r *Report) Add(other Report) {
 
 func (r *Report) note(o vaxfloat.Outcome) {
 	switch o {
+	case vaxfloat.OK:
+		// Exact (or merely rounded) conversion: nothing to report.
 	case vaxfloat.Overflowed:
 		r.Overflows++
 	case vaxfloat.Underflowed:

@@ -1,0 +1,263 @@
+package conv
+
+// Round-trip edge-case tests: IEEE values with no VAX representation
+// (NaN, infinities, denormals), pointer rebasing when the DSM spaces
+// share a base (offset 0), and compound types mixing every primitive —
+// table-driven, exercising both conversion directions.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestFloat32EdgeCasesSunToFireflyAndBack(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		name string
+		in   float32
+		// want is the value expected after Sun→Firefly→Sun; NaN means
+		// "any NaN" (the VAX reserved operand bridges back as a NaN).
+		want       float32
+		overflows  int
+		underflows int
+		nans       int
+	}{
+		{"NaN", float32(math.NaN()), float32(math.NaN()), 0, 0, 1},
+		{"+Inf clamps to MaxF", float32(math.Inf(1)), float32(vaxMaxF32()), 1, 0, 0},
+		{"-Inf clamps to -MaxF", float32(math.Inf(-1)), float32(-vaxMaxF32()), 1, 0, 0},
+		{"smallest IEEE denormal flushes", math.SmallestNonzeroFloat32, 0, 0, 1, 0},
+		{"denormal below MinF flushes", float32(math.Ldexp(0.5, -128)), 0, 0, 1, 0},
+		// VAX F reaches down to 2^-128, two octaves below IEEE's smallest
+		// normal, so large IEEE denormals and the min normal survive.
+		{"largest IEEE denormal survives", math.Float32frombits(0x007fffff),
+			math.Float32frombits(0x007fffff), 0, 0, 0},
+		{"IEEE min normal survives", math.Float32frombits(0x00800000),
+			math.Float32frombits(0x00800000), 0, 0, 0},
+		{"zero", 0, 0, 0, 0, 0},
+		{"negative zero normalizes", float32(math.Copysign(0, -1)), 0, 0, 0, 0},
+		{"exact value survives", -1234.5625, -1234.5625, 0, 0, 0},
+		{"near MaxFloat32 clamps", math.MaxFloat32, float32(vaxMaxF32()), 1, 0, 0},
+	}
+	for _, tc := range cases {
+		buf := make([]byte, 4)
+		PutFloat32(sun, buf, tc.in)
+		rep, err := r.ConvertRegion(Float32, buf, sun, ffy, 0)
+		if err != nil {
+			t.Errorf("%s: to Firefly: %v", tc.name, err)
+			continue
+		}
+		if rep.Overflows != tc.overflows || rep.Underflows != tc.underflows || rep.NaNs != tc.nans {
+			t.Errorf("%s: report = %+v, want over=%d under=%d nan=%d",
+				tc.name, rep, tc.overflows, tc.underflows, tc.nans)
+		}
+		// Back: VAX→IEEE never loses range, so the return trip is clean.
+		rep, err = r.ConvertRegion(Float32, buf, ffy, sun, 0)
+		if err != nil {
+			t.Errorf("%s: back to Sun: %v", tc.name, err)
+			continue
+		}
+		if rep.Overflows+rep.Underflows+rep.NaNs != 0 {
+			t.Errorf("%s: VAX→IEEE reported anomalies: %+v", tc.name, rep)
+		}
+		got := GetFloat32(sun, buf)
+		if math.IsNaN(float64(tc.want)) {
+			if !math.IsNaN(float64(got)) {
+				t.Errorf("%s: round trip = %v, want NaN", tc.name, got)
+			}
+		} else if got != tc.want {
+			t.Errorf("%s: round trip = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFloat64EdgeCasesFireflyToSunAndBack(t *testing.T) {
+	r := NewRegistry()
+	// Values written on the Firefly (VAX G) are always in IEEE double
+	// range, so the Firefly→Sun direction reports nothing; the stress is
+	// on the return (Sun→Firefly) leg.
+	cases := []struct {
+		name string
+		in   float64
+		want float64 // after Firefly→Sun→Firefly
+	}{
+		{"exact double", 6.02214076e23, 6.02214076e23},
+		{"negative exact", -0.0078125, -0.0078125},
+		{"smallest VAX G magnitude", math.Ldexp(0.5, -1023), math.Ldexp(0.5, -1023)},
+		{"zero", 0, 0},
+	}
+	for _, tc := range cases {
+		buf := make([]byte, 8)
+		PutFloat64(ffy, buf, tc.in)
+		rep, err := r.ConvertRegion(Float64, buf, ffy, sun, 0)
+		if err != nil {
+			t.Errorf("%s: to Sun: %v", tc.name, err)
+			continue
+		}
+		if rep.Overflows+rep.Underflows+rep.NaNs != 0 {
+			t.Errorf("%s: VAX→IEEE reported anomalies: %+v", tc.name, rep)
+		}
+		if _, err = r.ConvertRegion(Float64, buf, sun, ffy, 0); err != nil {
+			t.Errorf("%s: back to Firefly: %v", tc.name, err)
+			continue
+		}
+		if got := GetFloat64(ffy, buf); got != tc.want {
+			t.Errorf("%s: round trip = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// IEEE doubles beyond the G_floating exponent range clamp on the way
+	// in and stay clamped — the documented, reported policy.
+	buf := make([]byte, 8)
+	PutFloat64(sun, buf, math.MaxFloat64)
+	rep, err := r.ConvertRegion(Float64, buf, sun, ffy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overflows != 1 {
+		t.Fatalf("MaxFloat64: report %+v, want one overflow", rep)
+	}
+	if _, err = r.ConvertRegion(Float64, buf, ffy, sun, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := GetFloat64(sun, buf); got > math.MaxFloat64 || got < math.MaxFloat64/2 {
+		t.Fatalf("clamped MaxFloat64 round trip = %g", got)
+	}
+}
+
+func TestPointerRebasingEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		name   string
+		in     uint32
+		ptrOff int32
+		want   uint32
+	}{
+		{"offset zero is identity", 0x00012345, 0, 0x00012345},
+		{"null at offset zero", 0, 0, 0},
+		{"null never rebased", 0, 0x4000, 0},
+		{"null never rebased negative", 0, -0x4000, 0},
+		{"positive rebase", 0x1000, 0x4000, 0x5000},
+		{"negative rebase", 0x5000, -0x4000, 0x1000},
+		{"rebase to offset zero of space", 0x4000, -0x4000, 0},
+	}
+	for _, tc := range cases {
+		for _, dir := range []struct {
+			name     string
+			from, to arch.Arch
+		}{{"sun->ffy", sun, ffy}, {"ffy->sun", ffy, sun}} {
+			buf := make([]byte, 4)
+			dir.from.Order.Binary().PutUint32(buf, tc.in)
+			if _, err := r.ConvertRegion(Pointer, buf, dir.from, dir.to, tc.ptrOff); err != nil {
+				t.Errorf("%s %s: %v", tc.name, dir.name, err)
+				continue
+			}
+			if got := dir.to.Order.Binary().Uint32(buf); got != tc.want {
+				t.Errorf("%s %s: %#x, want %#x", tc.name, dir.name, got, tc.want)
+			}
+		}
+	}
+
+	// A pointer rebased to address 0 now looks null; the reverse trip
+	// must NOT rebase it back — null is universal. This asymmetry is the
+	// price of the paper's null-pointer convention and is pinned here.
+	buf := make([]byte, 4)
+	sun.Order.Binary().PutUint32(buf, 0x4000)
+	if _, err := r.ConvertRegion(Pointer, buf, sun, ffy, -0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ConvertRegion(Pointer, buf, ffy, sun, 0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if got := sun.Order.Binary().Uint32(buf); got != 0 {
+		t.Fatalf("pointer that landed on 0 came back as %#x, want 0 (null is sticky)", got)
+	}
+}
+
+func TestMixedCompoundRoundTripBothDirections(t *testing.T) {
+	r := NewRegistry()
+	id, err := r.RegisterStruct("kitchen_sink", []Field{
+		{Type: Int16, Count: 1},
+		{Type: Char, Count: 2},
+		{Type: Float32, Count: 2},
+		{Type: Pointer, Count: 1},
+		{Type: Float64, Count: 1},
+		{Type: Int32, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := r.MustGet(id)
+
+	build := func(a arch.Arch, ptr uint32) []byte {
+		b := make([]byte, typ.Size)
+		PutInt16(a, b[0:2], -321)
+		b[2], b[3] = 'o', 'k'
+		PutFloat32(a, b[4:8], 2.5)
+		PutFloat32(a, b[8:12], -0.125)
+		a.Order.Binary().PutUint32(b[12:16], ptr)
+		PutFloat64(a, b[16:24], 1.0/1024)
+		PutInt32(a, b[24:28], 0x7eadbeef)
+		return b
+	}
+
+	for _, dir := range []struct {
+		name     string
+		from, to arch.Arch
+	}{{"sun->ffy->sun", sun, ffy}, {"ffy->sun->ffy", ffy, sun}} {
+		const off = 0x2000
+		orig := build(dir.from, 0x1500)
+		buf := bytes.Clone(orig)
+		rep, err := r.ConvertRegion(id, buf, dir.from, dir.to, off)
+		if err != nil {
+			t.Fatalf("%s: out: %v", dir.name, err)
+		}
+		if rep.Elements != 1 || rep.Overflows+rep.Underflows+rep.NaNs != 0 {
+			t.Fatalf("%s: out report %+v", dir.name, rep)
+		}
+		// Spot-check the converted image in the destination representation.
+		if got := GetFloat32(dir.to, buf[4:8]); got != 2.5 {
+			t.Errorf("%s: float field = %v in destination image", dir.name, got)
+		}
+		if got := dir.to.Order.Binary().Uint32(buf[12:16]); got != 0x1500+off {
+			t.Errorf("%s: pointer field = %#x, want %#x", dir.name, got, 0x1500+off)
+		}
+		if _, err := r.ConvertRegion(id, buf, dir.to, dir.from, -off); err != nil {
+			t.Fatalf("%s: back: %v", dir.name, err)
+		}
+		if !bytes.Equal(buf, orig) {
+			t.Errorf("%s: round trip changed bytes:\n got %x\nwant %x", dir.name, buf, orig)
+		}
+	}
+
+	// The same compound with a NaN float field: the NaN is reported on
+	// the IEEE→VAX leg, comes back as a NaN, and every other field is
+	// untouched by its neighbor's anomaly.
+	b := build(sun, 0)
+	PutFloat32(sun, b[8:12], float32(math.NaN()))
+	rep, err := r.ConvertRegion(id, b, sun, ffy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NaNs != 1 {
+		t.Fatalf("NaN field: report %+v, want one NaN", rep)
+	}
+	if _, err := r.ConvertRegion(id, b, ffy, sun, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := GetFloat32(sun, b[8:12]); !math.IsNaN(float64(got)) {
+		t.Errorf("NaN field round trip = %v, want NaN", got)
+	}
+	if GetInt16(sun, b[0:2]) != -321 || GetFloat32(sun, b[4:8]) != 2.5 ||
+		GetFloat64(sun, b[16:24]) != 1.0/1024 || GetInt32(sun, b[24:28]) != 0x7eadbeef {
+		t.Error("NaN in one field disturbed sibling fields")
+	}
+}
+
+// vaxMaxF32 is the largest finite F_floating value as seen through an
+// IEEE single — what clamped values decode to after the return trip.
+func vaxMaxF32() float64 {
+	return float64(float32(math.Ldexp(float64(1<<24-1)/(1<<24), 127)))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/conv"
+	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -233,11 +234,14 @@ func (m *Module) AtomicSwapInt32(p *sim.Proc, addr Addr, v int32) int32 {
 	if m.cfg.Policy == PolicyUpdate {
 		panic("dsm: atomic operations are not defined under the write-update policy; use the distributed synchronization facility")
 	}
-	m.EnsureAccess(p, addr, 4, true)
+	t0 := p.Now()
+	m.mustEnsureAccess(p, addr, 4, true)
 	var old int32
 	m.forEachSpan(addr, 4, func(seg []byte, _ int) {
 		old = conv.GetInt32(m.arch, seg)
+		m.recordSC(p, sctrace.Read, t0, addr, seg)
 		conv.PutInt32(m.arch, seg, v)
+		m.recordSC(p, sctrace.Write, t0, addr, seg)
 	})
 	return old
 }

@@ -2,6 +2,7 @@ package dsm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/conv"
 	"repro/internal/proto"
@@ -113,8 +114,9 @@ func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, e
 	if err != nil {
 		return 0, err
 	}
-	for page, mt := range updates {
-		m.meta[page] = mt
+	pages := sortedPages(updates)
+	for _, page := range pages {
+		m.meta[page] = updates[page]
 		// First-touch ownership (page policies): the allocation manager
 		// holds every fresh page as a zero-filled writable copy until
 		// someone faults it away. Under the central policy pages live
@@ -126,15 +128,31 @@ func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, e
 			}
 		}
 	}
-	if err := m.distributeMeta(p, updates); err != nil {
+	if err := m.distributeMeta(p, pages, updates); err != nil {
 		return 0, err
+	}
+	for _, page := range pages {
+		m.checkpoint("allocated", page)
 	}
 	return addr, nil
 }
 
+// sortedPages lists a metadata update's pages in increasing order so
+// iteration — and the network traffic it drives — is deterministic.
+func sortedPages(updates map[PageNo]pageMeta) []PageNo {
+	pages := make([]PageNo, 0, len(updates))
+	for pg := range updates { // vet:ignore map-order — sorted below
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
 // distributeMeta replicates page metadata to every other host and waits
-// for acknowledgements.
-func (m *Module) distributeMeta(p *sim.Proc, updates map[PageNo]pageMeta) error {
+// for acknowledgements. Pages are announced in increasing page order: a
+// map-ordered walk here once made the metadata message sequence — and
+// with it the whole simulation timeline — vary run to run.
+func (m *Module) distributeMeta(p *sim.Proc, pages []PageNo, updates map[PageNo]pageMeta) error {
 	var others []HostID
 	for h := range m.hosts {
 		if HostID(h) != m.id {
@@ -144,7 +162,8 @@ func (m *Module) distributeMeta(p *sim.Proc, updates map[PageNo]pageMeta) error 
 	if len(others) == 0 {
 		return nil
 	}
-	for page, mt := range updates {
+	for _, page := range pages {
+		mt := updates[page]
 		_, err := m.ep.CallAll(p, others, func(HostID) *proto.Message {
 			return &proto.Message{
 				Kind: proto.KindPageMeta,

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/proto"
+	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -35,9 +36,11 @@ func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, o
 	if m.cfg.Policy != PolicyCentral {
 		off := 0
 		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
-			m.EnsureAccess(p, chunkAddr, chunkLen, m.cfg.Policy == PolicyMigration)
+			t0 := p.Now()
+			m.mustEnsureAccess(p, chunkAddr, chunkLen, m.cfg.Policy == PolicyMigration)
 			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
 				fn(seg, off+o)
+				m.recordSC(p, sctrace.Read, t0, chunkAddr+Addr(o), seg)
 			})
 			off += chunkLen
 		})
@@ -49,8 +52,10 @@ func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, o
 		pg := m.PageOf(Addr(pos))
 		pageStart := int(pg) * m.cfg.PageSize
 		hi := min(end, pageStart+m.cfg.PageSize)
+		t0 := p.Now()
 		seg := m.centralRead(p, pg, pos-pageStart, hi-pos)
 		fn(seg, off)
+		m.recordSC(p, sctrace.Read, t0, Addr(pos), seg)
 		off += hi - pos
 		pos = hi
 	}
@@ -67,9 +72,11 @@ func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte
 	if m.cfg.Policy != PolicyCentral {
 		off := 0
 		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
-			m.EnsureAccess(p, chunkAddr, chunkLen, true)
+			t0 := p.Now()
+			m.mustEnsureAccess(p, chunkAddr, chunkLen, true)
 			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
 				fill(seg, off+o)
+				m.recordSC(p, sctrace.Write, t0, chunkAddr+Addr(o), seg)
 			})
 			off += chunkLen
 		})
@@ -82,8 +89,10 @@ func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte
 		pageStart := int(pg) * m.cfg.PageSize
 		hi := min(end, pageStart+m.cfg.PageSize)
 		seg := make([]byte, hi-pos)
+		t0 := p.Now()
 		fill(seg, off)
 		m.centralWrite(p, pg, pos-pageStart, seg)
+		m.recordSC(p, sctrace.Write, t0, Addr(pos), seg)
 		off += hi - pos
 		pos = hi
 	}
@@ -132,6 +141,7 @@ func (m *Module) centralWrite(p *sim.Proc, page PageNo, offset int, data []byte)
 		m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
 		lp := m.serverPageFor(page)
 		copy(lp.data[offset:], data)
+		m.checkpoint("central-write", page)
 		return
 	}
 	m.stats.RemoteWrites++
@@ -232,6 +242,7 @@ func (m *Module) handleRemoteWrite(p *sim.Proc, req *proto.Message) {
 	copy(data, req.Data)
 	m.convertForClient(p, page, data, HostID(req.From), true)
 	copy(lp.data[offset:], data)
+	m.checkpoint("central-write", page)
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindRemoteWriteAck, Page: req.Page})
 }
 

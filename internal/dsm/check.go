@@ -1,0 +1,232 @@
+package dsm
+
+// Runtime invariant checking for Li's MRSW write-invalidate protocol.
+//
+// The protocol's correctness argument (§2 of the paper, and the
+// machine-checkable SC invariants of Ekström & Haridi's compositional
+// DSM proof) rests on a handful of global invariants that must hold
+// whenever a page is quiescent — no transfer transaction in flight:
+//
+//   1. Unique writer: at most one host holds WriteAccess to a page.
+//   2. The writer, if any, is the manager's recorded owner.
+//   3. The owner always holds a copy (read or write).
+//   4. Every holder is recorded: a host holding a copy is the owner or
+//      a copyset member — a stale copy surviving an invalidation is the
+//      classic silent coherence bug.
+//   5. Allocation metadata is sane: the allocated prefix fits the page
+//      and is a whole number of elements, so a conversion on migration
+//      covers exactly the allocated data.
+//
+// An InvariantChecker observes every Module of a cluster and asserts
+// these invariants at each protocol transition (fault serviced, page
+// installed, invalidation processed, transfer confirmed, update
+// sequenced, allocation distributed). It relies on the simulation
+// kernel's one-process-at-a-time execution: a checkpoint sees a
+// globally consistent snapshot without any locking.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation describes one invariant failure.
+type Violation struct {
+	// Point is the protocol transition that triggered the check.
+	Point string
+	// Page is the page whose invariant failed.
+	Page PageNo
+	// Msg explains the failure.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("dsm: invariant violated at %s, page %d: %s", v.Point, v.Page, v.Msg)
+}
+
+// InvariantChecker validates Li's global protocol invariants across all
+// modules of a cluster after every protocol transition.
+type InvariantChecker struct {
+	mods []*Module
+	// fail handles a violation; the default panics (so tests trip hard).
+	fail func(Violation)
+	// checks counts checkpoints executed (tests assert coverage).
+	checks int
+	// violations counts invariant failures delivered to fail.
+	violations int
+}
+
+// AttachChecker creates an InvariantChecker over the given modules
+// (normally every module of one cluster) and hooks it into each of
+// them. Call it once, after all modules are created.
+func AttachChecker(mods ...*Module) *InvariantChecker {
+	c := &InvariantChecker{mods: mods}
+	c.fail = func(v Violation) { panic(v.String()) }
+	for _, m := range mods {
+		m.check = c
+	}
+	return c
+}
+
+// SetFailHandler replaces the default panic with fn — used by tests
+// that deliberately break the protocol and expect the checker to trip.
+func (c *InvariantChecker) SetFailHandler(fn func(Violation)) { c.fail = fn }
+
+// Checks returns the number of checkpoints executed so far.
+func (c *InvariantChecker) Checks() int { return c.checks }
+
+// Violations returns the number of invariant failures observed.
+func (c *InvariantChecker) Violations() int { return c.violations }
+
+// byID returns the module for a host, or nil if it is not observed.
+func (c *InvariantChecker) byID(h HostID) *Module {
+	for _, m := range c.mods {
+		if m.id == h {
+			return m
+		}
+	}
+	return nil
+}
+
+// report delivers one violation.
+func (c *InvariantChecker) report(point string, page PageNo, format string, args ...any) {
+	c.violations++
+	c.fail(Violation{Point: point, Page: page, Msg: fmt.Sprintf(format, args...)})
+}
+
+// at is the checkpoint entry, called from Module hooks after each
+// protocol transition concerning page.
+func (c *InvariantChecker) at(point string, page PageNo) {
+	c.checks++
+	c.checkPage(point, page)
+}
+
+// CheckAll sweeps every page any module holds or manages — a final
+// whole-space audit for test teardown.
+func (c *InvariantChecker) CheckAll(point string) {
+	set := map[PageNo]struct{}{}
+	for _, m := range c.mods {
+		for pg := range m.local { // vet:ignore map-order — set insertion
+			set[pg] = struct{}{}
+		}
+		for pg := range m.mgr { // vet:ignore map-order — set insertion
+			set[pg] = struct{}{}
+		}
+		for pg := range m.meta { // vet:ignore map-order — set insertion
+			set[pg] = struct{}{}
+		}
+	}
+	pages := make([]PageNo, 0, len(set))
+	for pg := range set { // vet:ignore map-order — sorted below
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		c.checks++
+		c.checkPage(point, pg)
+	}
+}
+
+// checkPage asserts the global invariants for one page.
+func (c *InvariantChecker) checkPage(point string, page PageNo) {
+	if len(c.mods) == 0 {
+		return
+	}
+	cfg := c.mods[0].cfg
+
+	// Structural invariants hold in every state, even mid-transaction.
+	var writers []HostID
+	var holders []HostID
+	for _, m := range c.mods {
+		lp := m.local[page]
+		if lp == nil {
+			continue
+		}
+		if len(lp.data) != cfg.PageSize {
+			c.report(point, page, "host %d holds a %d-byte buffer for a %d-byte page",
+				m.id, len(lp.data), cfg.PageSize)
+		}
+		if lp.access == WriteAccess {
+			writers = append(writers, m.id)
+		}
+		if lp.access != NoAccess {
+			holders = append(holders, m.id)
+		}
+		if mt, ok := m.meta[page]; ok {
+			if mt.used < 0 || mt.used > cfg.PageSize {
+				c.report(point, page, "host %d records %d allocated bytes in a %d-byte page",
+					m.id, mt.used, cfg.PageSize)
+			}
+			if t, ok := cfg.Registry.Get(mt.typeID); ok && t.Size > 0 && mt.used%t.Size != 0 {
+				c.report(point, page, "host %d: allocated prefix %d is not whole %s elements (size %d)",
+					m.id, mt.used, t.Name, t.Size)
+			}
+		}
+	}
+	if len(writers) > 1 {
+		c.report(point, page, "multiple writable copies on hosts %v", writers)
+	}
+
+	if cfg.Policy == PolicyCentral {
+		// Central policy: the page lives only at its server; nobody
+		// caches. Any copy elsewhere is a protocol leak.
+		mgrMod := c.byID(c.mods[0].manager(page))
+		for _, h := range holders {
+			if mgrMod == nil || h != mgrMod.id {
+				c.report(point, page, "host %d caches a copy under the central-server policy", h)
+			}
+		}
+		return
+	}
+
+	// Manager-side invariants are asserted only when the page is
+	// quiescent: its transfer lock free, no confirmation outstanding.
+	mgrMod := c.byID(c.mods[0].manager(page))
+	if mgrMod == nil {
+		return
+	}
+	ent := mgrMod.mgr[page]
+	if ent == nil {
+		return // never faulted through its manager yet
+	}
+	if ent.lock.Count() == 0 {
+		return // transfer transaction in flight: transient states allowed
+	}
+
+	owner := c.byID(ent.owner)
+	if owner == nil {
+		c.report(point, page, "manager %d records unknown owner %d", mgrMod.id, ent.owner)
+		return
+	}
+	if owner.Access(page) == NoAccess {
+		c.report(point, page, "owner %d holds no copy", ent.owner)
+	}
+	for _, w := range writers {
+		if w != ent.owner {
+			c.report(point, page, "host %d holds the writable copy but manager %d records owner %d",
+				w, mgrMod.id, ent.owner)
+		}
+	}
+	for _, h := range holders {
+		if h == ent.owner {
+			continue
+		}
+		if _, in := ent.copyset[h]; !in {
+			c.report(point, page, "host %d holds a copy but is neither owner nor in the copyset %v (stale copy — missed invalidation?)",
+				h, copysetList(ent))
+		}
+	}
+}
+
+// copysetList renders a copyset deterministically for messages.
+func copysetList(ent *mgrEntry) []HostID {
+	out := make([]HostID, 0, len(ent.copyset))
+	for h := range ent.copyset { // vet:ignore map-order — sorted below
+		out = append(out, h)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/proto"
 	"repro/internal/remoteop"
+	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -150,6 +151,12 @@ type Config struct {
 	// (faults, fetches, serves, invalidations, upgrades) for offline
 	// analysis. It must not block.
 	Trace func(TraceEvent)
+	// SCRecorder, when set, records every typed access (per page span,
+	// in canonical representation) for offline sequential-consistency
+	// checking by internal/sctrace. One recorder serves the whole
+	// cluster; the kernel's one-process-at-a-time execution keeps it
+	// race-free.
+	SCRecorder *sctrace.Recorder
 }
 
 // TraceEvent is one DSM protocol action.
@@ -275,6 +282,13 @@ type Module struct {
 
 	alloc *allocator // non-nil only on the allocation manager (host 0)
 	stats Stats
+	// check, when attached, validates the global protocol invariants at
+	// every protocol transition (see check.go).
+	check *InvariantChecker
+	// testSkipInvalidations suppresses outgoing invalidations — a
+	// deliberate protocol mutation proving the invariant checker trips on
+	// a stale-copy coherence bug. Never set outside tests.
+	testSkipInvalidations bool
 	// pageFetches counts page bodies received, per page — the raw
 	// material of thrashing diagnosis (§3.3's "detailed statistics of
 	// the numbers of page faults and transfers").
@@ -444,6 +458,14 @@ func (m *Module) trace(event string, page PageNo) {
 	}
 }
 
+// checkpoint notifies the attached invariant checker, if any, that the
+// protocol transition named point concerning page just completed.
+func (m *Module) checkpoint(point string, page PageNo) {
+	if m.check != nil {
+		m.check.at(point, page)
+	}
+}
+
 // hasAccess reports whether the page is resident with sufficient rights.
 func (m *Module) hasAccess(page PageNo, write bool) bool {
 	lp := m.local[page]
@@ -481,7 +503,7 @@ type HotPage struct {
 // pages repeatedly refetched are the signature of thrashing (§3.3).
 func (m *Module) HotPages(n int) []HotPage {
 	out := make([]HotPage, 0, len(m.pageFetches))
-	for pg, c := range m.pageFetches {
+	for pg, c := range m.pageFetches { // vet:ignore map-order — sorted below
 		out = append(out, HotPage{Page: pg, Fetches: c})
 	}
 	sort.Slice(out, func(i, j int) bool {

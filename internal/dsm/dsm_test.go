@@ -15,10 +15,11 @@ import (
 
 // rig wires a kernel, network, endpoints and DSM modules for a cluster.
 type rig struct {
-	k    *sim.Kernel
-	cfg  *Config
-	net  *netsim.Network
-	mods []*Module
+	k     *sim.Kernel
+	cfg   *Config
+	net   *netsim.Network
+	mods  []*Module
+	check *InvariantChecker
 }
 
 type rigOpt func(*Config)
@@ -68,13 +69,19 @@ func newRig(t *testing.T, kinds []arch.Kind, opts ...rigOpt) *rig {
 		ep.Start()
 		r.mods = append(r.mods, mod)
 	}
+	// Every rig-based test runs under the protocol invariant checker; a
+	// violation anywhere in the protocol fails the test that drove it.
+	r.check = AttachChecker(r.mods...)
+	r.check.SetFailHandler(func(v Violation) { t.Error(v) })
 	return r
 }
 
-// run executes fn as a simulated process and drains the kernel.
+// run executes fn as a simulated process, drains the kernel, then
+// audits every page's invariants in the final quiescent state.
 func (r *rig) run(name string, fn func(p *sim.Proc)) {
 	r.k.Spawn(name, fn)
 	r.k.Run()
+	r.check.CheckAll("teardown")
 }
 
 func TestAllocAndLocalReadWrite(t *testing.T) {

@@ -22,16 +22,21 @@ const (
 // native VM page: under the smallest page size algorithm a Sun fault
 // fetches every missing 1 KB DSM page of the 8 KB VM page (§2.4).
 //
+// A zero-length span needs no access and succeeds immediately; a
+// negative length or a span reaching past the shared address space
+// (including one whose addr+n wraps the 32-bit address) is rejected
+// with an error before any protocol traffic.
+//
 // The loop re-checks after fetching because a page obtained early in a
 // multi-page fault can be stolen while later ones are fetched; repeated
 // iterations under contention are precisely the page-thrashing behaviour
 // studied in §3.3.
-func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) {
-	if n <= 0 {
-		return
-	}
+func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) error {
 	for {
-		pages := m.requiredPages(addr, n)
+		pages, err := m.requiredPages(addr, n)
+		if err != nil {
+			return err
+		}
 		var missing []PageNo
 		for _, pg := range pages {
 			if !m.hasAccess(pg, write) {
@@ -39,7 +44,7 @@ func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) {
 			}
 		}
 		if len(missing) == 0 {
-			return
+			return nil
 		}
 		// One native VM fault: handler invocation, local page table
 		// processing, request transmission (Table 1).
@@ -58,13 +63,37 @@ func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) {
 	}
 }
 
+// mustEnsureAccess is EnsureAccess for internal call sites whose spans
+// checkTyped already validated: a failure there is a module bug, not an
+// application error.
+func (m *Module) mustEnsureAccess(p *sim.Proc, addr Addr, n int, write bool) {
+	if err := m.EnsureAccess(p, addr, n, write); err != nil {
+		panic(fmt.Sprintf("dsm: host %d: %v", m.id, err))
+	}
+}
+
 // requiredPages lists the DSM pages that must be resident to touch
-// [addr, addr+n), expanded to whole native-VM-page groups.
-func (m *Module) requiredPages(addr Addr, n int) []PageNo {
+// [addr, addr+n), expanded to whole native-VM-page groups. The span is
+// validated in 64-bit arithmetic: Addr is 32 bits, so addr+n-1 computed
+// in Addr width can wrap around and silently turn an out-of-range
+// access into a fetch of low pages.
+func (m *Module) requiredPages(addr Addr, n int) ([]PageNo, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("access at %d with negative length %d", addr, n)
+	}
+	end := uint64(addr) + uint64(n)
+	if end > uint64(m.cfg.SpaceSize) {
+		return nil, fmt.Errorf("access [%d,%d) beyond the %d-byte shared space", addr, end, m.cfg.SpaceSize)
+	}
+	if n == 0 {
+		return nil, nil
+	}
 	first := m.PageOf(addr)
-	last := m.PageOf(addr + Addr(n) - 1)
+	last := m.PageOf(Addr(end - 1))
 	g := PageNo(m.groupSize())
 	first = first / g * g
+	// Group expansion may reach past the end of the space; the space is
+	// not required to be a whole number of VM-page groups, so clamp.
 	last = last/g*g + g - 1
 	if max := PageNo(m.NumPages() - 1); last > max {
 		last = max
@@ -73,7 +102,7 @@ func (m *Module) requiredPages(addr Addr, n int) []PageNo {
 	for pg := first; pg <= last; pg++ {
 		pages = append(pages, pg)
 	}
-	return pages
+	return pages, nil
 }
 
 // faultPage obtains one DSM page with the requested right. Concurrent
@@ -82,6 +111,9 @@ func (m *Module) requiredPages(addr Addr, n int) []PageNo {
 func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) {
 	l := m.faultLockFor(page)
 	l.P(p)
+	// Deferred before the lock release so it runs after it (LIFO): the
+	// checker sees the page with the fault fully serviced.
+	defer m.checkpoint("fault-serviced", page)
 	defer l.V()
 	if m.hasAccess(page, write) {
 		return // another local thread fetched it meanwhile
@@ -178,6 +210,9 @@ func (m *Module) handleGetPage(p *sim.Proc, req *proto.Message) {
 	requester := HostID(req.From)
 	ent := m.mgrEntryFor(page)
 	ent.lock.P(p)
+	// Deferred before the lock release so it runs after it (LIFO): the
+	// checker audits the quiescent state each transfer leaves behind.
+	defer m.checkpoint("transfer-complete", page)
 	defer ent.lock.V()
 	m.protoCPU.Use(p, m.jittered(m.cfg.Params.ManagerProcess.Of(m.arch.Kind)))
 	ent.confirmed = false
@@ -252,7 +287,7 @@ func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, 
 // copy must be invalidated explicitly too.
 func (m *Module) invalidationTargets(ent *mgrEntry, requester HostID, requesterUpgrades bool) []HostID {
 	var targets []HostID
-	for h := range ent.copyset {
+	for h := range ent.copyset { // vet:ignore map-order — sorted below
 		if h == requester || h == ent.owner {
 			continue
 		}
@@ -278,6 +313,9 @@ func (m *Module) invalidationTargets(ent *mgrEntry, requester HostID, requesterU
 // for the argument list (or the unicast ablation) fall back to
 // individual calls. The local copy, if targeted, is dropped directly.
 func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) {
+	if m.testSkipInvalidations {
+		return // deliberate coherence bug for checker tests
+	}
 	remote := targets[:0:0]
 	for _, h := range targets {
 		if h == m.id {
@@ -326,7 +364,7 @@ func (m *Module) readSource(ent *mgrEntry, requester HostID) HostID {
 		return src
 	}
 	best := HostID(-1)
-	for h := range ent.copyset {
+	for h := range ent.copyset { // vet:ignore map-order — min over the set commutes
 		if h == requester || m.hosts[h].Kind != want {
 			continue
 		}
@@ -443,6 +481,7 @@ func (m *Module) installBody(p *sim.Proc, page PageNo, resp *proto.Message, writ
 		panic(fmt.Sprintf("dsm: page reply for %d with neither data nor upgrade", page))
 	}
 	p.Sleep(m.jittered(m.cfg.Params.InstallCost.Of(m.arch.Kind)))
+	m.checkpoint("page-installed", page)
 }
 
 // awaitConfirm parks the manager transaction until the requester reports
@@ -466,6 +505,7 @@ func (m *Module) handleOwnerUpdate(p *sim.Proc, req *proto.Message) {
 			ent.confirmArmed = false
 			m.k.Wake(ent.confirmW, sim.WakeSignal)
 		}
+		m.checkpoint("owner-confirmed", page)
 	}
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindOwnerUpdateAck, Page: req.Page})
 }
@@ -492,5 +532,6 @@ func (m *Module) handleInvalidate(p *sim.Proc, req *proto.Message) {
 	}
 	m.stats.InvalidationsReceived++
 	m.trace("invalidate", PageNo(req.Page))
+	m.checkpoint("invalidated", PageNo(req.Page))
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindInvalidateAck, Page: req.Page})
 }

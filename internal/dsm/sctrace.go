@@ -1,0 +1,59 @@
+package dsm
+
+// Sequential-consistency trace recording. When Config.SCRecorder is
+// set, every typed access that flows through readRegion/writeRegion is
+// recorded per page span, with the bytes canonicalized to the Sun
+// representation so traces from heterogeneous hosts compare directly
+// (a Firefly's little-endian VAX floats and a Sun's big-endian IEEE
+// floats of the same value record identically). The offline checker in
+// internal/sctrace then validates the run against sequential
+// consistency using the virtual clock as the witness order.
+
+import (
+	"repro/internal/arch"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// recordSC appends one span access to the attached trace recorder.
+// start is the virtual time the enclosing access began (before any
+// fault it triggered); the end time is the current clock.
+func (m *Module) recordSC(p *sim.Proc, kind sctrace.OpKind, start sim.Time, addr Addr, data []byte) {
+	rec := m.cfg.SCRecorder
+	if rec == nil {
+		return
+	}
+	rec.Record(kind, int(m.id), p.Name(), int64(start), int64(p.Now()), uint32(addr), m.canonicalBytes(addr, data))
+}
+
+// canonicalBytes converts one page span's native bytes to the canonical
+// (Sun) representation. Pointers are canonicalized too: rebasing by the
+// base-address difference maps every stored pointer to the Sun-virtual
+// form regardless of which host recorded it. Bytes that cannot be
+// converted (no metadata, or a partial element) are recorded raw.
+func (m *Module) canonicalBytes(addr Addr, data []byte) []byte {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	if m.arch.Compatible(arch.SunArch) {
+		return buf
+	}
+	mt, ok := m.meta[m.PageOf(addr)]
+	if !ok {
+		return buf
+	}
+	typ, ok := m.cfg.Registry.Get(mt.typeID)
+	if !ok || typ.Size <= 0 {
+		return buf
+	}
+	n := len(buf) / typ.Size
+	if n == 0 {
+		return buf
+	}
+	ptrOff := int32(m.base(arch.Sun)) - int32(m.base(m.arch.Kind))
+	if _, err := m.cfg.Registry.ConvertRegion(mt.typeID, buf[:n*typ.Size], m.arch, arch.SunArch, ptrOff); err != nil {
+		// Unconvertible data is recorded raw; a resulting cross-host
+		// mismatch is exactly what the checker should surface.
+		copy(buf, data)
+	}
+	return buf
+}

@@ -1,0 +1,76 @@
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/conv"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+func withSCRecorder(rec *sctrace.Recorder) rigOpt {
+	return func(c *Config) { c.SCRecorder = rec }
+}
+
+// TestSCTraceHeterogeneousSharingConsistent drives int32 and float32
+// data between a Sun and a Firefly and validates the recorded trace:
+// the canonical representation must make the two hosts' views of the
+// same values byte-identical despite opposite endianness and float
+// formats.
+func TestSCTraceHeterogeneousSharingConsistent(t *testing.T) {
+	rec := sctrace.NewRecorder()
+	r := newRig(t, []arch.Kind{arch.Sun, arch.Firefly}, withSCRecorder(rec))
+	r.run("main", func(p *sim.Proc) {
+		ai, err := r.mods[0].Alloc(p, conv.Int32, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		af, err := r.mods[0].Alloc(p, conv.Float32, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ints := make([]int32, 16)
+		floats := make([]float32, 16)
+		for i := range ints {
+			ints[i] = int32(0x01020304 * (i + 1))
+			floats[i] = 1.5 * float32(i+1)
+		}
+		r.mods[0].WriteInt32s(p, ai, ints)
+		r.mods[0].WriteFloat32s(p, af, floats)
+		r.mods[1].ReadInt32s(p, ai, make([]int32, 16))
+		r.mods[1].ReadFloat32s(p, af, make([]float32, 16))
+		r.mods[1].WriteInt32s(p, ai, ints)
+		r.mods[0].ReadInt32s(p, ai, make([]int32, 16))
+	})
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if v := sctrace.Check(rec.Ops()); len(v) != 0 {
+		t.Fatalf("heterogeneous sharing not sequentially consistent:\n%s", sctrace.Report(v, 5))
+	}
+}
+
+// TestSCTraceFlagsDisabledConversion turns data conversion off (the
+// corruption ablation) and shows the checker catches it: the Firefly
+// reads the Sun's big-endian bytes as little-endian values that no
+// write ever produced.
+func TestSCTraceFlagsDisabledConversion(t *testing.T) {
+	rec := sctrace.NewRecorder()
+	r := newRig(t, []arch.Kind{arch.Sun, arch.Firefly},
+		withSCRecorder(rec), withoutConversion())
+	r.run("main", func(p *sim.Proc) {
+		addr, err := r.mods[0].Alloc(p, conv.Int32, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.mods[0].WriteInt32s(p, addr, []int32{0x01020304, 0x11223344, 0x55667788, 0x0A0B0C0D})
+		r.mods[1].ReadInt32s(p, addr, make([]int32, 4))
+	})
+	if v := sctrace.Check(rec.Ops()); len(v) == 0 {
+		t.Fatal("conversion-disabled corruption went undetected by the SC checker")
+	}
+}

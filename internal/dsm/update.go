@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/proto"
+	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -28,12 +29,14 @@ func (m *Module) updateWriteRegion(p *sim.Proc, addr Addr, n int, fill func(seg 
 		pg := m.PageOf(Addr(pos))
 		pageStart := int(pg) * m.cfg.PageSize
 		hi := min(end, pageStart+m.cfg.PageSize)
+		t0 := p.Now()
 		// The writer keeps a read replica (faulting it in if needed) so
 		// its own copy stays current once the update is sequenced.
-		m.EnsureAccess(p, Addr(pos), hi-pos, false)
+		m.mustEnsureAccess(p, Addr(pos), hi-pos, false)
 		seg := make([]byte, hi-pos)
 		fill(seg, off)
 		m.sequenceWrite(p, pg, pos-pageStart, seg)
+		m.recordSC(p, sctrace.Write, t0, Addr(pos), seg)
 		off += hi - pos
 		pos = hi
 	}
@@ -77,12 +80,15 @@ func (m *Module) handleUpdateWrite(p *sim.Proc, req *proto.Message) {
 func (m *Module) sequenceUpdate(p *sim.Proc, page PageNo, offset int, data []byte, writer HostID, writerKind arch.Kind) {
 	ent := m.mgrEntryFor(page)
 	ent.lock.P(p)
+	// Deferred before the lock release so it runs after it (LIFO): the
+	// checker audits the state each sequenced update leaves behind.
+	defer m.checkpoint("update-sequenced", page)
 	defer ent.lock.V()
 	m.protoCPU.Use(p, m.jittered(m.cfg.Params.ManagerProcess.Of(m.arch.Kind)))
 	ent.copyset[writer] = struct{}{}
 
 	var targets []HostID
-	for h := range ent.copyset {
+	for h := range ent.copyset { // vet:ignore map-order — sorted below
 		if h != writer && h != m.id {
 			targets = append(targets, h)
 		}
@@ -162,6 +168,7 @@ func (m *Module) handleApplyUpdate(p *sim.Proc, req *proto.Message) {
 		m.stats.UpdatesApplied++
 		m.trace("apply-update", page)
 	}
+	m.checkpoint("update-applied", page)
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindApplyUpdateAck, Page: req.Page})
 }
 

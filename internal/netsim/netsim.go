@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -122,9 +123,18 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 
 func (n *Network) deliver(f Frame) {
 	if f.To == Broadcast {
-		for id, ifc := range n.ifaces {
+		// Deliver in host order: the receivers' mailbox wake-ups all
+		// land at the same virtual instant, so the put order decides
+		// the scheduling order — a map-ordered walk here made
+		// broadcast-heavy runs (multicast invalidation) nondeterministic.
+		ids := make([]HostID, 0, len(n.ifaces))
+		for id := range n.ifaces { // vet:ignore map-order — sorted below
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			if id != f.From {
-				ifc.rx.Put(f)
+				n.ifaces[id].rx.Put(f)
 			}
 		}
 		return

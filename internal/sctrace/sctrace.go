@@ -1,0 +1,254 @@
+// Package sctrace records per-host DSM read/write traces and checks
+// recorded executions against sequential consistency.
+//
+// Li's MRSW write-invalidate protocol promises sequential consistency:
+// some single interleaving of all hosts' reads and writes — consistent
+// with each thread's program order — explains every value every read
+// returned. In a deterministic discrete-event simulation that witness
+// interleaving does not have to be searched for: the kernel's virtual
+// clock supplies one. The checker orders all operations by completion
+// time and verifies that each read returns the latest value written to
+// each of its bytes in that order (with a one-deep allowance for
+// operations whose time intervals genuinely overlap, where sequential
+// consistency permits either outcome).
+//
+// Values are recorded in a canonical representation (the DSM module
+// converts native bytes to the Sun wire form before recording), so
+// traces from heterogeneous hosts are directly comparable: a Firefly's
+// little-endian VAX-float bytes and a Sun's big-endian IEEE bytes of the
+// same value record identically. A coherence bug — a stale page read
+// after an invalidation should have destroyed it, a lost update, a torn
+// conversion — surfaces as a read whose bytes match no admissible write.
+package sctrace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind uint8
+
+const (
+	// Read is a DSM load.
+	Read OpKind = iota + 1
+	// Write is a DSM store.
+	Write
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one recorded DSM access.
+type Op struct {
+	// Kind says whether this is a read or a write.
+	Kind OpKind
+	// Host is the host the access executed on.
+	Host int
+	// Proc identifies the program-order stream (thread) of the access;
+	// operations with equal Proc must appear in program order.
+	Proc string
+	// Seq is the global record sequence number; it breaks timestamp
+	// ties and preserves program order within a virtual instant.
+	Seq uint64
+	// Start and End are the access's virtual-time interval in
+	// nanoseconds since simulation start.
+	Start, End int64
+	// Addr is the DSM address of the first byte accessed.
+	Addr uint32
+	// Data holds the canonical bytes read or written.
+	Data []byte
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("%s host=%d proc=%s seq=%d [%d,%d] addr=%d len=%d",
+		o.Kind, o.Host, o.Proc, o.Seq, o.Start, o.End, o.Addr, len(o.Data))
+}
+
+// Recorder accumulates a trace. It is not safe for concurrent use; the
+// simulation kernel's one-process-at-a-time discipline is what makes a
+// single recorder per cluster sound.
+type Recorder struct {
+	ops []Op
+	seq uint64
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one operation, stamping its sequence number. The data
+// bytes are copied.
+func (r *Recorder) Record(kind OpKind, host int, proc string, start, end int64, addr uint32, data []byte) {
+	r.seq++
+	d := make([]byte, len(data))
+	copy(d, data)
+	r.ops = append(r.ops, Op{
+		Kind: kind, Host: host, Proc: proc, Seq: r.seq,
+		Start: start, End: end, Addr: addr, Data: d,
+	})
+}
+
+// Ops returns the recorded trace in record order.
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Reset discards the trace (sequence numbers keep increasing, so
+// concatenated traces stay totally ordered).
+func (r *Recorder) Reset() { r.ops = nil }
+
+// Violation is one sequential-consistency failure: a read that returned
+// a value no admissible write (under the virtual-clock witness order)
+// stored, or an operation breaking program order.
+type Violation struct {
+	// Op is the offending operation.
+	Op Op
+	// Addr is the first inconsistent byte's DSM address (reads).
+	Addr uint32
+	// Got and Want are the byte read and the byte the witness order
+	// requires (reads).
+	Got, Want byte
+	// Msg explains the failure.
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("sctrace: %s: %s", v.Msg, v.Op)
+}
+
+// byteState tracks the last two writes to one byte, enough to admit
+// either outcome of a write racing a read.
+type byteState struct {
+	cur       byte  // value of the latest write in witness order
+	prev      byte  // value before that write
+	curEnd    int64 // completion time of the latest write
+	hasWrite  bool
+	hasPrev   bool
+	prevEnd   int64
+	prevStart int64
+	curStart  int64
+}
+
+// Check validates a trace against sequential consistency using the
+// virtual clock as the witness order. It returns the violations found
+// (nil for a consistent trace).
+//
+// The witness order sorts operations by completion time, breaking ties
+// by record sequence. Within that order every read must return, for
+// each byte, either the value of the latest earlier write to that byte,
+// or — when that write's interval overlaps the read's (the race was
+// real and sequential consistency admits both outcomes) — the value it
+// replaced. Unwritten bytes read as zero (DSM pages start zero-filled).
+// Program order is verified per Proc stream: a stream's operations must
+// carry non-decreasing timestamps in record order.
+func Check(ops []Op) []Violation {
+	var violations []Violation
+
+	// Program order: each stream's record order must agree with time.
+	lastEnd := make(map[string]int64)
+	lastSeq := make(map[string]uint64)
+	for _, op := range ops {
+		key := fmt.Sprintf("%d/%s", op.Host, op.Proc)
+		if s, ok := lastSeq[key]; ok {
+			if op.Seq <= s || op.End < lastEnd[key] {
+				violations = append(violations, Violation{
+					Op:  op,
+					Msg: fmt.Sprintf("program order violated on stream %s", key),
+				})
+			}
+		}
+		lastSeq[key] = op.Seq
+		lastEnd[key] = op.End
+		if op.End < op.Start {
+			violations = append(violations, Violation{Op: op, Msg: "operation ends before it starts"})
+		}
+	}
+
+	order := make([]Op, len(ops))
+	copy(order, ops)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].End != order[j].End {
+			return order[i].End < order[j].End
+		}
+		return order[i].Seq < order[j].Seq
+	})
+
+	state := make(map[uint32]*byteState)
+	for _, op := range order {
+		switch op.Kind {
+		case Write:
+			for i, b := range op.Data {
+				a := op.Addr + uint32(i)
+				st := state[a]
+				if st == nil {
+					st = &byteState{}
+					state[a] = st
+				}
+				st.prev, st.hasPrev = st.cur, st.hasWrite
+				st.prevEnd, st.prevStart = st.curEnd, st.curStart
+				st.cur, st.curEnd, st.curStart = b, op.End, op.Start
+				st.hasWrite = true
+			}
+		case Read:
+			for i, got := range op.Data {
+				a := op.Addr + uint32(i)
+				st := state[a]
+				want := byte(0)
+				if st != nil && st.hasWrite {
+					want = st.cur
+				}
+				if got == want {
+					continue
+				}
+				// The latest write may overlap this read; then the
+				// pre-write value is an equally valid outcome.
+				if st != nil && st.hasWrite && st.curEnd >= op.Start {
+					old := byte(0)
+					if st.hasPrev {
+						old = st.prev
+					}
+					if got == old {
+						continue
+					}
+				}
+				violations = append(violations, Violation{
+					Op: op, Addr: a, Got: got, Want: want,
+					Msg: fmt.Sprintf("read of addr %d returned %#02x, witness order requires %#02x", a, got, want),
+				})
+				break // one violation per read op keeps reports readable
+			}
+		default:
+			violations = append(violations, Violation{Op: op, Msg: "unknown operation kind"})
+		}
+	}
+	return violations
+}
+
+// Report renders violations as a human-readable multi-line string, at
+// most limit entries (0 means all).
+func Report(violations []Violation, limit int) string {
+	if len(violations) == 0 {
+		return "sctrace: trace is sequentially consistent"
+	}
+	if limit <= 0 || limit > len(violations) {
+		limit = len(violations)
+	}
+	out := fmt.Sprintf("sctrace: %d violation(s):\n", len(violations))
+	for _, v := range violations[:limit] {
+		out += "  " + v.String() + "\n"
+	}
+	if limit < len(violations) {
+		out += fmt.Sprintf("  ... and %d more\n", len(violations)-limit)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package sctrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// w and r build trace operations compactly for hand-crafted tests.
+func w(host int, proc string, seq uint64, start, end int64, addr uint32, data ...byte) Op {
+	return Op{Kind: Write, Host: host, Proc: proc, Seq: seq, Start: start, End: end, Addr: addr, Data: data}
+}
+
+func r(host int, proc string, seq uint64, start, end int64, addr uint32, data ...byte) Op {
+	return Op{Kind: Read, Host: host, Proc: proc, Seq: seq, Start: start, End: end, Addr: addr, Data: data}
+}
+
+func TestConsistentTraceAccepted(t *testing.T) {
+	trace := []Op{
+		w(0, "main", 1, 0, 10, 100, 1, 2, 3, 4),
+		r(1, "t1", 2, 20, 30, 100, 1, 2, 3, 4),
+		w(1, "t1", 3, 30, 40, 102, 9),
+		r(0, "main", 4, 50, 60, 100, 1, 2, 9, 4),
+		r(2, "t2", 5, 70, 80, 104, 0, 0), // never written: zero
+	}
+	if v := Check(trace); len(v) != 0 {
+		t.Fatalf("consistent trace rejected: %s", Report(v, 0))
+	}
+}
+
+func TestStaleReadRejected(t *testing.T) {
+	// Host 1 reads the old value long after host 0's write completed —
+	// the signature of a missed invalidation.
+	trace := []Op{
+		w(0, "main", 1, 0, 10, 100, 7),
+		w(0, "main", 2, 20, 30, 100, 8),
+		r(1, "t1", 3, 100, 110, 100, 7),
+	}
+	v := Check(trace)
+	if len(v) == 0 {
+		t.Fatal("stale read accepted")
+	}
+	if v[0].Addr != 100 || v[0].Got != 7 || v[0].Want != 8 {
+		t.Fatalf("wrong violation: %+v", v[0])
+	}
+}
+
+func TestNeverWrittenValueRejected(t *testing.T) {
+	trace := []Op{
+		w(0, "main", 1, 0, 10, 100, 5),
+		r(1, "t1", 2, 20, 30, 100, 42), // 42 was never written
+	}
+	if v := Check(trace); len(v) == 0 {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+func TestOverlappingWriteAdmitsEitherOutcome(t *testing.T) {
+	// The read's interval overlaps the second write: sequential
+	// consistency admits both the old and the new value.
+	old := []Op{
+		w(0, "main", 1, 0, 10, 100, 7),
+		w(0, "main", 2, 40, 60, 100, 8),
+		r(1, "t1", 3, 45, 65, 100, 7), // saw the pre-write value
+	}
+	if v := Check(old); len(v) != 0 {
+		t.Fatalf("racy read of old value rejected: %s", Report(v, 0))
+	}
+	fresh := []Op{
+		w(0, "main", 1, 0, 10, 100, 7),
+		w(0, "main", 2, 40, 60, 100, 8),
+		r(1, "t1", 3, 45, 65, 100, 8), // saw the new value
+	}
+	if v := Check(fresh); len(v) != 0 {
+		t.Fatalf("racy read of new value rejected: %s", Report(v, 0))
+	}
+	// But a value from two writes back is not admissible.
+	ancient := []Op{
+		w(0, "main", 1, 0, 10, 100, 6),
+		w(0, "main", 2, 20, 30, 100, 7),
+		w(0, "main", 3, 40, 60, 100, 8),
+		r(1, "t1", 4, 45, 65, 100, 6),
+	}
+	if v := Check(ancient); len(v) == 0 {
+		t.Fatal("two-generations-stale read accepted")
+	}
+}
+
+func TestProgramOrderViolationRejected(t *testing.T) {
+	trace := []Op{
+		{Kind: Read, Host: 0, Proc: "main", Seq: 5, Start: 50, End: 60, Addr: 0, Data: []byte{0}},
+		{Kind: Read, Host: 0, Proc: "main", Seq: 6, Start: 10, End: 20, Addr: 0, Data: []byte{0}},
+	}
+	v := Check(trace)
+	if len(v) == 0 {
+		t.Fatal("program-order violation accepted")
+	}
+	if !strings.Contains(v[0].Msg, "program order") {
+		t.Fatalf("wrong violation message: %q", v[0].Msg)
+	}
+}
+
+func TestRecorderCopiesData(t *testing.T) {
+	rec := NewRecorder()
+	buf := []byte{1, 2, 3}
+	rec.Record(Write, 0, "main", 0, 1, 0, buf)
+	buf[0] = 99
+	if rec.Ops()[0].Data[0] != 1 {
+		t.Fatal("recorder aliased caller's buffer")
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	rec.Record(Read, 1, "t", 2, 3, 0, []byte{1, 2, 3})
+	if got := rec.Ops()[1].Seq; got != 2 {
+		t.Fatalf("seq = %d, want 2", got)
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatal("Reset did not clear ops")
+	}
+	rec.Record(Write, 0, "main", 4, 5, 0, []byte{9})
+	if got := rec.Ops()[0].Seq; got != 3 {
+		t.Fatalf("seq after reset = %d, want 3 (monotonic)", got)
+	}
+}
+
+func TestMultiByteTornReadRejected(t *testing.T) {
+	// A 4-byte value written atomically; a much later read sees half of
+	// the old value and half of the new — a torn conversion or a lost
+	// partial update.
+	trace := []Op{
+		w(0, "main", 1, 0, 10, 200, 0xAA, 0xAA, 0xAA, 0xAA),
+		w(0, "main", 2, 20, 30, 200, 0xBB, 0xBB, 0xBB, 0xBB),
+		r(1, "t1", 3, 100, 110, 200, 0xBB, 0xBB, 0xAA, 0xAA),
+	}
+	if v := Check(trace); len(v) == 0 {
+		t.Fatal("torn read accepted")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	if got := Report(nil, 0); !strings.Contains(got, "sequentially consistent") {
+		t.Fatalf("empty report: %q", got)
+	}
+	v := Check([]Op{
+		w(0, "main", 1, 0, 10, 100, 7),
+		r(1, "a", 2, 20, 30, 100, 1),
+		r(1, "b", 3, 20, 30, 100, 2),
+	})
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %d", len(v))
+	}
+	rep := Report(v, 1)
+	if !strings.Contains(rep, "2 violation") || !strings.Contains(rep, "1 more") {
+		t.Fatalf("truncated report: %q", rep)
+	}
+}

@@ -249,7 +249,7 @@ func (k *Kernel) step(e *event) {
 // indicates a deadlock in the simulated system.
 func (k *Kernel) Stalled() []string {
 	names := make([]string, 0, len(k.procs))
-	for _, p := range k.procs {
+	for _, p := range k.procs { // vet:ignore map-order — sorted below
 		names = append(names, p.name)
 	}
 	sort.Strings(names)

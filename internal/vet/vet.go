@@ -1,0 +1,485 @@
+// Package vet implements mermaid-vet, the project's own static
+// analyzer. It enforces invariants the general Go toolchain cannot
+// know about:
+//
+//   - pv-pairing: every semaphore acquisition (`x.P(...)`) in the DSM,
+//     synchronization and thread packages must have a matching release
+//     (`x.V(...)`) in the same function — the simulation deadlocks
+//     silently otherwise.
+//   - time: wall-clock time (`time.Now` and friends) must not leak
+//     into the simulation packages; all time is the kernel's virtual
+//     clock, and one stray `time.Now` destroys run-to-run determinism.
+//   - rand: the global `math/rand` state is forbidden in simulation
+//     packages; only explicitly seeded generators
+//     (`rand.New(rand.NewSource(seed))`) are deterministic.
+//   - map-order: ranging over a map in simulation packages is flagged —
+//     Go randomizes iteration order, so any map-ordered protocol or
+//     event action varies run to run. Provably order-insensitive
+//     ranges carry a `vet:ignore map-order` comment.
+//   - page-buffer: DSM page byte buffers (`localPage.data`) may be
+//     indexed or sliced only inside the access layer; protocol code
+//     elsewhere reaching into raw page bytes bypasses the typed,
+//     conversion-aware gateway.
+//   - enum-switch: a switch over one of the project's enum types
+//     (Access, Policy, message kinds, ...) must either cover every
+//     declared constant or have a default clause; silently falling
+//     through on a newly added enum value is how protocol dispatchers
+//     rot.
+//
+// Findings on a line carrying a `vet:ignore <rule>` comment are
+// suppressed.
+//
+// The analyzer is built only on the standard library (go/ast,
+// go/parser, go/types): it parses each package from source and
+// type-checks it with whatever importer the caller provides, degrading
+// gracefully — rules that need type information simply see less when
+// an import cannot be resolved.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the rule that fired (pv-pairing, time, rand,
+	// map-order, page-buffer, enum-switch).
+	Rule string
+	// Msg explains the violation.
+	Msg string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Config scopes the rules to package import paths.
+type Config struct {
+	// PVPackages lists packages subject to the pv-pairing rule.
+	PVPackages []string
+	// DeterminismPackages lists packages subject to the time, rand and
+	// map-order rules.
+	DeterminismPackages []string
+	// PageBufferPackages lists packages subject to the page-buffer
+	// rule.
+	PageBufferPackages []string
+	// PageBufferAllow lists file basenames (the access layer) where
+	// direct page-buffer indexing is legal.
+	PageBufferAllow []string
+	// EnumModulePrefix restricts the enum-switch rule to enum types
+	// declared in packages with this import-path prefix. Empty means
+	// every named type qualifies.
+	EnumModulePrefix string
+}
+
+// DefaultConfig returns the project's rule scoping for the module with
+// the given path.
+func DefaultConfig(module string) *Config {
+	j := func(p string) string { return path.Join(module, p) }
+	return &Config{
+		PVPackages:          []string{j("internal/dsm"), j("internal/dsync"), j("internal/threads")},
+		DeterminismPackages: []string{j("internal/sim"), j("internal/dsm"), j("internal/netsim")},
+		PageBufferPackages:  []string{j("internal/dsm")},
+		PageBufferAllow:     []string{"access.go", "protocol.go", "central.go", "update.go"},
+		EnumModulePrefix:    module,
+	}
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Fset positions every file.
+	Fset *token.FileSet
+	// Path is the package import path.
+	Path string
+	// Files are the parsed non-test sources.
+	Files []*ast.File
+	// Info holds whatever type information checking produced.
+	Info *types.Info
+	// Types is the checked package (possibly incomplete).
+	Types *types.Package
+}
+
+// lenientImporter resolves imports through inner when possible and
+// substitutes an empty placeholder package otherwise, so type checking
+// always proceeds and rules degrade instead of aborting.
+type lenientImporter struct {
+	inner types.Importer
+	cache map[string]*types.Package
+}
+
+func (li *lenientImporter) Import(p string) (*types.Package, error) {
+	if p == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := li.cache[p]; ok {
+		return pkg, nil
+	}
+	if li.inner != nil {
+		if pkg, err := li.inner.Import(p); err == nil && pkg != nil {
+			li.cache[p] = pkg
+			return pkg, nil
+		}
+	}
+	name := path.Base(p)
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		name = name[i+1:]
+	}
+	pkg := types.NewPackage(p, name)
+	pkg.MarkComplete()
+	li.cache[p] = pkg
+	return pkg, nil
+}
+
+// NewPackage type-checks parsed files into an analyzable Package.
+// Type errors are tolerated: the checker records what it can resolve
+// and the rules consult only that.
+func NewPackage(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) *Package {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: &lenientImporter{inner: imp, cache: map[string]*types.Package{}},
+		Error:    func(error) {}, // collect partial info, never abort
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	return &Package{Fset: fset, Path: importPath, Files: files, Info: info, Types: tpkg}
+}
+
+// Check runs every applicable rule over the package.
+func Check(pkg *Package, cfg *Config) []Finding {
+	c := &checker{pkg: pkg, cfg: cfg}
+	for _, f := range pkg.Files {
+		c.file = f
+		c.ignores = collectIgnores(pkg.Fset, f)
+		if slices.Contains(cfg.PVPackages, pkg.Path) {
+			c.checkPV(f)
+		}
+		if slices.Contains(cfg.DeterminismPackages, pkg.Path) {
+			c.checkDeterminism(f)
+		}
+		if slices.Contains(cfg.PageBufferPackages, pkg.Path) {
+			c.checkPageBuffer(f)
+		}
+		c.checkEnumSwitch(f)
+	}
+	sort.Slice(c.findings, func(i, j int) bool {
+		a, b := c.findings[i].Pos, c.findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return c.findings
+}
+
+type checker struct {
+	pkg      *Package
+	cfg      *Config
+	file     *ast.File
+	ignores  map[int][]string
+	findings []Finding
+}
+
+// collectIgnores maps line numbers to the vet:ignore directives found
+// on them.
+func collectIgnores(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			txt := cm.Text
+			i := strings.Index(txt, "vet:ignore")
+			if i < 0 {
+				continue
+			}
+			line := fset.Position(cm.Pos()).Line
+			out[line] = append(out[line], txt[i:])
+		}
+	}
+	return out
+}
+
+// report files a finding unless the line carries vet:ignore <rule>.
+func (c *checker) report(pos token.Pos, rule, format string, args ...any) {
+	p := c.pkg.Fset.Position(pos)
+	for _, d := range c.ignores[p.Line] {
+		if strings.HasPrefix(d, "vet:ignore "+rule) {
+			return
+		}
+	}
+	c.findings = append(c.findings, Finding{Pos: p, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---- pv-pairing ----------------------------------------------------
+
+// checkPV verifies that every `x.P(...)` in a function has a matching
+// `x.V(...)` (possibly deferred) on the same receiver expression in
+// the same function. Functions themselves named P or V — the semaphore
+// implementations — are exempt.
+func (c *checker) checkPV(f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Name.Name == "P" || fd.Name.Name == "V" {
+			continue
+		}
+		type pcall struct {
+			pos  token.Pos
+			recv string
+		}
+		var ps []pcall
+		vs := map[string]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "P":
+				ps = append(ps, pcall{pos: call.Pos(), recv: types.ExprString(sel.X)})
+			case "V":
+				vs[types.ExprString(sel.X)] = true
+			}
+			return true
+		})
+		for _, p := range ps {
+			if !vs[p.recv] {
+				c.report(p.pos, "pv-pairing",
+					"%s.P acquired in %s with no matching %s.V in the same function",
+					p.recv, fd.Name.Name, p.recv)
+			}
+		}
+	}
+}
+
+// ---- determinism: time, rand, map-order ----------------------------
+
+// forbiddenTime lists wall-clock accessors that break virtual-time
+// determinism.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true,
+	"NewTicker": true, "Sleep": true,
+}
+
+// allowedRand lists math/rand functions that construct explicitly
+// seeded generators (the only deterministic way in).
+var allowedRand = map[string]bool{"New": true, "NewSource": true}
+
+func (c *checker) checkDeterminism(f *ast.File) {
+	// Resolve the local names of the time and math/rand imports.
+	timeNames := map[string]bool{}
+	randNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path.Base(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch p {
+		case "time":
+			timeNames[name] = true
+		case "math/rand", "math/rand/v2":
+			randNames[name] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			// Only calls matter: referencing types like rand.Rand or
+			// constants like time.Millisecond is deterministic.
+			sel, ok := node.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Confirm the identifier denotes the package, not a local.
+			if obj, resolved := c.pkg.Info.Uses[id]; resolved {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			if timeNames[id.Name] && forbiddenTime[sel.Sel.Name] {
+				c.report(node.Pos(), "time",
+					"wall-clock time.%s in a simulation package; use the kernel's virtual clock",
+					sel.Sel.Name)
+			}
+			if randNames[id.Name] && !allowedRand[sel.Sel.Name] {
+				c.report(node.Pos(), "rand",
+					"global math/rand state (rand.%s) in a simulation package; use a seeded rand.New(rand.NewSource(...))",
+					sel.Sel.Name)
+			}
+		case *ast.RangeStmt:
+			tv, ok := c.pkg.Info.Types[node.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				c.report(node.Pos(), "map-order",
+					"range over map %s: iteration order is randomized and leaks into simulation behaviour (sort keys, or annotate a provably order-insensitive walk with vet:ignore map-order)",
+					types.ExprString(node.X))
+			}
+		}
+		return true
+	})
+}
+
+// ---- page-buffer ---------------------------------------------------
+
+// checkPageBuffer flags indexing or slicing of page byte buffers
+// (selector `.data`, the localPage field) outside the access layer.
+func (c *checker) checkPageBuffer(f *ast.File) {
+	base := path.Base(c.pkg.Fset.Position(f.Pos()).Filename)
+	if slices.Contains(c.cfg.PageBufferAllow, base) {
+		return
+	}
+	flag := func(x ast.Expr, pos token.Pos) {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "data" {
+			return
+		}
+		// With type information, confirm the selector really is the
+		// page-buffer field; without it, the name alone decides.
+		if s, ok := c.pkg.Info.Selections[sel]; ok {
+			named := deref(s.Recv())
+			if n, ok := named.(*types.Named); ok && n.Obj().Name() != "localPage" {
+				return
+			}
+		}
+		c.report(pos, "page-buffer",
+			"direct page-buffer access (%s) outside the access layer; go through the typed accessors",
+			types.ExprString(x))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.IndexExpr:
+			flag(node.X, node.Pos())
+		case *ast.SliceExpr:
+			flag(node.X, node.Pos())
+		}
+		return true
+	})
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// ---- enum-switch ---------------------------------------------------
+
+// checkEnumSwitch requires every switch over a module-declared integer
+// enum (a named type with at least two package-level constants) to
+// either cover all declared constants or carry a default clause.
+func (c *checker) checkEnumSwitch(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tv, ok := c.pkg.Info.Types[sw.Tag]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return true
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			return true
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return true
+		}
+		if c.cfg.EnumModulePrefix != "" && !strings.HasPrefix(obj.Pkg().Path(), c.cfg.EnumModulePrefix) {
+			return true
+		}
+		// Enumerate the type's package-level constants.
+		type enumConst struct {
+			name string
+			val  constant.Value
+		}
+		var consts []enumConst
+		scope := obj.Pkg().Scope()
+		for _, name := range scope.Names() {
+			cn, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(cn.Type(), tv.Type) {
+				continue
+			}
+			consts = append(consts, enumConst{name: name, val: cn.Val()})
+		}
+		if len(consts) < 2 {
+			return true
+		}
+		covered := map[int]bool{}
+		hasDefault := false
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, e := range cc.List {
+				etv, ok := c.pkg.Info.Types[e]
+				if !ok || etv.Value == nil {
+					continue
+				}
+				for i, ec := range consts {
+					if constant.Compare(etv.Value, token.EQL, ec.val) {
+						covered[i] = true
+					}
+				}
+			}
+		}
+		if hasDefault {
+			return true
+		}
+		var missing []string
+		for i, ec := range consts {
+			if !covered[i] {
+				missing = append(missing, ec.name)
+			}
+		}
+		if len(missing) > 0 {
+			c.report(sw.Pos(), "enum-switch",
+				"switch over %s.%s misses %s and has no default clause",
+				obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+		}
+		return true
+	})
+}

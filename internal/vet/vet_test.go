@@ -1,0 +1,269 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// analyze parses named fixture sources as one package and runs the
+// rules with the fixture path standing in for every scoped package.
+func analyze(t *testing.T, pkgPath string, sources map[string]string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, src := range sources {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	pkg := NewPackage(fset, pkgPath, files, nil)
+	cfg := &Config{
+		PVPackages:          []string{pkgPath},
+		DeterminismPackages: []string{pkgPath},
+		PageBufferPackages:  []string{pkgPath},
+		PageBufferAllow:     []string{"access.go"},
+	}
+	return Check(pkg, cfg)
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func wantRule(t *testing.T, fs []Finding, rule string, substr string) {
+	t.Helper()
+	for _, f := range fs {
+		if f.Rule == rule && strings.Contains(f.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s finding containing %q; got %v", rule, substr, fs)
+}
+
+func wantClean(t *testing.T, fs []Finding) {
+	t.Helper()
+	if len(fs) != 0 {
+		t.Fatalf("expected no findings, got %v", fs)
+	}
+}
+
+func TestUnpairedPFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+type sema struct{}
+
+func (s *sema) P(x int) {}
+func (s *sema) V()      {}
+
+type mod struct{ lock *sema }
+
+func (m *mod) leaky(x int) {
+	m.lock.P(x)
+	// no V: the simulation deadlocks on the next acquirer
+}
+
+func (m *mod) balanced(x int) {
+	m.lock.P(x)
+	defer m.lock.V()
+}
+
+func (m *mod) twoLocks(a, b *sema, x int) {
+	a.P(x)
+	b.P(x)
+	defer a.V()
+	b.V()
+}
+`})
+	wantRule(t, fs, "pv-pairing", "m.lock.P")
+	if len(fs) != 1 {
+		t.Fatalf("want exactly the one leak, got %v", fs)
+	}
+}
+
+func TestPVImplementationsExempt(t *testing.T) {
+	wantClean(t, analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+type inner struct{ n int }
+type Service struct{ i inner }
+
+// P is the semaphore implementation itself: it legitimately "acquires"
+// without releasing.
+func (s *Service) P(x int) { s.i.n-- }
+func (s *Service) V()      { s.i.n++ }
+`}))
+}
+
+func TestWallClockFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/sim", map[string]string{"a.go": `
+package sim
+
+import "time"
+
+func bad() int64 { return time.Now().UnixNano() }
+
+func fine() time.Duration { return 3 * time.Millisecond }
+`})
+	wantRule(t, fs, "time", "time.Now")
+	if len(fs) != 1 {
+		t.Fatalf("constants and types of package time must stay legal: %v", fs)
+	}
+}
+
+func TestGlobalRandFlaggedSeededAllowed(t *testing.T) {
+	fs := analyze(t, "fixture/sim", map[string]string{"a.go": `
+package sim
+
+import "math/rand"
+
+func bad() int { return rand.Intn(6) }
+
+func fine(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+`})
+	wantRule(t, fs, "rand", "rand.Intn")
+	if len(fs) != 1 {
+		t.Fatalf("seeded construction must stay legal: %v", fs)
+	}
+}
+
+func TestMapRangeFlaggedUnlessAnnotated(t *testing.T) {
+	fs := analyze(t, "fixture/sim", map[string]string{"a.go": `
+package sim
+
+func bad(m map[int]string) {
+	for k := range m {
+		_ = k
+	}
+}
+
+func annotated(m map[int]string) {
+	total := 0
+	for k := range m { // vet:ignore map-order — summation commutes
+		total += k
+	}
+	_ = total
+}
+
+func slices(s []int) {
+	for i := range s {
+		_ = i
+	}
+}
+`})
+	wantRule(t, fs, "map-order", "range over map m")
+	if len(fs) != 1 {
+		t.Fatalf("annotation or slice range wrongly flagged: %v", fs)
+	}
+}
+
+func TestPageBufferIndexingFlaggedOutsideAccessLayer(t *testing.T) {
+	fixture := map[string]string{
+		"state.go": `
+package dsm
+
+type localPage struct {
+	data   []byte
+	access int
+}
+`,
+		"proto.go": `
+package dsm
+
+func smuggle(lp *localPage) byte {
+	lp.data[3] = 1     // direct index outside the access layer
+	_ = lp.data[4:8]   // and a direct slice
+	return lp.data[0]
+}
+
+func legal(lp *localPage) int {
+	return len(lp.data) // len is not an access
+}
+`,
+		"access.go": `
+package dsm
+
+func gateway(lp *localPage, i int) byte { return lp.data[i] }
+`,
+	}
+	fs := analyze(t, "fixture/dsm", fixture)
+	wantRule(t, fs, "page-buffer", "lp.data")
+	if len(fs) != 3 {
+		t.Fatalf("want the 3 smuggled accesses only, got %v (%v)", rules(fs), fs)
+	}
+}
+
+func TestNonExhaustiveEnumSwitchFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+type Access int
+
+const (
+	NoAccess Access = iota
+	ReadAccess
+	WriteAccess
+)
+
+func bad(a Access) string {
+	switch a {
+	case NoAccess:
+		return "none"
+	case ReadAccess:
+		return "read"
+	}
+	return "?"
+}
+
+func withDefault(a Access) string {
+	switch a {
+	case NoAccess:
+		return "none"
+	default:
+		return "other"
+	}
+}
+
+func exhaustive(a Access) string {
+	switch a {
+	case NoAccess, ReadAccess:
+		return "r"
+	case WriteAccess:
+		return "w"
+	}
+	return "?"
+}
+`})
+	wantRule(t, fs, "enum-switch", "WriteAccess")
+	if len(fs) != 1 {
+		t.Fatalf("default or exhaustive switches wrongly flagged: %v", fs)
+	}
+}
+
+func TestFindingsSortedAndFormatted(t *testing.T) {
+	fs := analyze(t, "fixture/sim", map[string]string{"a.go": `
+package sim
+
+import "time"
+
+func b() { _ = time.Now(); _ = time.Now() }
+`})
+	if len(fs) != 2 {
+		t.Fatalf("want 2, got %v", fs)
+	}
+	if fs[0].Pos.Column >= fs[1].Pos.Column {
+		t.Fatalf("findings not sorted: %v", fs)
+	}
+	if !strings.Contains(fs[0].String(), "a.go") || !strings.Contains(fs[0].String(), "[time]") {
+		t.Fatalf("finding format: %q", fs[0].String())
+	}
+}
