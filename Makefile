@@ -1,9 +1,9 @@
 # The check target runs exactly what CI runs (.github/workflows/ci.yml);
 # keep the two in lockstep.
 
-.PHONY: check build vet fmt test race mermaid-vet
+.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep
 
-check: build vet fmt test race mermaid-vet
+check: build vet fmt test race mermaid-vet mc-smoke
 
 build:
 	go build ./...
@@ -27,3 +27,25 @@ race:
 
 mermaid-vet:
 	go run ./cmd/mermaid-vet ./...
+
+# Bounded model-checking smoke: exhaustive DFS over the 2-host smoke
+# workload (must stay clean) plus one representative mutation per
+# oracle family (must be killed). Budgeted to finish well under a
+# minute; the full sweep is mc-deep.
+mc-smoke:
+	go run ./cmd/mermaid-mc -workload=basic -strategy=dfs -max-schedules=1200
+	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-invalidation -max-schedules=100
+	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-conversion -max-schedules=100
+
+# Full mutation-kill suite plus a deeper clean sweep of every workload —
+# the nightly-depth run.
+mc-deep:
+	go run ./cmd/mermaid-mc -kill -kill-budget=500
+	go run ./cmd/mermaid-mc -workload=basic -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=matmul -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=ring -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=sem -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=barrier -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=update -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=basic -strategy=random -runs=2000
+	go run ./cmd/mermaid-mc -workload=matmul -strategy=delay -delays=3 -max-schedules=5000

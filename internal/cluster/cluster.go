@@ -76,6 +76,9 @@ type Config struct {
 	// SCTrace, when set, records every DSM access from every host for
 	// offline sequential-consistency checking (internal/sctrace).
 	SCTrace *sctrace.Recorder
+	// Mutation injects one deliberate DSM protocol bug cluster-wide —
+	// the model checker's mutation-kill harness (see dsm/mutation.go).
+	Mutation dsm.Mutation
 }
 
 // Host bundles one machine's modules.
@@ -154,6 +157,7 @@ func New(cfg Config) (*Cluster, error) {
 		Bases:                dsm.DefaultBases(),
 		Trace:                cfg.Trace,
 		SCRecorder:           cfg.SCTrace,
+		Mutation:             cfg.Mutation,
 	}
 
 	archs := make([]arch.Arch, len(cfg.Hosts))

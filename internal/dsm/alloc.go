@@ -116,7 +116,14 @@ func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, e
 	}
 	pages := sortedPages(updates)
 	for _, page := range pages {
-		m.meta[page] = updates[page]
+		mt := updates[page]
+		if m.cfg.Mutation == MutAllocOverrun {
+			// Injected bug: record one byte too many as allocated — the
+			// prefix is no longer a whole number of elements and can
+			// reach past the page end.
+			mt.used++
+		}
+		m.meta[page] = mt
 		// First-touch ownership (page policies): the allocation manager
 		// holds every fresh page as a zero-filled writable copy until
 		// someone faults it away. Under the central policy pages live

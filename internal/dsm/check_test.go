@@ -42,9 +42,7 @@ func TestCheckerTripsOnSkippedInvalidation(t *testing.T) {
 	r := newRig(t, []arch.Kind{arch.Sun, arch.Sun, arch.Sun})
 	var got []Violation
 	r.check.SetFailHandler(func(v Violation) { got = append(got, v) })
-	for _, m := range r.mods {
-		m.testSkipInvalidations = true
-	}
+	r.mods[0].cfg.Mutation = MutSkipInvalidation // shared Config: cluster-wide
 	r.run("main", func(p *sim.Proc) {
 		addr, err := r.mods[0].Alloc(p, conv.Int32, 4)
 		if err != nil {

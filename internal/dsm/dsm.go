@@ -157,6 +157,10 @@ type Config struct {
 	// cluster; the kernel's one-process-at-a-time execution keeps it
 	// race-free.
 	SCRecorder *sctrace.Recorder
+	// Mutation injects one deliberate protocol bug cluster-wide (see
+	// mutation.go) — the model checker's mutation-kill harness. Leave
+	// MutNone for the correct protocol.
+	Mutation Mutation
 }
 
 // TraceEvent is one DSM protocol action.
@@ -285,10 +289,6 @@ type Module struct {
 	// check, when attached, validates the global protocol invariants at
 	// every protocol transition (see check.go).
 	check *InvariantChecker
-	// testSkipInvalidations suppresses outgoing invalidations — a
-	// deliberate protocol mutation proving the invariant checker trips on
-	// a stale-copy coherence bug. Never set outside tests.
-	testSkipInvalidations bool
 	// pageFetches counts page bodies received, per page — the raw
 	// material of thrashing diagnosis (§3.3's "detailed statistics of
 	// the numbers of page faults and transfers").

@@ -1,0 +1,74 @@
+package dsm
+
+import (
+	"encoding/binary"
+	"hash"
+	"sort"
+)
+
+// WriteStateHash folds this host's protocol-visible state into h, in a
+// canonical order: per-page access rights with the allocated prefix of
+// resident page bodies, the manager table (owner, copyset, transaction
+// lock state), and the replicated allocation metadata. The model checker
+// combines the hashes of every module in a cluster (plus kernel queue
+// facts) into a state fingerprint for schedule-space pruning: two
+// explored prefixes that hash alike are treated as the same protocol
+// state. Virtual time is deliberately excluded — schedules reaching the
+// same tables and page contents at different clock readings are
+// equivalent for protocol correctness.
+func (m *Module) WriteStateHash(h hash.Hash) {
+	var buf [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint32(m.id))
+
+	pages := make([]PageNo, 0, len(m.local))
+	for pg := range m.local { // vet:ignore map-order — sorted below
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		lp := m.local[pg]
+		put(uint32(pg))
+		put(uint32(lp.access))
+		if lp.access != NoAccess {
+			used := m.cfg.PageSize
+			if mt, ok := m.meta[pg]; ok && mt.used <= len(lp.data) {
+				used = mt.used
+			}
+			h.Write(lp.data[:used]) // vet:ignore page-buffer — read-only fingerprint of the raw bytes
+		}
+	}
+
+	put(0xffff_ffff) // section separator
+	mpages := make([]PageNo, 0, len(m.mgr))
+	for pg := range m.mgr { // vet:ignore map-order — sorted below
+		mpages = append(mpages, pg)
+	}
+	sort.Slice(mpages, func(i, j int) bool { return mpages[i] < mpages[j] })
+	for _, pg := range mpages {
+		ent := m.mgr[pg]
+		put(uint32(pg))
+		put(uint32(ent.owner))
+		put(uint32(ent.lock.Count())) // distinguishes in-flight from quiescent
+		for _, hID := range copysetList(ent) {
+			put(uint32(hID))
+		}
+		put(0xffff_fffe)
+	}
+
+	put(0xffff_fffd)
+	metas := make([]PageNo, 0, len(m.meta))
+	for pg := range m.meta { // vet:ignore map-order — sorted below
+		metas = append(metas, pg)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i] < metas[j] })
+	for _, pg := range metas {
+		mt := m.meta[pg]
+		put(uint32(pg))
+		put(uint32(mt.typeID))
+		put(uint32(mt.used))
+	}
+}

@@ -1,0 +1,95 @@
+package dsm
+
+// Protocol mutations: deliberately injected coherence bugs for the model
+// checker's mutation-kill harness (internal/mc). Each mutation disables
+// or corrupts exactly one step of the MRSW/update protocol; the harness
+// proves the checker has teeth by demonstrating that every mutation is
+// detected — by the invariant checker, the SC trace checker, a protocol
+// timeout, or a deadlock — within a bounded number of explored
+// schedules. MutNone (the zero value) is the correct protocol.
+
+import "fmt"
+
+// Mutation selects one injected protocol bug, cluster-wide.
+type Mutation int
+
+const (
+	// MutNone runs the unmodified protocol.
+	MutNone Mutation = iota
+	// MutSkipInvalidation suppresses all outgoing invalidations before a
+	// write: readers keep stale copies (the classic silent coherence bug).
+	MutSkipInvalidation
+	// MutDropCopyset makes the manager forget to record the requester of
+	// a read copy in the page's copyset, so a later write never
+	// invalidates that reader.
+	MutDropCopyset
+	// MutStaleOwner makes the manager skip the ownership update after a
+	// write transfer: the owner field keeps pointing at the previous
+	// owner, whose copy left with the transfer.
+	MutStaleOwner
+	// MutUnsequencedUpdate applies write-update writes locally without
+	// routing them through the manager's sequencer, so replicas diverge.
+	MutUnsequencedUpdate
+	// MutLostAck drops the acknowledgement of every invalidation: the
+	// copy is discarded but the writer's multicast never completes.
+	MutLostAck
+	// MutDoubleWriterGrant makes a host serving a write transfer keep its
+	// own copy (and access right) instead of invalidating it, so two
+	// writable copies can coexist.
+	MutDoubleWriterGrant
+	// MutAllocOverrun inflates the allocation manager's record of a
+	// page's used bytes by one, so the allocated prefix is no longer a
+	// whole number of elements (and can overrun the page).
+	MutAllocOverrun
+	// MutSkipConversion installs page bodies from incompatible machines
+	// without invoking the conversion routine, leaving foreign-format
+	// bytes behind (§2.3's corruption scenario).
+	MutSkipConversion
+
+	numMutations
+)
+
+// Mutations lists every real mutation (excluding MutNone).
+func Mutations() []Mutation {
+	out := make([]Mutation, 0, numMutations-1)
+	for mu := MutNone + 1; mu < numMutations; mu++ {
+		out = append(out, mu)
+	}
+	return out
+}
+
+// String names the mutation (the -mutation flag spelling).
+func (mu Mutation) String() string {
+	switch mu {
+	case MutNone:
+		return "none"
+	case MutSkipInvalidation:
+		return "skip-invalidation"
+	case MutDropCopyset:
+		return "drop-copyset"
+	case MutStaleOwner:
+		return "stale-owner"
+	case MutUnsequencedUpdate:
+		return "unsequenced-update"
+	case MutLostAck:
+		return "lost-ack"
+	case MutDoubleWriterGrant:
+		return "double-writer-grant"
+	case MutAllocOverrun:
+		return "alloc-overrun"
+	case MutSkipConversion:
+		return "skip-conversion"
+	default:
+		return fmt.Sprintf("Mutation(%d)", int(mu))
+	}
+}
+
+// ParseMutation resolves a mutation name (as printed by String).
+func ParseMutation(name string) (Mutation, error) {
+	for mu := MutNone; mu < numMutations; mu++ {
+		if mu.String() == name {
+			return mu, nil
+		}
+	}
+	return MutNone, fmt.Errorf("dsm: unknown mutation %q", name)
+}

@@ -232,6 +232,9 @@ func (m *Module) readTransaction(p *sim.Proc, req *proto.Message, page PageNo, e
 		p.Sleep(m.cfg.Params.ForwardCost.Of(m.arch.Kind))
 		m.forwardServe(p, src, page, false, requester, req.ReqID)
 	}
+	if m.cfg.Mutation == MutDropCopyset {
+		return // injected bug: the new reader is never invalidated
+	}
 	ent.copyset[requester] = struct{}{}
 }
 
@@ -275,7 +278,11 @@ func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, 
 		p.Sleep(m.cfg.Params.ForwardCost.Of(m.arch.Kind))
 		m.forwardServe(p, ent.owner, page, true, requester, req.ReqID)
 	}
-	ent.owner = requester
+	if m.cfg.Mutation != MutStaleOwner {
+		// Injected bug when skipped: the owner field keeps pointing at
+		// the previous owner, whose copy just left with the transfer.
+		ent.owner = requester
+	}
 	clear(ent.copyset)
 	ent.copyset[requester] = struct{}{}
 }
@@ -313,8 +320,8 @@ func (m *Module) invalidationTargets(ent *mgrEntry, requester HostID, requesterU
 // for the argument list (or the unicast ablation) fall back to
 // individual calls. The local copy, if targeted, is dropped directly.
 func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) {
-	if m.testSkipInvalidations {
-		return // deliberate coherence bug for checker tests
+	if m.cfg.Mutation == MutSkipInvalidation {
+		return // injected coherence bug: readers keep stale copies
 	}
 	remote := targets[:0:0]
 	for _, h := range targets {
@@ -396,9 +403,13 @@ func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostI
 	}
 	data := make([]byte, used)
 	copy(data, lp.data[:used])
-	if write {
+	switch {
+	case m.cfg.Mutation == MutDoubleWriterGrant:
+		// Injected bug: keep the local copy (and right) the transfer
+		// should have consumed — two writable copies can now coexist.
+	case write:
 		lp.access = NoAccess
-	} else {
+	default:
 		lp.access = ReadAccess
 	}
 	m.stats.PagesServed++
@@ -451,7 +462,8 @@ func (m *Module) installBody(p *sim.Proc, page PageNo, resp *proto.Message, writ
 		if err != nil {
 			panic(fmt.Sprintf("dsm: page reply with unknown architecture %d", resp.SrcArch))
 		}
-		if len(data) > 0 && m.cfg.ConversionEnabled && !srcArch.Compatible(m.arch) {
+		if len(data) > 0 && m.cfg.ConversionEnabled && !srcArch.Compatible(m.arch) &&
+			m.cfg.Mutation != MutSkipConversion { // injected bug: foreign bytes kept verbatim
 			mt, ok := m.meta[page]
 			if !ok {
 				panic(fmt.Sprintf("dsm: host %d received data for page %d with no allocation metadata", m.id, page))
@@ -533,5 +545,8 @@ func (m *Module) handleInvalidate(p *sim.Proc, req *proto.Message) {
 	m.stats.InvalidationsReceived++
 	m.trace("invalidate", PageNo(req.Page))
 	m.checkpoint("invalidated", PageNo(req.Page))
+	if m.cfg.Mutation == MutLostAck {
+		return // injected bug: the copy is gone but the ack never leaves
+	}
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindInvalidateAck, Page: req.Page})
 }

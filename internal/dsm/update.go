@@ -45,6 +45,14 @@ func (m *Module) updateWriteRegion(p *sim.Proc, addr Addr, n int, fill func(seg 
 // sequenceWrite routes one span's bytes through the page's manager and
 // applies them locally once sequenced.
 func (m *Module) sequenceWrite(p *sim.Proc, page PageNo, offset int, data []byte) {
+	if m.cfg.Mutation == MutUnsequencedUpdate {
+		// Injected bug: apply locally without sequencing through the
+		// manager — no replica ever hears about this write.
+		if lp := m.local[page]; lp != nil && lp.access != NoAccess {
+			copy(lp.data[offset:], data)
+		}
+		return
+	}
 	mgr := m.manager(page)
 	if mgr == m.id {
 		m.sequenceUpdate(p, page, offset, data, m.id, m.arch.Kind)

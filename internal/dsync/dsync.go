@@ -15,7 +15,10 @@
 package dsync
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/model"
@@ -128,6 +131,56 @@ func (s *Service) DefineBarrier(id uint32, manager HostID, n int) {
 	if manager == s.id {
 		s.barriers[id] = &barrierState{size: n}
 	}
+}
+
+// WriteStateHash folds this host's synchronization state — semaphore
+// counts, event flags, barrier arrival counts, and waiter-queue lengths
+// — into h in a canonical order. The model checker (internal/mc)
+// combines it with the DSM modules' state hashes into the fingerprint
+// its schedule-space pruning keys on; without it, two schedules leaving
+// identical page tables but different semaphore states would wrongly
+// merge.
+func (s *Service) WriteStateHash(h hash.Hash) {
+	var buf [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint32(s.id))
+	for _, id := range sortedIDs(s.sems) {
+		st := s.sems[id]
+		put(id)
+		put(uint32(st.count))
+		put(uint32(len(st.waiters)))
+	}
+	put(0xffff_ffff) // section separator
+	for _, id := range sortedIDs(s.events) {
+		st := s.events[id]
+		put(id)
+		if st.set {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint32(len(st.waiters)))
+	}
+	put(0xffff_fffe)
+	for _, id := range sortedIDs(s.barriers) {
+		st := s.barriers[id]
+		put(id)
+		put(uint32(st.arrived))
+		put(uint32(len(st.waiters)))
+	}
+}
+
+// sortedIDs lists a state map's keys in increasing order.
+func sortedIDs[T any](m map[uint32]T) []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for id := range m { // vet:ignore map-order — sorted below
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // release unblocks a grantee: wake a local process or answer the remote

@@ -1,0 +1,307 @@
+// Package mc is a stateless model checker for the Mermaid DSM protocol.
+//
+// It runs small, fully deterministic DSM workloads inside the simulator
+// (internal/sim + internal/netsim) while controlling every scheduling
+// choice point through the kernel's Chooser hook: whenever more than one
+// live event — a message delivery, a fault-service wakeup, a timer — is
+// eligible at the current virtual instant, the chooser decides which
+// runs first. A complete run is therefore a pure function of the
+// sequence of choices made, so the checker explores the schedule space
+// by re-running the whole workload with different forced choice
+// sequences (the CHESS/dBug "stateless" approach) and replays any
+// violation bit-identically from its recorded schedule.
+//
+// Every run is judged by the PR 1 oracles: the MRSW protocol invariant
+// checker (dsm.InvariantChecker) in record mode, the offline sequential
+// consistency checker (internal/sctrace) over the run's access trace,
+// plus protocol panics, deadlock (event queue drained before the
+// workload finished) and livelock (step budget exhausted — e.g. endless
+// retransmission) detection and the workload's own final assertions.
+package mc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/dsm"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// Instance is one freshly built, not-yet-run workload: a cluster with
+// the invariant checker attached and an SC recorder wired in, plus the
+// workload body. Each exploration run builds a new Instance.
+type Instance struct {
+	// C is the assembled cluster (checker attached, recorder wired).
+	C *cluster.Cluster
+	// Rec records the run's DSM accesses for the offline SC check.
+	Rec *sctrace.Recorder
+	// Main is the workload body, run as the root simulated process. It
+	// returns the workload's own verdict on the final state (nil = all
+	// application-level assertions passed).
+	Main func(p *sim.Proc, c *cluster.Cluster) error
+}
+
+// Workload names a reproducible model-checking scenario.
+type Workload struct {
+	// Name is the CLI spelling and the replay-token component.
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Build constructs a fresh Instance with the given protocol
+	// mutation injected (dsm.MutNone for the correct protocol).
+	Build func(mut dsm.Mutation) (*Instance, error)
+}
+
+// Outcome classifies one run.
+type Outcome int
+
+const (
+	// OK means every oracle passed.
+	OK Outcome = iota
+	// InvariantViolation means the MRSW protocol invariant checker
+	// tripped (stale copy, double writer, owner disagreement, …).
+	InvariantViolation
+	// SCViolation means the offline trace check found a read no
+	// sequentially consistent witness order can explain.
+	SCViolation
+	// Panic means a simulated process panicked (protocol timeout,
+	// unexpected state).
+	Panic
+	// Deadlock means the event queue drained before the workload
+	// finished.
+	Deadlock
+	// Livelock means the step budget ran out (endless retransmission
+	// keeps the queue busy forever).
+	Livelock
+	// AppError means the workload's own final assertions failed
+	// (wrong computation result).
+	AppError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case InvariantViolation:
+		return "invariant-violation"
+	case SCViolation:
+		return "sc-violation"
+	case Panic:
+		return "panic"
+	case Deadlock:
+		return "deadlock"
+	case Livelock:
+		return "livelock"
+	case AppError:
+		return "app-error"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result is the record of one executed run.
+type Result struct {
+	// Outcome classifies the run; Detail explains a non-OK outcome.
+	Outcome Outcome
+	Detail  string
+	// Choices is the schedule: the index picked at each choice point.
+	// Replaying the same workload+mutation with these choices forced
+	// reproduces the run exactly.
+	Choices []int
+	// Widths is the number of alternatives at each choice point.
+	Widths []int
+	// Hashes is the cluster state fingerprint at each choice point
+	// (only collected when the strategy prunes).
+	Hashes []uint64
+	// Steps is the number of kernel events dispatched.
+	Steps int
+	// Now is the virtual time when the run ended.
+	Now sim.Time
+	// Transcript lists the alternatives and pick at each choice point
+	// (only collected during replay).
+	Transcript []string
+}
+
+// execOpts parameterizes one run.
+type execOpts struct {
+	// forced is the schedule prefix to force; beyond it the chooser
+	// takes the default (index 0) unless rng is set.
+	forced []int
+	// rng, when non-nil, picks uniformly beyond the forced prefix.
+	rng *rand.Rand
+	// maxSteps bounds dispatched events (livelock detection).
+	maxSteps int
+	// hashes collects the per-choice-point state fingerprint.
+	hashes bool
+	// transcript collects human-readable choice-point lines.
+	transcript bool
+}
+
+// DefaultMaxSteps bounds one run's dispatched events. The largest
+// healthy workload run dispatches a few thousand events; a mutation
+// that livelocks the protocol (endless retransmission) exceeds any
+// budget, so the exact value only affects how fast that is reported.
+const DefaultMaxSteps = 200_000
+
+// execute builds a fresh instance of the workload with the mutation
+// injected and runs it under the given schedule control.
+func execute(w *Workload, mut dsm.Mutation, o execOpts) (*Result, error) {
+	inst, err := w.Build(mut)
+	if err != nil {
+		return nil, fmt.Errorf("mc: building %s: %w", w.Name, err)
+	}
+	c := inst.C
+	k := c.K
+	if c.Check == nil {
+		return nil, fmt.Errorf("mc: workload %s built without the invariant checker", w.Name)
+	}
+	var invs []dsm.Violation
+	c.Check.SetFailHandler(func(v dsm.Violation) { invs = append(invs, v) })
+
+	ch := &runChooser{forced: o.forced, rng: o.rng, transcript: o.transcript}
+	if o.hashes {
+		ch.hashFn = func(n int, label func(int) string) uint64 { return stateHash(c, n, label) }
+	}
+	k.SetChooser(ch)
+
+	if o.maxSteps <= 0 {
+		o.maxSteps = DefaultMaxSteps
+	}
+	done := false
+	var appErr error
+	k.Spawn("mc-main", func(p *sim.Proc) {
+		appErr = inst.Main(p, c)
+		done = true
+	})
+	steps := 0
+	panicMsg := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMsg = fmt.Sprint(r)
+			}
+		}()
+		for !done && steps < o.maxSteps && k.Step() {
+			steps++
+		}
+	}()
+
+	res := &Result{
+		Choices:    ch.choices,
+		Widths:     ch.widths,
+		Hashes:     ch.hashes,
+		Steps:      steps,
+		Now:        k.Now(),
+		Transcript: ch.lines,
+	}
+	scViols := sctrace.Check(inst.Rec.Ops())
+	switch {
+	case len(invs) > 0:
+		res.Outcome = InvariantViolation
+		res.Detail = invs[0].String()
+		if len(invs) > 1 {
+			res.Detail += fmt.Sprintf(" (+%d more)", len(invs)-1)
+		}
+	case len(scViols) > 0:
+		res.Outcome = SCViolation
+		res.Detail = strings.TrimSpace(sctrace.Report(scViols, 3))
+	case panicMsg != "":
+		res.Outcome = Panic
+		res.Detail = panicMsg
+	case !done && steps >= o.maxSteps:
+		res.Outcome = Livelock
+		res.Detail = fmt.Sprintf("step budget of %d exhausted at t=%v", o.maxSteps, k.Now())
+	case !done:
+		res.Outcome = Deadlock
+		res.Detail = fmt.Sprintf("event queue drained; stalled: %v", k.Stalled())
+	case appErr != nil:
+		res.Outcome = AppError
+		res.Detail = appErr.Error()
+	default:
+		res.Outcome = OK
+	}
+	// Reclaim the instance's goroutines: an exploration executes
+	// thousands of runs, each spawning per-host server loops.
+	k.Shutdown()
+	return res, nil
+}
+
+// runChooser resolves kernel choice points from a forced prefix, then a
+// fixed default (or a seeded random walk), recording everything needed
+// to replay or extend the schedule.
+type runChooser struct {
+	forced     []int
+	rng        *rand.Rand
+	transcript bool
+
+	choices []int
+	widths  []int
+	hashes  []uint64
+	lines   []string
+	hashFn  func(n int, label func(int) string) uint64
+}
+
+// Choose implements sim.Chooser.
+func (c *runChooser) Choose(now sim.Time, n int, label func(i int) string) int {
+	i := len(c.choices)
+	pick := 0
+	switch {
+	case i < len(c.forced):
+		pick = c.forced[i]
+		if pick < 0 || pick >= n {
+			// A stale token (workload changed since it was minted) may
+			// force an index that no longer exists; clamping keeps the
+			// run deterministic rather than crashing mid-exploration.
+			pick = n - 1
+		}
+	case c.rng != nil:
+		pick = c.rng.Intn(n)
+	}
+	c.choices = append(c.choices, pick)
+	c.widths = append(c.widths, n)
+	if c.hashFn != nil {
+		c.hashes = append(c.hashes, c.hashFn(n, label))
+	}
+	if c.transcript {
+		alts := make([]string, n)
+		for j := 0; j < n; j++ {
+			alts[j] = label(j)
+		}
+		marker := alts[pick]
+		c.lines = append(c.lines, fmt.Sprintf("#%-3d t=%-12v pick %d=%s  of [%s]",
+			i, now, pick, marker, strings.Join(alts, ", ")))
+	}
+	return pick
+}
+
+// stateHash fingerprints the cluster's protocol state at a choice
+// point: every host's DSM tables and page contents, every host's
+// synchronization state, the count of live pending events, and the
+// labels of the eligible alternatives. Virtual time is deliberately
+// excluded — two schedules reaching the same tables, page contents and
+// pending work at different clock readings are equivalent for protocol
+// correctness, and folding the clock in would defeat pruning entirely.
+// The fingerprint is a pruning heuristic, not a soundness proof: a
+// 64-bit collision or an unhashed distinction could merge states that
+// differ, which bounded exploration tolerates.
+func stateHash(c *cluster.Cluster, n int, label func(int) string) uint64 {
+	h := fnv.New64a()
+	for _, host := range c.Hosts {
+		host.DSM.WriteStateHash(h)
+		host.Sync.WriteStateHash(h)
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(c.K.LivePending()))
+	h.Write(b[:])
+	for j := 0; j < n; j++ {
+		h.Write([]byte(label(j)))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}

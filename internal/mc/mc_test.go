@@ -1,0 +1,191 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsm"
+)
+
+// TestDefaultScheduleClean runs every workload once under the default
+// schedule: all oracles must stay silent on the unmutated protocol.
+func TestDefaultScheduleClean(t *testing.T) {
+	for _, w := range All() {
+		res, err := execute(w, dsm.MutNone, execOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if res.Outcome != OK {
+			t.Errorf("%s: default schedule: %s: %s", w.Name, res.Outcome, res.Detail)
+		}
+		if res.Steps == 0 || len(res.Choices) == 0 {
+			t.Errorf("%s: suspiciously trivial run: %d steps, %d choice points", w.Name, res.Steps, len(res.Choices))
+		}
+	}
+}
+
+// TestDFSClean explores the bounded schedule space of each workload on
+// the unmutated protocol: every schedule must pass every oracle. The
+// small workloads are exhausted outright (frontier 0); "basic" must
+// yield at least 1000 distinct schedules within budget — the smoke
+// guarantee that the chooser actually branches the space open.
+func TestDFSClean(t *testing.T) {
+	budget := 1500
+	if testing.Short() {
+		budget = 300
+	}
+	for _, name := range []string{"basic", "sem", "barrier", "update"} {
+		w, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunDFS(w, dsm.MutNone, DFSOpts{MaxSchedules: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Violating != nil {
+			t.Fatalf("%s: false positive on the correct protocol: %s", name, rep)
+		}
+		t.Logf("%s", rep)
+		switch name {
+		case "basic":
+			if !testing.Short() && rep.Schedules < 1000 {
+				t.Errorf("basic: only %d schedules explored, want >= 1000", rep.Schedules)
+			}
+		case "sem", "barrier", "update":
+			if rep.Frontier != 0 {
+				t.Errorf("%s: bounded space not exhausted: %d prefixes left", name, rep.Frontier)
+			}
+		}
+	}
+}
+
+// TestRandomClean fuzzes the unmutated "basic" workload.
+func TestRandomClean(t *testing.T) {
+	runs := 200
+	if testing.Short() {
+		runs = 30
+	}
+	w, _ := Lookup("basic")
+	rep, err := RunRandom(w, dsm.MutNone, RandomOpts{Runs: runs, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating != nil {
+		t.Fatalf("false positive on the correct protocol: %s", rep)
+	}
+	if rep.Schedules < runs/4 {
+		t.Errorf("only %d distinct schedules in %d walks — chooser not randomizing?", rep.Schedules, runs)
+	}
+}
+
+// TestDelayBoundedClean sweeps small perturbations of the default
+// schedule on the unmutated "basic" workload.
+func TestDelayBoundedClean(t *testing.T) {
+	w, _ := Lookup("basic")
+	rep, err := RunDelayBounded(w, dsm.MutNone, DelayOpts{MaxDelays: 2, MaxSchedules: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating != nil {
+		t.Fatalf("false positive on the correct protocol: %s", rep)
+	}
+	if rep.Schedules < 10 {
+		t.Errorf("only %d schedules within delay budget 2", rep.Schedules)
+	}
+}
+
+// TestTokenRoundTrip checks the schedule-token codec, including
+// trailing-default trimming.
+func TestTokenRoundTrip(t *testing.T) {
+	cases := []struct {
+		choices []int
+		want    string
+	}{
+		{nil, "mc1:basic:none:-"},
+		{[]int{0, 0, 0}, "mc1:basic:none:-"},
+		{[]int{1, 0, 2}, "mc1:basic:none:1.0.2"},
+		{[]int{0, 3, 0, 0}, "mc1:basic:none:0.3"},
+	}
+	for _, c := range cases {
+		tok := EncodeToken("basic", dsm.MutNone, c.choices)
+		if tok != c.want {
+			t.Errorf("EncodeToken(%v) = %q, want %q", c.choices, tok, c.want)
+		}
+		name, mut, choices, err := DecodeToken(tok)
+		if err != nil {
+			t.Fatalf("DecodeToken(%q): %v", tok, err)
+		}
+		if name != "basic" || mut != dsm.MutNone {
+			t.Errorf("DecodeToken(%q) = %q/%s", tok, name, mut)
+		}
+		retok := EncodeToken(name, mut, choices)
+		if retok != tok {
+			t.Errorf("round trip %q -> %q", tok, retok)
+		}
+	}
+	for _, bad := range []string{"", "mc1:basic:none", "mc0:basic:none:-", "mc1:basic:none:1.x", "mc1:basic:none:-1", "mc1:basic:wat:-"} {
+		if _, _, _, err := DecodeToken(bad); err == nil {
+			t.Errorf("DecodeToken(%q) accepted", bad)
+		}
+	}
+}
+
+// TestKillSuite is the headline guarantee: every hand-injected protocol
+// mutation is detected within its bounded exploration, and the reported
+// schedule token replays to a violation of the same class. Short mode
+// samples one mutation per oracle family to keep `go test -short` fast.
+func TestKillSuite(t *testing.T) {
+	opts := KillOpts{MaxSchedules: 200}
+	if testing.Short() {
+		opts.Only = []dsm.Mutation{dsm.MutSkipInvalidation, dsm.MutSkipConversion, dsm.MutUnsequencedUpdate}
+	}
+	rs, err := RunKillSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Killed {
+			t.Errorf("mutation %s survived %d schedules on %s", r.Mutation, r.Schedules, r.Workload)
+			continue
+		}
+		t.Logf("killed %s on %s after %d schedule(s): %s: %s", r.Mutation, r.Workload, r.Schedules, r.Outcome, r.Detail)
+		rep, err := Replay(r.Token, 0)
+		if err != nil {
+			t.Errorf("replay %q: %v", r.Token, err)
+			continue
+		}
+		if rep.Outcome != r.Outcome || rep.Detail != r.Detail {
+			t.Errorf("replay of %q diverged: got %s (%s), want %s (%s)",
+				r.Token, rep.Outcome, rep.Detail, r.Outcome, r.Detail)
+		}
+		if len(rep.Transcript) == 0 {
+			t.Errorf("replay of %q produced no transcript", r.Token)
+		}
+	}
+	if !testing.Short() {
+		txt := FormatKillResults(rs)
+		if !strings.Contains(txt, "8/8 mutations killed") {
+			t.Errorf("kill summary:\n%s", txt)
+		}
+	}
+}
+
+// TestMutationsNotKilledOnWrongOracle guards the kill-plan reasoning:
+// drop-copyset must genuinely be invisible to the 2-host "basic"
+// workload (the documented reason it needs "ring"). If this starts
+// failing, the analysis in killPlan is stale — update it, don't delete
+// the test.
+func TestDropCopysetInvisibleOnBasic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded exploration; skipped in short mode")
+	}
+	w, _ := Lookup("basic")
+	rep, err := RunDFS(w, dsm.MutDropCopyset, DFSOpts{MaxSchedules: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating != nil {
+		t.Errorf("drop-copyset now visible on basic (%s); move its kill plan off ring", rep)
+	}
+}

@@ -1,0 +1,433 @@
+package mc
+
+// The model-checking workloads. Each is deliberately tiny — a handful
+// of pages, two or three hosts, a few dozen choice points — because a
+// stateless explorer pays a whole simulation run per schedule. They are
+// also written to be *schedule-invariant* under the correct protocol:
+// every shared location is either written at most once or protected by
+// a distributed semaphore, so the oracles must stay silent on every
+// explored schedule of the unmutated tree, and any noise is a real bug.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/model"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// Distributed synchronization primitive IDs used by the workloads.
+const (
+	semLock  = 1
+	semDone  = 2
+	semStart = 10 // semStart+i starts worker i
+	barMain  = 20
+)
+
+// pageInts is how many int32 elements fill one workload page exactly,
+// so consecutive Allocs land on separate pages.
+const pageInts = workloadPageSize / 4
+
+// The workloads run the largest page size algorithm (8192): every
+// host's native VM page maps to exactly one DSM page, so a fault never
+// drags in neighboring unallocated pages via VM-page-group expansion.
+const (
+	workloadPageSize  = 8192
+	workloadSpaceSize = 4 * 8192
+)
+
+// mcParams is the schedule-exploration cost model: every processing
+// and wire cost flattened to zero, so all concurrently pending work
+// ties at the same virtual instant and the order it runs in becomes a
+// pure scheduling choice the Chooser controls. Under the calibrated
+// model distinct costs serialize almost everything and the schedule
+// space collapses to a handful of runs; correctness must hold at any
+// speed, so checking at "all speeds equal" loses no generality while
+// exposing every delivery/wakeup race. Timeouts and retry policy keep
+// their real values — they are protocol behaviour, not speed.
+func mcParams() model.Params {
+	params := model.Default()
+	params.ProcessJitterPct = 0
+	params.BandwidthBps = 1 << 50 // wire time rounds to zero
+	params.PacketLatency = 0
+	zero := model.PerKind{}
+	params.FaultRead = zero
+	params.FaultWrite = zero
+	params.MsgSetup = zero
+	params.FragCost = zero
+	params.CrossPenalty = 0
+	params.ManagerProcess = zero
+	params.OwnerProcess = zero
+	params.ForwardCost = zero
+	params.InvalidateProcess = zero
+	params.InstallCost = zero
+	params.ConvInt16 = 0
+	params.ConvInt32 = 0
+	params.ConvFloat32 = 0
+	params.ConvFloat64 = 0
+	params.ConvPointer = 0
+	params.ConvByte = 0
+	params.MACCost = 0
+	params.ThreadCreate = zero
+	params.SyncProcess = zero
+	params.RemoteOpProcess = zero
+	return params
+}
+
+// buildCluster assembles a small cluster for model checking: invariant
+// checker attached, SC recorder wired, flattened cost model (see
+// mcParams).
+func buildCluster(kinds []arch.Kind, policy dsm.Policy, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	params := mcParams()
+	rec := sctrace.NewRecorder()
+	c, err := cluster.New(cluster.Config{
+		Hosts:           hosts,
+		PageSize:        workloadPageSize,
+		SpaceSize:       workloadSpaceSize,
+		Params:          &params,
+		Seed:            1,
+		Policy:          policy,
+		InvariantChecks: true,
+		SCTrace:         rec,
+		Mutation:        mut,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, rec, nil
+}
+
+// workloads is the registry, keyed by Name.
+var workloads = map[string]*Workload{}
+
+func register(w *Workload) { workloads[w.Name] = w }
+
+// Lookup resolves a workload by name.
+func Lookup(name string) (*Workload, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("mc: unknown workload %q (have %v)", name, WorkloadNames())
+	}
+	return w, nil
+}
+
+// WorkloadNames lists registered workloads alphabetically.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for n := range workloads { // vet:ignore map-order — sorted below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered workload in name order.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(workloads))
+	for _, n := range WorkloadNames() {
+		out = append(out, workloads[n])
+	}
+	return out
+}
+
+func init() {
+	register(basicWorkload())
+	register(matmulWorkload())
+	register(ringWorkload())
+	register(updateWorkload())
+	register(semWorkload())
+	register(barrierWorkload())
+}
+
+// basicWorkload is the CI smoke scenario: 2 hosts (one Sun, one
+// Firefly — page migrations convert), 2 pages. Page 0 holds a shared
+// counter incremented twice by a worker on each host under a
+// distributed semaphore; page 1 holds one slot per worker, written
+// once. The counter exercises upgrade grants, write transfers and
+// invalidations; the cross-architecture migrations exercise
+// conversion; the lock and completion semaphores exercise dsync under
+// every wakeup order.
+func basicWorkload() *Workload {
+	return &Workload{
+		Name: "basic",
+		Desc: "2 hosts (Sun+Firefly), 2 pages: semaphore-locked counter + once-written slots",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly}, dsm.PolicyMRSW, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(semLock, 0, 1)
+			c.DefineSemaphore(semDone, 1, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				counter, err := h0.DSM.Alloc(p, conv.Int32, pageInts) // page 0
+				if err != nil {
+					return err
+				}
+				slots, err := h0.DSM.Alloc(p, conv.Int32, pageInts) // page 1
+				if err != nil {
+					return err
+				}
+				for w := 0; w < 2; w++ {
+					w := w
+					host := c.Hosts[w]
+					c.K.Spawn(fmt.Sprintf("worker%d", w), func(p *sim.Proc) {
+						for i := 0; i < 2; i++ {
+							host.Sync.P(p, semLock)
+							v := host.DSM.ReadInt32(p, counter)
+							host.DSM.WriteInt32(p, counter, v+1)
+							host.Sync.V(p, semLock)
+						}
+						host.DSM.WriteInt32(p, slots+dsm.Addr(4*w), int32(100+w))
+						host.Sync.V(p, semDone)
+					})
+				}
+				for i := 0; i < 2; i++ {
+					h0.Sync.P(p, semDone)
+				}
+				if got := h0.DSM.ReadInt32(p, counter); got != 4 {
+					return fmt.Errorf("counter = %d, want 4", got)
+				}
+				for w := 0; w < 2; w++ {
+					if got := h0.DSM.ReadInt32(p, slots+dsm.Addr(4*w)); got != int32(100+w) {
+						return fmt.Errorf("slot %d = %d, want %d", w, got, 100+w)
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
+}
+
+// matmulWorkload is a 2×2 integer matrix multiplication with one row
+// per worker host — the EXPERIMENTS.md reference scenario. Three pages
+// (A, B, C); A and B are written once by the coordinator before the
+// workers start, C's rows are disjoint, so the run is
+// schedule-invariant while still moving three pages between three
+// hosts of two architectures.
+func matmulWorkload() *Workload {
+	return &Workload{
+		Name: "matmul",
+		Desc: "3 hosts, 2×2 int matmul, one row per worker (3 pages)",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly, arch.Sun}, dsm.PolicyMRSW, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(semStart+0, 0, 0)
+			c.DefineSemaphore(semStart+1, 1, 0)
+			c.DefineSemaphore(semDone, 2, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				var mats [3]dsm.Addr
+				for i := range mats {
+					if mats[i], err = h0.DSM.Alloc(p, conv.Int32, pageInts); err != nil {
+						return err
+					}
+				}
+				a, b, cm := mats[0], mats[1], mats[2]
+				h0.DSM.WriteInt32s(p, a, []int32{1, 2, 3, 4})
+				h0.DSM.WriteInt32s(p, b, []int32{5, 6, 7, 8})
+				for w := 0; w < 2; w++ {
+					w := w
+					host := c.Hosts[w+1]
+					c.K.Spawn(fmt.Sprintf("row%d", w), func(p *sim.Proc) {
+						host.Sync.P(p, uint32(semStart+w))
+						var av, bv [4]int32
+						host.DSM.ReadInt32s(p, a, av[:])
+						host.DSM.ReadInt32s(p, b, bv[:])
+						var row [2]int32
+						for j := 0; j < 2; j++ {
+							row[j] = av[2*w]*bv[j] + av[2*w+1]*bv[2+j]
+						}
+						host.DSM.WriteInt32s(p, cm+dsm.Addr(8*w), row[:])
+						host.Sync.V(p, semDone)
+					})
+				}
+				h0.Sync.V(p, semStart+0)
+				h0.Sync.V(p, semStart+1)
+				h0.Sync.P(p, semDone)
+				h0.Sync.P(p, semDone)
+				var got [4]int32
+				h0.DSM.ReadInt32s(p, cm, got[:])
+				want := [4]int32{19, 22, 43, 50}
+				if got != want {
+					return fmt.Errorf("C = %v, want %v", got, want)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
+}
+
+// ringWorkload drives the three-party stale-reader scenario: host 1
+// acquires a read replica, host 2 then writes the page. A manager that
+// forgot to record host 1 in the copyset (MutDropCopyset) leaves its
+// replica alive through host 2's write — invisible with only two hosts,
+// where the reader is always the requester or the owner of the
+// transfer.
+func ringWorkload() *Workload {
+	return &Workload{
+		Name: "ring",
+		Desc: "3 hosts, read-replicate then third-party write (copyset accuracy)",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Sun, arch.Sun}, dsm.PolicyMRSW, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				x, err := c.Hosts[0].DSM.Alloc(p, conv.Int32, pageInts)
+				if err != nil {
+					return err
+				}
+				c.Hosts[0].DSM.WriteInt32(p, x, 1)
+				if got := c.Hosts[1].DSM.ReadInt32(p, x); got != 1 {
+					return fmt.Errorf("first read = %d, want 1", got)
+				}
+				c.Hosts[2].DSM.WriteInt32(p, x, 2)
+				if got := c.Hosts[1].DSM.ReadInt32(p, x); got != 2 {
+					return fmt.Errorf("read after third-party write = %d, want 2", got)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
+}
+
+// updateWorkload runs the write-update policy: host 1 holds a replica,
+// host 0 writes through the manager's sequencer, host 1 must see the
+// new value in its never-invalidated replica.
+func updateWorkload() *Workload {
+	return &Workload{
+		Name: "update",
+		Desc: "2 hosts, write-update policy: sequenced write reaches the replica",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly}, dsm.PolicyUpdate, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				x, err := c.Hosts[0].DSM.Alloc(p, conv.Int32, pageInts)
+				if err != nil {
+					return err
+				}
+				if got := c.Hosts[1].DSM.ReadInt32(p, x); got != 0 {
+					return fmt.Errorf("initial read = %d, want 0", got)
+				}
+				c.Hosts[0].DSM.WriteInt32(p, x, 7)
+				if got := c.Hosts[1].DSM.ReadInt32(p, x); got != 7 {
+					return fmt.Errorf("replica read = %d, want 7", got)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
+}
+
+// semWorkload checks distributed semaphore mutual exclusion and
+// progress under adversarial wakeup orders: one worker per host, each
+// entering a critical section twice. The critical-section occupancy
+// check uses plain Go variables, outside DSM, so it cannot be confused
+// by a DSM bug; a lost wakeup surfaces as a deadlock.
+func semWorkload() *Workload {
+	return &Workload{
+		Name: "sem",
+		Desc: "2 hosts, dsync semaphore mutual exclusion under adversarial wakeups",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly}, dsm.PolicyMRSW, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(semLock, 0, 1)
+			c.DefineSemaphore(semDone, 1, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				inCS := 0
+				overlaps := 0
+				for w := 0; w < 2; w++ {
+					host := c.Hosts[w]
+					c.K.Spawn(fmt.Sprintf("cs%d", w), func(p *sim.Proc) {
+						for i := 0; i < 2; i++ {
+							host.Sync.P(p, semLock)
+							inCS++
+							if inCS > 1 {
+								overlaps++
+							}
+							p.Sleep(100 * sim.Duration(1000)) // dwell in the critical section
+							inCS--
+							host.Sync.V(p, semLock)
+						}
+						host.Sync.V(p, semDone)
+					})
+				}
+				for i := 0; i < 2; i++ {
+					c.Hosts[0].Sync.P(p, semDone)
+				}
+				if overlaps > 0 {
+					return fmt.Errorf("%d critical-section overlaps — P/V mutual exclusion broken", overlaps)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
+}
+
+// barrierWorkload checks the distributed barrier for lost wakeups
+// under adversarial schedules: two workers on different hosts
+// synchronize through two rounds. After a barrier releases a worker in
+// round r, its peer must have entered round r (it may already be in
+// r+1, blocked on the next barrier, but can never lag). A dropped
+// release parks a worker forever and surfaces as a deadlock.
+func barrierWorkload() *Workload {
+	return &Workload{
+		Name: "barrier",
+		Desc: "2 hosts, dsync barrier, 2 rounds: no lost wakeups, no round skew",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly}, dsm.PolicyMRSW, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineBarrier(barMain, 0, 2)
+			c.DefineSemaphore(semDone, 1, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				var round [2]int
+				skew := 0
+				for w := 0; w < 2; w++ {
+					w := w
+					host := c.Hosts[w]
+					c.K.Spawn(fmt.Sprintf("round%d", w), func(p *sim.Proc) {
+						for r := 1; r <= 2; r++ {
+							round[w] = r
+							host.Sync.BarrierArrive(p, barMain)
+							if round[1-w] < r {
+								skew++
+							}
+						}
+						host.Sync.V(p, semDone)
+					})
+				}
+				for i := 0; i < 2; i++ {
+					c.Hosts[0].Sync.P(p, semDone)
+				}
+				if skew > 0 {
+					return fmt.Errorf("barrier released a worker %d time(s) before its peer arrived", skew)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
+}

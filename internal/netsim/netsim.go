@@ -117,32 +117,42 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 		n.stats.FramesDropped++
 		return nil
 	}
-	n.k.After(n.params.PacketLatency, func() { n.deliver(f) })
+	n.scheduleDelivery(f)
 	return nil
 }
 
-func (n *Network) deliver(f Frame) {
+// scheduleDelivery queues one named delivery event per destination,
+// packet latency from now. Broadcast expands here, at send time, into
+// one event per receiver — in host order, so without a chooser the
+// dispatch (seq) order matches the previous single-callback behavior
+// (a map-ordered walk here once made multicast invalidation runs
+// nondeterministic). With a chooser each receiver's delivery is an
+// independent alternative the model checker can reorder.
+func (n *Network) scheduleDelivery(f Frame) {
 	if f.To == Broadcast {
-		// Deliver in host order: the receivers' mailbox wake-ups all
-		// land at the same virtual instant, so the put order decides
-		// the scheduling order — a map-ordered walk here made
-		// broadcast-heavy runs (multicast invalidation) nondeterministic.
 		ids := make([]HostID, 0, len(n.ifaces))
 		for id := range n.ifaces { // vet:ignore map-order — sorted below
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
-			if id != f.From {
-				n.ifaces[id].rx.Put(f)
+			if id == f.From {
+				continue
 			}
+			ifc := n.ifaces[id]
+			n.k.AfterNamed(deliveryLabel(id, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
 		}
 		return
 	}
 	if ifc, ok := n.ifaces[f.To]; ok {
-		ifc.rx.Put(f)
+		n.k.AfterNamed(deliveryLabel(f.To, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
 	}
 	// Frames to unknown hosts vanish, like on a real wire.
+}
+
+// deliveryLabel names a delivery event for schedule diagnostics.
+func deliveryLabel(to, from HostID) string {
+	return fmt.Sprintf("net:h%d<-h%d", to, from)
 }
 
 // Recv blocks until a frame arrives and returns it.

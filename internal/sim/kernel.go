@@ -59,7 +59,36 @@ type event struct {
 	epoch    uint64 // park epoch the wake targets (ignored for callbacks)
 	reason   WakeReason
 	fn       func() // callback; must not block
+	name     string // label for callback events (scheduling diagnostics)
 	canceled bool
+}
+
+// live reports whether dispatching the event would do anything: canceled
+// events and stale wakes (the process finished or left that park episode)
+// are no-ops the scheduler may discard.
+func (e *event) live() bool {
+	if e.canceled {
+		return false
+	}
+	if e.fn != nil {
+		return true
+	}
+	return !e.proc.done && e.proc.epoch == e.epoch
+}
+
+// label renders the event for schedule diagnostics: the callback's name,
+// or the woken process prefixed by why it wakes.
+func (e *event) label() string {
+	if e.fn != nil {
+		if e.name != "" {
+			return e.name
+		}
+		return "callback"
+	}
+	if e.reason == WakeTimeout {
+		return "timer:" + e.proc.name
+	}
+	return "wake:" + e.proc.name
 }
 
 type eventHeap []*event
@@ -77,16 +106,35 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 func (h eventHeap) Peek() *event  { return h[0] }
 func (h eventHeap) isEmpty() bool { return len(h) == 0 }
 
+// Chooser resolves the kernel's scheduling nondeterminism. Whenever more
+// than one live event is eligible at the current virtual instant, the
+// kernel asks the chooser which to dispatch; in a real distributed
+// system these alternatives are exactly the uncontrolled orderings —
+// message arrivals, thread wakeups, timer expiries racing one another —
+// so a Chooser that enumerates them turns the simulator into a model
+// checker (see internal/mc).
+//
+// Choose receives the instant, the number of alternatives n (always
+// ≥ 2), and a label function describing each for diagnostics. It must
+// return an index in [0, n). A given kernel run is a pure function of
+// its seed and the sequence of choices, so recording the choices made
+// replays the run bit-identically.
+type Chooser interface {
+	Choose(now Time, n int, label func(i int) string) int
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan yieldMsg
-	procs  map[int]*proc
-	nextID int
-	rng    *rand.Rand
+	now     Time
+	seq     uint64
+	events  eventHeap
+	yield   chan yieldMsg
+	procs   map[int]*proc
+	nextID  int
+	rng     *rand.Rand
+	chooser Chooser
+	elig    []*event // scratch buffer for same-instant alternatives
 }
 
 type yieldKind int
@@ -132,10 +180,21 @@ func (k *Kernel) schedule(at Time, e *event) *event {
 	return e
 }
 
+// SetChooser installs (or, with nil, removes) the scheduling chooser.
+// It must be called before Run; changing the chooser mid-run would make
+// recorded schedules meaningless.
+func (k *Kernel) SetChooser(c Chooser) { k.chooser = c }
+
 // After schedules fn to run at the current time plus d. fn runs in kernel
 // context and must not block; use Spawn for blocking work.
 func (k *Kernel) After(d Duration, fn func()) {
 	k.schedule(k.now.Add(d), &event{fn: fn})
+}
+
+// AfterNamed is After with a label naming the callback in schedule
+// diagnostics (the model checker's choice-point labels).
+func (k *Kernel) AfterNamed(name string, d Duration, fn func()) {
+	k.schedule(k.now.Add(d), &event{fn: fn, name: name})
 }
 
 // Spawn creates a new process named name running fn. The process starts
@@ -157,15 +216,19 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 	k.procs[pr.id] = pr
 	public := &Proc{pr}
 	go func() {
-		reason := <-pr.resume
-		_ = reason
+		<-pr.resume
 		defer func() {
 			if r := recover(); r != nil {
-				k.yield <- yieldMsg{kind: yieldPanic, p: pr, pval: r}
-				return
+				if _, kill := r.(killSentinel); !kill {
+					k.yield <- yieldMsg{kind: yieldPanic, p: pr, pval: r} // vet:ignore chan-send — kernel⇄process rendezvous
+					return
+				}
 			}
-			k.yield <- yieldMsg{kind: yieldDone, p: pr}
+			k.yield <- yieldMsg{kind: yieldDone, p: pr} // vet:ignore chan-send — kernel⇄process rendezvous
 		}()
+		if pr.killed {
+			return
+		}
 		fn(public)
 	}()
 	pr.wakePending = true
@@ -180,8 +243,7 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 // Run panics if a process panicked, re-raising the process's panic value
 // wrapped with its name.
 func (k *Kernel) Run() {
-	for !k.events.isEmpty() {
-		k.step(heap.Pop(&k.events).(*event))
+	for k.Step() {
 	}
 }
 
@@ -190,8 +252,7 @@ func (k *Kernel) Run() {
 // server loops, persistent retransmission — would otherwise keep the
 // event queue non-empty forever.
 func (k *Kernel) RunUntil(done func() bool) {
-	for !done() && !k.events.isEmpty() {
-		k.step(heap.Pop(&k.events).(*event))
+	for !done() && k.Step() {
 	}
 }
 
@@ -200,12 +261,91 @@ func (k *Kernel) RunUntil(done func() bool) {
 // advanced to the deadline even if the queue drains earlier.
 func (k *Kernel) RunFor(d Duration) {
 	deadline := k.now.Add(d)
-	for !k.events.isEmpty() && k.events.Peek().at <= deadline {
-		k.step(heap.Pop(&k.events).(*event))
+	for {
+		if k.chooser != nil {
+			k.discardDead()
+		}
+		if k.events.isEmpty() || k.events.Peek().at > deadline {
+			break
+		}
+		k.step(k.nextEvent())
 	}
 	if k.now < deadline {
 		k.now = deadline
 	}
+}
+
+// Step dispatches the next event and reports whether one was dispatched.
+// It is the single-step form of Run, for drivers — the model checker —
+// that bound a run by event count.
+func (k *Kernel) Step() bool {
+	e := k.nextEvent()
+	if e == nil {
+		return false
+	}
+	k.step(e)
+	return true
+}
+
+// discardDead drops canceled and stale events from the head of the
+// queue so the chooser never sees a no-op as an alternative.
+func (k *Kernel) discardDead() {
+	for !k.events.isEmpty() && !k.events.Peek().live() {
+		heap.Pop(&k.events)
+	}
+}
+
+// nextEvent selects the event to dispatch next. Without a chooser it is
+// the heap minimum — earliest time, then scheduling order, the fixed
+// deterministic default. With a chooser, every live event at the minimum
+// time is a scheduling alternative and the chooser picks one; the others
+// keep their original sequence numbers, so declining an event never
+// reorders it relative to later arrivals at the same instant.
+func (k *Kernel) nextEvent() *event {
+	if k.chooser == nil {
+		if k.events.isEmpty() {
+			return nil
+		}
+		return heap.Pop(&k.events).(*event)
+	}
+	k.discardDead()
+	if k.events.isEmpty() {
+		return nil
+	}
+	t := k.events.Peek().at
+	elig := k.elig[:0]
+	for !k.events.isEmpty() && k.events.Peek().at == t {
+		e := heap.Pop(&k.events).(*event)
+		if e.live() {
+			elig = append(elig, e)
+		}
+	}
+	k.elig = elig[:0] // keep the grown buffer for the next call
+	idx := 0
+	if len(elig) > 1 {
+		idx = k.chooser.Choose(t, len(elig), func(i int) string { return elig[i].label() })
+		if idx < 0 || idx >= len(elig) {
+			idx = 0
+		}
+	}
+	for i, e := range elig {
+		if i != idx {
+			heap.Push(&k.events, e)
+		}
+	}
+	return elig[idx]
+}
+
+// LivePending counts queued events that would actually do something if
+// dispatched. The model checker folds it into its state hashes.
+func (k *Kernel) LivePending() int {
+	n := 0
+	for _, e := range k.events {
+		if e.live() {
+			n++
+		}
+	}
+	return n
 }
 
 // step dispatches one event: run its callback, or resume its process and
@@ -229,7 +369,7 @@ func (k *Kernel) step(e *event) {
 	}
 	p.wakePending = false
 	p.epoch++
-	p.resume <- e.reason
+	p.resume <- e.reason // vet:ignore chan-send — kernel⇄process rendezvous
 	msg := <-k.yield
 	switch msg.kind {
 	case yieldParked:
@@ -241,6 +381,57 @@ func (k *Kernel) step(e *event) {
 		msg.p.done = true
 		delete(k.procs, msg.p.id)
 		panic(fmt.Sprintf("sim: process %q panicked: %v", msg.p.name, msg.pval))
+	}
+}
+
+// killSentinel is the panic value that unwinds a process being killed by
+// Shutdown; the spawn wrapper recognizes it and reports a normal exit.
+type killSentinel struct{}
+
+// Shutdown force-terminates every process still parked, releasing their
+// goroutines, and discards all pending events. It must only be called
+// outside Run — after it returned, or after recovering the panic it
+// re-raised. The kernel must not be used afterwards.
+//
+// Without Shutdown every parked server loop pins its goroutine for the
+// life of the Go process; a model checker executing thousands of short
+// simulations per second needs them reclaimed.
+func (k *Kernel) Shutdown() {
+	k.events = nil
+	for len(k.procs) > 0 {
+		ids := make([]int, 0, len(k.procs))
+		for id := range k.procs { // vet:ignore map-order — sorted below
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if p, ok := k.procs[id]; ok && !p.done {
+				k.kill(p)
+			}
+		}
+	}
+	k.events = nil // deferred cleanups may have scheduled wakes
+}
+
+// kill resumes one parked process with its killed flag set, making park
+// unwind it via killSentinel, and drains its yields until it exits.
+// Deferred cleanups run; one that parks again is prodded again.
+func (k *Kernel) kill(p *proc) {
+	p.killed = true
+	for !p.done {
+		p.epoch++
+		p.wakePending = false
+		p.resume <- WakeSignal // vet:ignore chan-send — kernel⇄process rendezvous
+		msg := <-k.yield
+		switch msg.kind {
+		case yieldParked:
+			// A deferred cleanup parked again; keep prodding.
+		case yieldDone, yieldPanic:
+			// Panics during teardown are swallowed: the simulation's
+			// outcome was decided before Shutdown was called.
+			msg.p.done = true
+			delete(k.procs, msg.p.id)
+		}
 	}
 }
 
@@ -265,6 +456,7 @@ type proc struct {
 	epoch       uint64
 	wakePending bool
 	done        bool
+	killed      bool // set by Shutdown; park unwinds via killSentinel
 }
 
 // Proc is the handle a process function uses to interact with virtual
@@ -286,8 +478,15 @@ func (pp *Proc) Now() Time { return pp.p.k.now }
 // arranged a wake (an event or membership in a waiter list) first.
 func (pp *Proc) park() WakeReason {
 	p := pp.p
-	p.k.yield <- yieldMsg{kind: yieldParked, p: p}
-	return <-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.k.yield <- yieldMsg{kind: yieldParked, p: p} // vet:ignore chan-send — kernel⇄process rendezvous
+	r := <-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	return r
 }
 
 // wakeToken identifies one parked episode of a process, so that stale

@@ -16,6 +16,17 @@
 //     Go randomizes iteration order, so any map-ordered protocol or
 //     event action varies run to run. Provably order-insensitive
 //     ranges carry a `vet:ignore map-order` comment.
+//   - chan-send: a bare channel send in simulation packages hands
+//     control to whatever goroutine the Go runtime picks, bypassing
+//     the kernel's deterministic scheduler (and with it the model
+//     checker's Chooser). The kernel's own park/resume rendezvous
+//     points — where exactly one receiver can be ready — carry a
+//     `vet:ignore chan-send` comment.
+//   - select-default: `select` with a `default` clause in simulation
+//     packages is non-blocking channel polling; whether a communication
+//     is ready when the poll runs depends on real-time goroutine
+//     interleaving, not virtual time, so the branch taken varies run
+//     to run.
 //   - page-buffer: DSM page byte buffers (`localPage.data`) may be
 //     indexed or sliced only inside the access layer; protocol code
 //     elsewhere reaching into raw page bytes bypasses the typed,
@@ -54,7 +65,7 @@ type Finding struct {
 	// Pos locates the violation.
 	Pos token.Position
 	// Rule names the rule that fired (pv-pairing, time, rand,
-	// map-order, page-buffer, enum-switch).
+	// map-order, chan-send, select-default, page-buffer, enum-switch).
 	Rule string
 	// Msg explains the violation.
 	Msg string
@@ -68,8 +79,8 @@ func (f Finding) String() string {
 type Config struct {
 	// PVPackages lists packages subject to the pv-pairing rule.
 	PVPackages []string
-	// DeterminismPackages lists packages subject to the time, rand and
-	// map-order rules.
+	// DeterminismPackages lists packages subject to the time, rand,
+	// map-order, chan-send and select-default rules.
 	DeterminismPackages []string
 	// PageBufferPackages lists packages subject to the page-buffer
 	// rule.
@@ -346,6 +357,21 @@ func (c *checker) checkDeterminism(f *ast.File) {
 				c.report(node.Pos(), "map-order",
 					"range over map %s: iteration order is randomized and leaks into simulation behaviour (sort keys, or annotate a provably order-insensitive walk with vet:ignore map-order)",
 					types.ExprString(node.X))
+			}
+		case *ast.SendStmt:
+			c.report(node.Pos(), "chan-send",
+				"bare channel send %s <- … in a simulation package: goroutine handoff order is the Go scheduler's, not the kernel's (route through kernel events, or annotate a kernel-controlled rendezvous with vet:ignore chan-send)",
+				types.ExprString(node.Chan))
+		case *ast.SelectStmt:
+			for _, clause := range node.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					c.report(node.Pos(), "select-default",
+						"select with a default clause in a simulation package: non-blocking channel polling races the Go scheduler and varies run to run")
+				}
 			}
 		}
 		return true

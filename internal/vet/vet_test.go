@@ -166,6 +166,58 @@ func slices(s []int) {
 	}
 }
 
+func TestBareChannelSendFlaggedUnlessAnnotated(t *testing.T) {
+	fs := analyze(t, "fixture/sim", map[string]string{"a.go": `
+package sim
+
+type msg struct{}
+
+func bad(ch chan msg) {
+	ch <- msg{} // scheduler-ordered handoff
+}
+
+func rendezvous(yield chan msg) {
+	yield <- msg{} // vet:ignore chan-send — kernel⇄process rendezvous
+}
+
+func receivesAreFine(ch chan msg) msg {
+	return <-ch
+}
+`})
+	wantRule(t, fs, "chan-send", "ch <-")
+	if len(fs) != 1 {
+		t.Fatalf("annotated send or receive wrongly flagged: %v", fs)
+	}
+}
+
+func TestSelectDefaultFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/netsim", map[string]string{"a.go": `
+package netsim
+
+func bad(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default: // non-blocking poll: result depends on real-time interleaving
+		return -1
+	}
+}
+
+func blockingSelectFine(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+`})
+	wantRule(t, fs, "select-default", "default clause")
+	if len(fs) != 1 {
+		t.Fatalf("blocking select wrongly flagged: %v", fs)
+	}
+}
+
 func TestPageBufferIndexingFlaggedOutsideAccessLayer(t *testing.T) {
 	fixture := map[string]string{
 		"state.go": `
