@@ -1,7 +1,7 @@
 # The check target runs exactly what CI runs (.github/workflows/ci.yml);
 # keep the two in lockstep.
 
-.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep
+.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep bench bench-smoke
 
 check: build vet fmt test race mermaid-vet mc-smoke
 
@@ -27,6 +27,24 @@ race:
 
 mermaid-vet:
 	go run ./cmd/mermaid-vet ./...
+
+# Wall-clock benchmark harness: run the Real* micro-benchmarks and
+# freeze the numbers into BENCH_1.json via mermaid-benchjson. The
+# intermediate text file keeps parse failures distinguishable from
+# benchmark failures.
+bench:
+	go test -run '^$$' -bench Real -benchmem . > bench_real.txt
+	go run ./cmd/mermaid-benchjson -o BENCH_1.json < bench_real.txt
+	go run ./cmd/mermaid-benchjson -validate BENCH_1.json
+	@rm -f bench_real.txt
+
+# CI variant: a handful of iterations only — proves the harness and the
+# JSON pipeline work without burning minutes on stable numbers.
+bench-smoke:
+	go test -run '^$$' -bench Real -benchmem -benchtime 10x . > bench_smoke.txt
+	go run ./cmd/mermaid-benchjson -o bench_smoke.json < bench_smoke.txt
+	go run ./cmd/mermaid-benchjson -validate bench_smoke.json
+	@rm -f bench_smoke.txt bench_smoke.json
 
 # Bounded model-checking smoke: exhaustive DFS over the 2-host smoke
 # workload (must stay clean) plus one representative mutation per

@@ -1,0 +1,58 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthAndClasses(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1000, 1400, 8192, 1 << 17} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) length %d", n, len(b))
+		}
+		Put(b)
+	}
+	if Get(0) != nil {
+		t.Error("Get(0) != nil")
+	}
+	// Oversized requests fall back to the allocator but still work.
+	big := Get(1<<17 + 1)
+	if len(big) != 1<<17+1 {
+		t.Fatalf("oversized Get length %d", len(big))
+	}
+	Put(big)
+}
+
+func TestRecycling(t *testing.T) {
+	b := Get(1024)
+	b[0] = 0xaa
+	Put(b)
+	c := Get(1000) // rounds up to the same class: must come back resliced
+	if &b[0] != &c[0] {
+		t.Error("Put buffer was not recycled by the next Get of its class")
+	}
+	Put(c)
+}
+
+func TestPutDropsUnpoolable(t *testing.T) {
+	Put(nil)               // must not panic
+	Put(make([]byte, 8))   // below the smallest class: dropped
+	Put(make([]byte, 100)) // odd capacity: filed under the class it covers
+	b := Get(64)
+	Put(b)
+}
+
+// TestSteadyStateZeroAllocs is the pool's core contract: a warm
+// Get/Put cycle performs no allocation, including Put (the reason this
+// is not sync.Pool, whose Put boxes the slice header).
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for _, n := range []int{64, 1400, 8192} {
+		Put(Get(n)) // warm the class
+		avg := testing.AllocsPerRun(200, func() {
+			b := Get(n)
+			b[0] = 1
+			Put(b)
+		})
+		if avg != 0 {
+			t.Errorf("Get(%d)/Put allocates %.1f times per run, want 0", n, avg)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package conv
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestConvertRegionZeroAllocs guards the compiled-plan conversion path:
+// converting a whole page of any basic or compound type must not
+// allocate. The reference path is exempt (it reports per-element errors
+// through fmt) but the plan path is what every transfer runs.
+func TestConvertRegionZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	compound, err := r.RegisterStruct("rec", []Field{
+		{Type: Int32, Count: 2},
+		{Type: Float64, Count: 1},
+		{Type: Pointer, Count: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		id   TypeID
+		name string
+	}{
+		{Int32, "int32"}, {Float64, "float64"}, {compound, "compound"},
+	} {
+		size := r.MustGet(tc.id).Size
+		buf := make([]byte, 1024/size*size)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		avg := testing.AllocsPerRun(100, func() {
+			if _, err := r.ConvertRegion(tc.id, buf, arch.SunArch, arch.FireflyArch, 64); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Errorf("%s: ConvertRegion allocates %.1f times per run, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestRegistryGetZeroAllocs guards the dense-slice type lookup.
+func TestRegistryGetZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	avg := testing.AllocsPerRun(100, func() {
+		if _, ok := r.Get(Float64); !ok {
+			t.Fatal("Float64 missing")
+		}
+		r.MustGet(Int32)
+	})
+	if avg != 0 {
+		t.Errorf("Registry lookup allocates %.1f times per run, want 0", avg)
+	}
+}

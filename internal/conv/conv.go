@@ -128,8 +128,11 @@ type Type struct {
 	Size int
 	// Cost counts the basic operations one element conversion performs.
 	Cost CostUnits
-	// convert is the element conversion routine.
+	// convert is the element conversion routine (the reference path).
 	convert ConvertFunc
+	// plan is the compiled op-stream executed by the bulk fast path,
+	// or nil for custom types, which only have the routine above.
+	plan []planOp
 }
 
 // Field is one field of a compound type: Count consecutive elements of
@@ -142,63 +145,98 @@ type Field struct {
 	Count int
 }
 
+// denseCap bounds the dense lookup table below; identifiers past it
+// (never reached by sequential registration, but possible in theory)
+// fall back to the overflow map.
+const denseCap = 4096
+
 // Registry is the global static table mapping types to conversion
 // routines. It must be built identically on every host before the DSM
 // system starts (it is immutable afterwards).
+//
+// Type lookup is on the page-transfer hot path (every ConvertRegion
+// starts with one), so registered types live in a dense slice indexed
+// by TypeID; the overflow map exists only for identifiers beyond
+// denseCap.
 type Registry struct {
-	types  map[TypeID]*Type
-	nextID TypeID
+	dense    []*Type
+	overflow map[TypeID]*Type
+	nextID   TypeID
 }
 
 // NewRegistry creates a registry with the basic types pre-registered.
 func NewRegistry() *Registry {
 	r := &Registry{
-		types:  make(map[TypeID]*Type),
+		dense:  make([]*Type, FirstUserType),
 		nextID: FirstUserType,
 	}
-	r.types[Char] = &Type{
+	r.put(&Type{
 		ID: Char, Name: "char", Size: 1,
 		Cost:    CostUnits{Bytes: 1},
 		convert: func([]byte, arch.Arch, arch.Arch, int32, *Report) error { return nil },
-	}
-	r.types[Int16] = &Type{
+		plan:    []planOp{{opCopy, 1}},
+	})
+	r.put(&Type{
 		ID: Int16, Name: "short", Size: 2,
 		Cost:    CostUnits{Int16Ops: 1},
 		convert: convertInt16,
-	}
-	r.types[Int32] = &Type{
+		plan:    []planOp{{opSwap16, 1}},
+	})
+	r.put(&Type{
 		ID: Int32, Name: "int", Size: 4,
 		Cost:    CostUnits{Int32Ops: 1},
 		convert: convertInt32,
-	}
-	r.types[Float32] = &Type{
+		plan:    []planOp{{opSwap32, 1}},
+	})
+	r.put(&Type{
 		ID: Float32, Name: "float", Size: 4,
 		Cost:    CostUnits{Float32Ops: 1},
 		convert: convertFloat32,
-	}
-	r.types[Float64] = &Type{
+		plan:    []planOp{{opF32, 1}},
+	})
+	r.put(&Type{
 		ID: Float64, Name: "double", Size: 8,
 		Cost:    CostUnits{Float64Ops: 1},
 		convert: convertFloat64,
-	}
-	r.types[Pointer] = &Type{
+		plan:    []planOp{{opF64, 1}},
+	})
+	r.put(&Type{
 		ID: Pointer, Name: "pointer", Size: 4,
 		Cost:    CostUnits{PointerOps: 1},
 		convert: convertPointer,
-	}
+		plan:    []planOp{{opPtr, 1}},
+	})
 	return r
+}
+
+func (r *Registry) put(t *Type) {
+	if int(t.ID) < denseCap {
+		for len(r.dense) <= int(t.ID) {
+			r.dense = append(r.dense, nil)
+		}
+		r.dense[t.ID] = t
+		return
+	}
+	if r.overflow == nil {
+		r.overflow = make(map[TypeID]*Type)
+	}
+	r.overflow[t.ID] = t
 }
 
 // Get returns the type registered under id.
 func (r *Registry) Get(id TypeID) (*Type, bool) {
-	t, ok := r.types[id]
+	if int(id) < len(r.dense) {
+		t := r.dense[id]
+		return t, t != nil
+	}
+	t, ok := r.overflow[id]
 	return t, ok
 }
 
 // MustGet returns the type registered under id, panicking if absent; use
 // only for identifiers known to be registered (program invariants).
 func (r *Registry) MustGet(id TypeID) *Type {
-	t, ok := r.types[id]
+	t, ok := r.Get(id)
 	if !ok {
 		panic(fmt.Sprintf("conv: type %d not registered", id))
 	}
@@ -219,7 +257,7 @@ func (r *Registry) RegisterStruct(name string, fields []Field) (TypeID, error) {
 	)
 	resolved := make([]*Type, len(fields))
 	for i, f := range fields {
-		ft, ok := r.types[f.Type]
+		ft, ok := r.Get(f.Type)
 		if !ok {
 			return Invalid, fmt.Errorf("conv: struct %q field %d: type %d not registered", name, i, f.Type)
 		}
@@ -246,7 +284,7 @@ func (r *Registry) RegisterStruct(name string, fields []Field) (TypeID, error) {
 		}
 		return nil
 	}
-	return r.register(name, size, cost, convert)
+	return r.register(name, size, cost, convert, compilePlan(fields, resolved))
 }
 
 // RegisterCustom registers a type with an application-supplied
@@ -258,13 +296,13 @@ func (r *Registry) RegisterCustom(name string, size int, cost CostUnits, fn Conv
 	if fn == nil {
 		return Invalid, fmt.Errorf("conv: custom type %q has no conversion routine", name)
 	}
-	return r.register(name, size, cost, fn)
+	return r.register(name, size, cost, fn, nil)
 }
 
-func (r *Registry) register(name string, size int, cost CostUnits, fn ConvertFunc) (TypeID, error) {
+func (r *Registry) register(name string, size int, cost CostUnits, fn ConvertFunc, plan []planOp) (TypeID, error) {
 	id := r.nextID
 	r.nextID++
-	r.types[id] = &Type{ID: id, Name: name, Size: size, Cost: cost, convert: fn}
+	r.put(&Type{ID: id, Name: name, Size: size, Cost: cost, convert: fn, plan: plan})
 	return id, nil
 }
 
@@ -273,25 +311,66 @@ func (r *Registry) register(name string, size int, cost CostUnits, fn ConvertFun
 // Only full elements are converted; buf's length must be a multiple of
 // the element size (the typed allocator guarantees this for allocated
 // prefixes). If the architectures are compatible it is a no-op.
+//
+// Types with a compiled plan run the bulk kernels; custom types (and
+// compounds containing them) run the reference per-element routine.
+// The two paths are bit-identical in output and Report.
 func (r *Registry) ConvertRegion(id TypeID, buf []byte, from, to arch.Arch, ptrOff int32) (Report, error) {
 	var rep Report
 	if from.Compatible(to) {
 		return rep, nil
 	}
-	t, ok := r.types[id]
+	t, ok := r.Get(id)
 	if !ok {
 		return rep, fmt.Errorf("conv: type %d not registered", id)
 	}
 	if len(buf)%t.Size != 0 {
 		return rep, fmt.Errorf("conv: region size %d not a multiple of %s element size %d", len(buf), t.Name, t.Size)
 	}
+	if t.plan != nil {
+		rep.Elements = len(buf) / t.Size
+		execPlan(t.plan, buf, t.Size, from, to, ptrOff, &rep)
+		return rep, nil
+	}
+	// The reference walk runs in its own frame: its report is passed
+	// through the type's dynamic convert function and escapes, and
+	// sharing it would drag the plan path's report to the heap too.
+	return referenceRegion(t, buf, from, to, ptrOff)
+}
+
+func referenceRegion(t *Type, buf []byte, from, to arch.Arch, ptrOff int32) (Report, error) {
+	var rep Report
+	err := convertRegionReference(t, buf, from, to, ptrOff, &rep)
+	return rep, err
+}
+
+// ConvertRegionReference converts the region with the per-element
+// reference routine, bypassing any compiled plan. It is the oracle the
+// differential tests compare the plan path against, and is otherwise
+// identical in contract to ConvertRegion.
+func (r *Registry) ConvertRegionReference(id TypeID, buf []byte, from, to arch.Arch, ptrOff int32) (Report, error) {
+	var rep Report
+	if from.Compatible(to) {
+		return rep, nil
+	}
+	t, ok := r.Get(id)
+	if !ok {
+		return rep, fmt.Errorf("conv: type %d not registered", id)
+	}
+	if len(buf)%t.Size != 0 {
+		return rep, fmt.Errorf("conv: region size %d not a multiple of %s element size %d", len(buf), t.Name, t.Size)
+	}
+	return referenceRegion(t, buf, from, to, ptrOff)
+}
+
+func convertRegionReference(t *Type, buf []byte, from, to arch.Arch, ptrOff int32, rep *Report) error {
 	for off := 0; off < len(buf); off += t.Size {
-		if err := t.convert(buf[off:off+t.Size], from, to, ptrOff, &rep); err != nil {
-			return rep, fmt.Errorf("conv: element at %d: %w", off, err)
+		if err := t.convert(buf[off:off+t.Size], from, to, ptrOff, rep); err != nil {
+			return fmt.Errorf("conv: element at %d: %w", off, err)
 		}
 		rep.Elements++
 	}
-	return rep, nil
+	return nil
 }
 
 func convertInt16(elem []byte, from, to arch.Arch, _ int32, _ *Report) error {

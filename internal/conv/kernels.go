@@ -1,0 +1,70 @@
+package conv
+
+// Word-at-a-time bulk kernels for the integer and pointer conversion
+// ops. Each rewrites a packed region in place; the compiled-plan
+// executor in plan.go picks them per op, so a whole page of one basic
+// type is converted by a single unrolled loop instead of one indirect
+// call per element.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// bswap16Region byte-swaps every 16-bit element of buf, four at a time.
+func bswap16Region(buf []byte) {
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		v := binary.LittleEndian.Uint64(buf[i:])
+		v = v>>8&0x00ff00ff00ff00ff | v&0x00ff00ff00ff00ff<<8
+		binary.LittleEndian.PutUint64(buf[i:], v)
+	}
+	for ; i+2 <= len(buf); i += 2 {
+		buf[i], buf[i+1] = buf[i+1], buf[i]
+	}
+}
+
+// bswap32Region byte-swaps every 32-bit element of buf, two at a time.
+func bswap32Region(buf []byte) {
+	i := 0
+	for ; i+8 <= len(buf); i += 8 {
+		v := binary.LittleEndian.Uint64(buf[i:])
+		v = v>>24&0x000000ff000000ff |
+			v>>8&0x0000ff000000ff00 |
+			v&0x0000ff000000ff00<<8 |
+			v&0x000000ff000000ff<<24
+		binary.LittleEndian.PutUint64(buf[i:], v)
+	}
+	if i+4 <= len(buf) {
+		binary.LittleEndian.PutUint32(buf[i:],
+			bits.ReverseBytes32(binary.LittleEndian.Uint32(buf[i:])))
+	}
+}
+
+// bswap64Region byte-swaps every 64-bit element of buf.
+func bswap64Region(buf []byte) {
+	for i := 0; i+8 <= len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:],
+			bits.ReverseBytes64(binary.LittleEndian.Uint64(buf[i:])))
+	}
+}
+
+// ptrRegion rebases every 32-bit DSM pointer in buf by ptrOff,
+// translating between the source and destination byte orders. The null
+// pointer is universal and is not rebased, exactly as in the
+// per-element routine.
+func ptrRegion(buf []byte, srcBig, dstBig bool, ptrOff int32) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		v := binary.LittleEndian.Uint32(buf[i:])
+		if srcBig {
+			v = bits.ReverseBytes32(v)
+		}
+		if v != 0 {
+			v = uint32(int32(v) + ptrOff)
+		}
+		if dstBig {
+			v = bits.ReverseBytes32(v)
+		}
+		binary.LittleEndian.PutUint32(buf[i:], v)
+	}
+}

@@ -1,0 +1,183 @@
+package conv
+
+// Compiled conversion plans. The paper composes a compound type's
+// conversion routine from one call per field per element; profiled
+// against Table 3 that indirect-call-per-element structure is exactly
+// what makes conversion dominate a heterogeneous page transfer. A plan
+// flattens a registered type — including recursive compounds — into a
+// linear op-stream (swap16×N, swap32×N, f32×N, f64×N, ptr×N, copy N
+// bytes) at Register time, so converting a region is a handful of bulk
+// kernel runs instead of len(buf)/Size indirect calls.
+//
+// The plan path is bit-identical to the retained per-element reference
+// path (same output bytes, same Report counts); the differential tests
+// in plan_diff_test.go assert this over arbitrary inputs. Types with
+// application-supplied conversion routines (RegisterCustom) have no
+// plan and always take the reference path.
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/vaxfloat"
+)
+
+// opCode identifies one bulk conversion operation.
+type opCode uint8
+
+const (
+	// opCopy leaves n bytes as they are (characters, padding).
+	opCopy opCode = iota
+	// opSwap16 byte-swaps n 16-bit integers when the orders differ.
+	opSwap16
+	// opSwap32 byte-swaps n 32-bit integers when the orders differ.
+	opSwap32
+	// opF32 converts n single-precision floats between formats.
+	opF32
+	// opF64 converts n double-precision floats between formats.
+	opF64
+	// opPtr rebases n 32-bit DSM pointers.
+	opPtr
+)
+
+// opSize is the element width in bytes of each op (opCopy counts raw
+// bytes, so its width is 1).
+var opSize = [...]int{opCopy: 1, opSwap16: 2, opSwap32: 4, opF32: 4, opF64: 8, opPtr: 4}
+
+// planOp is one op of a compiled plan: n consecutive elements (bytes
+// for opCopy) of the op's width.
+type planOp struct {
+	code opCode
+	n    int
+}
+
+// appendOp appends one op to a plan, coalescing with the previous op
+// when the codes match (adjacent same-type fields, array flattening).
+func appendOp(plan []planOp, code opCode, n int) []planOp {
+	if n == 0 {
+		return plan
+	}
+	if len(plan) > 0 && plan[len(plan)-1].code == code {
+		plan[len(plan)-1].n += n
+		return plan
+	}
+	return append(plan, planOp{code: code, n: n})
+}
+
+// appendPlan appends count repetitions of sub to plan. A single-op
+// subplan scales instead of repeating, so an embedded array of a basic
+// type compiles to one op regardless of its length.
+func appendPlan(plan, sub []planOp, count int) []planOp {
+	if len(sub) == 1 {
+		return appendOp(plan, sub[0].code, sub[0].n*count)
+	}
+	for i := 0; i < count; i++ {
+		for _, op := range sub {
+			plan = appendOp(plan, op.code, op.n)
+		}
+	}
+	return plan
+}
+
+// compilePlan builds the op-stream for a compound type from its
+// resolved fields, or nil if any field's type has no plan (custom
+// conversion routines are opaque).
+func compilePlan(fields []Field, resolved []*Type) []planOp {
+	var plan []planOp
+	for i, f := range fields {
+		if resolved[i].plan == nil {
+			return nil
+		}
+		plan = appendPlan(plan, resolved[i].plan, f.Count)
+	}
+	return plan
+}
+
+// execPlan converts every element of buf with the compiled plan. A
+// single-op plan (a page of one basic type, or a compound that
+// coalesced to one op) runs one bulk kernel over the whole region;
+// otherwise the op-stream runs per element, each op still a bulk
+// kernel over its field span.
+func execPlan(plan []planOp, buf []byte, elemSize int, from, to arch.Arch, ptrOff int32, rep *Report) {
+	if len(plan) == 1 {
+		execOp(plan[0].code, buf, from, to, ptrOff, rep)
+		return
+	}
+	for off := 0; off < len(buf); off += elemSize {
+		o := off
+		for _, op := range plan {
+			w := op.n * opSize[op.code]
+			execOp(op.code, buf[o:o+w], from, to, ptrOff, rep)
+			o += w
+		}
+	}
+}
+
+// execOp runs one bulk kernel over a packed span of the op's elements,
+// mirroring the per-element routines byte for byte.
+func execOp(code opCode, seg []byte, from, to arch.Arch, ptrOff int32, rep *Report) {
+	swap := from.Order != to.Order
+	switch code {
+	case opCopy:
+		// Bytes are order-independent; nothing to do.
+	case opSwap16:
+		if swap {
+			bswap16Region(seg)
+		}
+	case opSwap32:
+		if swap {
+			bswap32Region(seg)
+		}
+	case opPtr:
+		ptrRegion(seg, from.Order == arch.BigEndian, to.Order == arch.BigEndian, ptrOff)
+	case opF32:
+		switch {
+		case from.Floats == to.Floats:
+			if swap {
+				bswap32Region(seg)
+			}
+		case from.Floats == arch.IEEE754:
+			ov, uf, nan := vaxfloat.IEEEToFRegion(seg, from.Order == arch.BigEndian)
+			rep.Overflows += ov
+			rep.Underflows += uf
+			rep.NaNs += nan
+		default:
+			vaxfloat.FToIEEERegion(seg, to.Order == arch.BigEndian)
+		}
+	case opF64:
+		switch {
+		case from.Floats == to.Floats:
+			if swap {
+				bswap64Region(seg)
+			}
+		case from.Floats == arch.IEEE754:
+			ov, uf, nan := vaxfloat.IEEEToGRegion(seg, from.Order == arch.BigEndian)
+			rep.Overflows += ov
+			rep.Underflows += uf
+			rep.NaNs += nan
+		default:
+			vaxfloat.GToIEEERegion(seg, to.Order == arch.BigEndian)
+		}
+	default:
+		panic(fmt.Sprintf("conv: unknown plan op %d", code))
+	}
+}
+
+// PlanOps returns a human-readable rendering of the type's compiled
+// plan, or "" if the type has none (custom conversion routine). It is
+// exported for tests and diagnostics.
+func (t *Type) PlanOps() string {
+	if t.plan == nil {
+		return ""
+	}
+	names := [...]string{opCopy: "copy", opSwap16: "swap16", opSwap32: "swap32",
+		opF32: "f32", opF64: "f64", opPtr: "ptr"}
+	s := ""
+	for i, op := range t.plan {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s×%d", names[op.code], op.n)
+	}
+	return s
+}

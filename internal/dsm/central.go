@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/bufpool"
 	"repro/internal/proto"
 	"repro/internal/sctrace"
 	"repro/internal/sim"
@@ -88,11 +89,14 @@ func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte
 		pg := m.PageOf(Addr(pos))
 		pageStart := int(pg) * m.cfg.PageSize
 		hi := min(end, pageStart+m.cfg.PageSize)
-		seg := make([]byte, hi-pos)
+		// Pooled staging: centralWrite blocks until the server has
+		// acknowledged and recordSC copies what it keeps.
+		seg := bufpool.Get(hi - pos)
 		t0 := p.Now()
 		fill(seg, off)
 		m.centralWrite(p, pg, pos-pageStart, seg)
 		m.recordSC(p, sctrace.Write, t0, Addr(pos), seg)
+		bufpool.Put(seg)
 		off += hi - pos
 		pos = hi
 	}
@@ -118,7 +122,7 @@ func (m *Module) centralRead(p *sim.Proc, page PageNo, offset, length int) []byt
 	if server == m.id {
 		m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
 		lp := m.serverPageFor(page)
-		seg := make([]byte, length)
+		seg := make([]byte, length) // vet:ignore hot-alloc — escapes to the caller's read callback
 		copy(seg, lp.data[offset:offset+length])
 		return seg
 	}
@@ -168,7 +172,7 @@ func (m *Module) centralSwap(p *sim.Proc, addr Addr, v int32) int32 {
 		return old
 	}
 	m.stats.RemoteWrites++
-	buf := make([]byte, 4)
+	buf := bufpool.Get(4)
 	m.arch.Order.Binary().PutUint32(buf, uint32(v))
 	resp, err := m.ep.Call(p, server, &proto.Message{
 		Kind: proto.KindRemoteWrite,
@@ -179,6 +183,7 @@ func (m *Module) centralSwap(p *sim.Proc, addr Addr, v int32) int32 {
 	if err != nil {
 		panic(fmt.Sprintf("dsm: central swap page %d: %v", page, err))
 	}
+	bufpool.Put(buf)
 	return int32(resp.Arg(0))
 }
 
@@ -205,15 +210,18 @@ func (m *Module) handleRemoteRead(p *sim.Proc, req *proto.Message) {
 	if offset < 0 || offset+length > len(lp.data) {
 		return
 	}
-	data := make([]byte, length)
+	data := make([]byte, length) // vet:ignore hot-alloc — retained by the dedup reply cache
 	copy(data, lp.data[offset:])
 	m.convertForClient(p, page, data, HostID(req.From), false)
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindRemoteReadReply, Page: req.Page, Data: data})
 }
 
-// handleRemoteWrite serves a central-policy store or swap.
+// handleRemoteWrite serves a central-policy store or swap. The request's
+// wire buffer is recycled once its Data has been consumed (or the
+// request rejected).
 func (m *Module) handleRemoteWrite(p *sim.Proc, req *proto.Message) {
 	if m.cfg.Policy != PolicyCentral || m.manager(PageNo(req.Page)) != m.id {
+		bufpool.Put(req.TakeWire())
 		return
 	}
 	m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
@@ -221,16 +229,19 @@ func (m *Module) handleRemoteWrite(p *sim.Proc, req *proto.Message) {
 	offset := int(req.Arg(0))
 	lp := m.serverPageFor(page)
 	if offset < 0 || offset+len(req.Data) > len(lp.data) {
+		bufpool.Put(req.TakeWire())
 		return
 	}
 	if req.Arg(1) == remoteOpSwap {
 		clientArch, err := arch.ByKind(arch.Kind(req.SrcArch))
 		if err != nil {
+			bufpool.Put(req.TakeWire())
 			return
 		}
 		old := int32(m.arch.Order.Binary().Uint32(lp.data[offset:]))
 		v := int32(clientArch.Order.Binary().Uint32(req.Data))
 		m.arch.Order.Binary().PutUint32(lp.data[offset:], uint32(v))
+		bufpool.Put(req.TakeWire())
 		m.ep.Reply(p, req, &proto.Message{
 			Kind: proto.KindRemoteWriteAck,
 			Page: req.Page,
@@ -238,10 +249,12 @@ func (m *Module) handleRemoteWrite(p *sim.Proc, req *proto.Message) {
 		})
 		return
 	}
-	data := make([]byte, len(req.Data))
+	data := bufpool.Get(len(req.Data))
 	copy(data, req.Data)
+	bufpool.Put(req.TakeWire())
 	m.convertForClient(p, page, data, HostID(req.From), true)
 	copy(lp.data[offset:], data)
+	bufpool.Put(data)
 	m.checkpoint("central-write", page)
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindRemoteWriteAck, Page: req.Page})
 }

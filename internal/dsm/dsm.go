@@ -389,7 +389,7 @@ func (m *Module) groupSize() int {
 func (m *Module) localPageFor(page PageNo) *localPage {
 	lp := m.local[page]
 	if lp == nil {
-		lp = &localPage{data: make([]byte, m.cfg.PageSize)}
+		lp = &localPage{data: make([]byte, m.cfg.PageSize)} // vet:ignore hot-alloc — page frames live for the run and must be zero-filled
 		m.local[page] = lp
 	}
 	return lp

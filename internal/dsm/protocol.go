@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/bufpool"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -401,7 +402,10 @@ func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostI
 	if mt, ok := m.meta[page]; ok {
 		used = mt.used
 	}
-	data := make([]byte, used)
+	// Staged in a pooled buffer: deliver blocks until the requester has
+	// acknowledged (every retransmission re-encodes from it), so it can
+	// be recycled as soon as deliver returns.
+	data := bufpool.Get(used)
 	copy(data, lp.data[:used])
 	switch {
 	case m.cfg.Mutation == MutDoubleWriterGrant:
@@ -420,6 +424,7 @@ func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostI
 		Args: []uint32{flagData, origReqID},
 		Data: data,
 	})
+	bufpool.Put(data)
 }
 
 // deliver sends a PageDeliver call and waits for its acknowledgement.
@@ -438,9 +443,14 @@ func (m *Module) handleServeRequest(p *sim.Proc, req *proto.Message) {
 }
 
 // handlePageDeliver receives a page body (or upgrade grant) on the
-// requester: redeem the original fault request and acknowledge.
+// requester: redeem the original fault request and acknowledge. A
+// redeemed body is consumed (and its wire buffer recycled) by
+// installBody on the faulting thread; a stale or duplicate delivery is
+// recycled here.
 func (m *Module) handlePageDeliver(p *sim.Proc, req *proto.Message) {
-	m.ep.Redeem(req.Arg(1), req)
+	if !m.ep.Redeem(req.Arg(1), req) {
+		bufpool.Put(req.TakeWire())
+	}
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindPageDeliverAck, Page: req.Page})
 }
 
@@ -492,6 +502,9 @@ func (m *Module) installBody(p *sim.Proc, page PageNo, resp *proto.Message, writ
 	default:
 		panic(fmt.Sprintf("dsm: page reply for %d with neither data nor upgrade", page))
 	}
+	// The body has been converted and copied into the local page; the
+	// reply's wire buffer (which Data aliased) can be recycled.
+	bufpool.Put(resp.TakeWire())
 	p.Sleep(m.jittered(m.cfg.Params.InstallCost.Of(m.arch.Kind)))
 	m.checkpoint("page-installed", page)
 }

@@ -32,7 +32,7 @@ func (m *Module) recordSC(p *sim.Proc, kind sctrace.OpKind, start sim.Time, addr
 // form regardless of which host recorded it. Bytes that cannot be
 // converted (no metadata, or a partial element) are recorded raw.
 func (m *Module) canonicalBytes(addr Addr, data []byte) []byte {
-	buf := make([]byte, len(data))
+	buf := make([]byte, len(data)) // vet:ignore hot-alloc — retained by the SC trace recorder
 	copy(buf, data)
 	if m.arch.Compatible(arch.SunArch) {
 		return buf

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/bufpool"
 	"repro/internal/proto"
 	"repro/internal/sctrace"
 	"repro/internal/sim"
@@ -33,10 +34,13 @@ func (m *Module) updateWriteRegion(p *sim.Proc, addr Addr, n int, fill func(seg 
 		// The writer keeps a read replica (faulting it in if needed) so
 		// its own copy stays current once the update is sequenced.
 		m.mustEnsureAccess(p, Addr(pos), hi-pos, false)
-		seg := make([]byte, hi-pos)
+		// Pooled staging: sequenceWrite blocks until the update is
+		// distributed and recordSC copies what it keeps.
+		seg := bufpool.Get(hi - pos)
 		fill(seg, off)
 		m.sequenceWrite(p, pg, pos-pageStart, seg)
 		m.recordSC(p, sctrace.Write, t0, Addr(pos), seg)
+		bufpool.Put(seg)
 		off += hi - pos
 		pos = hi
 	}
@@ -77,9 +81,13 @@ func (m *Module) sequenceWrite(p *sim.Proc, page PageNo, offset int, data []byte
 func (m *Module) handleUpdateWrite(p *sim.Proc, req *proto.Message) {
 	page := PageNo(req.Page)
 	if m.cfg.Policy != PolicyUpdate || m.manager(page) != m.id {
+		bufpool.Put(req.TakeWire())
 		return // misdirected; the writer times out
 	}
 	m.sequenceUpdate(p, page, int(req.Arg(0)), req.Data, HostID(req.From), arch.Kind(req.SrcArch))
+	// Sequenced and pushed everywhere: the request's wire buffer (which
+	// Data aliases) is spent.
+	bufpool.Put(req.TakeWire())
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindUpdateWriteAck, Page: req.Page})
 }
 
@@ -166,6 +174,7 @@ func (m *Module) handleApplyUpdate(p *sim.Proc, req *proto.Message) {
 			}
 		}
 		if !member {
+			bufpool.Put(req.TakeWire())
 			return
 		}
 	}
@@ -176,6 +185,7 @@ func (m *Module) handleApplyUpdate(p *sim.Proc, req *proto.Message) {
 		m.stats.UpdatesApplied++
 		m.trace("apply-update", page)
 	}
+	bufpool.Put(req.TakeWire())
 	m.checkpoint("update-applied", page)
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindApplyUpdateAck, Page: req.Page})
 }
@@ -184,7 +194,8 @@ func (m *Module) handleApplyUpdate(p *sim.Proc, req *proto.Message) {
 // representation and stores them into the local replica.
 func (m *Module) applyUpdateBytes(p *sim.Proc, page PageNo, offset int, data []byte, writerKind arch.Kind) {
 	lp := m.local[page]
-	buf := make([]byte, len(data))
+	buf := bufpool.Get(len(data))
+	defer bufpool.Put(buf)
 	copy(buf, data)
 	writerArch, err := arch.ByKind(writerKind)
 	if err != nil {

@@ -1,0 +1,102 @@
+package dsm
+
+// Alloc guards for the steady-state page-transfer data path. A full
+// simulated fault necessarily allocates in the simulation machinery
+// (process spawns, schedule labels), so the zero-allocation contract is
+// asserted on the composed data path itself — the exact sequence of
+// operations a fault → deliver → install transfer performs on bytes:
+// pooled serve staging, append-encode, fragmentation, reassembly into a
+// pooled wire buffer, borrow-mode decode, bulk conversion, and the
+// install copy, with every buffer returned to the pool. If any step
+// regresses to allocating, this test fails loudly.
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bufpool"
+	"repro/internal/conv"
+	"repro/internal/model"
+	"repro/internal/proto"
+)
+
+func TestSteadyStateTransferZeroAllocs(t *testing.T) {
+	reg := conv.NewRegistry()
+	params := model.Default()
+	mtu := params.MTUPayload
+
+	const pageBytes = 1024 // a Firefly page of doubles
+	srcPage := make([]byte, pageBytes)
+	for i := range srcPage {
+		srcPage[i] = byte(i * 7)
+	}
+	dstPage := make([]byte, pageBytes)
+
+	var sendMsg, rxMsg proto.Message
+	args := [...]uint32{1, 42}
+
+	transfer := func() {
+		// Owner side: stage the resident copy (serveCopy) and encode the
+		// PageDeliver into a pooled buffer (remoteop send).
+		data := bufpool.Get(pageBytes)
+		copy(data, srcPage)
+		sendMsg = proto.Message{
+			Kind:    proto.KindPageDeliver,
+			Page:    7,
+			SrcArch: uint8(arch.Sun),
+			Args:    args[:],
+			Data:    data,
+		}
+		enc, err := sendMsg.AppendEncode(bufpool.Get(sendMsg.EncodedSize())[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufpool.Put(data) // staging released once the encode holds the bytes
+
+		// Receiver side: each fragment's chunk is copied into a pooled
+		// reassembly buffer at its offset (remoteop reassemble).
+		total := params.Fragments(len(enc))
+		wire := bufpool.Get(total * mtu)
+		for idx := 0; idx < total; idx++ {
+			lo := idx * mtu
+			hi := min(lo+mtu, len(enc))
+			copy(wire[lo:], enc[lo:hi])
+		}
+		wire = wire[:len(enc)]
+		bufpool.Put(enc) // last fragment consumed: encode buffer released
+
+		// Borrow-mode decode, bulk conversion in place, install copy.
+		if err := proto.DecodeBorrowInto(&rxMsg, wire); err != nil {
+			t.Fatal(err)
+		}
+		rxMsg.SetWire(wire)
+		if _, err := reg.ConvertRegion(conv.Float64, rxMsg.Data, arch.SunArch, arch.FireflyArch, 0); err != nil {
+			t.Fatal(err)
+		}
+		copy(dstPage, rxMsg.Data)
+		bufpool.Put(rxMsg.TakeWire())
+	}
+
+	transfer() // warm the pools
+	if avg := testing.AllocsPerRun(200, transfer); avg != 0 {
+		t.Fatalf("steady-state transfer data path allocates %.1f times per run, want 0", avg)
+	}
+}
+
+// TestSendArgsInlineAllocFree pins that the scalar argument slices the
+// protocol builds fit MaxArgs, so borrow-mode decoding keeps them in the
+// message's inline store.
+func TestSendArgsInlineAllocFree(t *testing.T) {
+	m := proto.Message{Args: make([]uint32, proto.MaxArgs)}
+	enc, err := m.AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rx proto.Message
+	if err := proto.DecodeBorrowInto(&rx, enc); err != nil {
+		t.Fatal(err)
+	}
+	if len(rx.Args) != proto.MaxArgs {
+		t.Fatalf("decoded %d args, want %d", len(rx.Args), proto.MaxArgs)
+	}
+}

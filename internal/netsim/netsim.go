@@ -60,7 +60,15 @@ type Network struct {
 	// It must only be changed before traffic starts.
 	DropRate float64
 	stats    Stats
+
+	// bcast caches the sorted receiver list for broadcast expansion
+	// (invalidated by Attach); labels caches delivery-event names. Both
+	// keep the per-frame delivery path allocation-free.
+	bcast  []HostID
+	labels map[labelKey]string
 }
+
+type labelKey struct{ to, from HostID }
 
 // Interface is a host's attachment to the network: an inbound queue the
 // host's protocol server consumes.
@@ -88,6 +96,7 @@ func (n *Network) Attach(id HostID) (*Interface, error) {
 	}
 	ifc := &Interface{id: id, net: n, rx: sim.NewQueue(n.k)}
 	n.ifaces[id] = ifc
+	n.bcast = nil // rebuild the broadcast expansion on next use
 	return ifc, nil
 }
 
@@ -130,29 +139,43 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 // independent alternative the model checker can reorder.
 func (n *Network) scheduleDelivery(f Frame) {
 	if f.To == Broadcast {
-		ids := make([]HostID, 0, len(n.ifaces))
-		for id := range n.ifaces { // vet:ignore map-order — sorted below
-			ids = append(ids, id)
+		if n.bcast == nil {
+			ids := make([]HostID, 0, len(n.ifaces))
+			for id := range n.ifaces { // vet:ignore map-order — sorted below
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			n.bcast = ids
 		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		for _, id := range n.bcast {
 			if id == f.From {
 				continue
 			}
 			ifc := n.ifaces[id]
-			n.k.AfterNamed(deliveryLabel(id, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
+			n.k.AfterNamed(n.deliveryLabel(id, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
 		}
 		return
 	}
 	if ifc, ok := n.ifaces[f.To]; ok {
-		n.k.AfterNamed(deliveryLabel(f.To, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
+		n.k.AfterNamed(n.deliveryLabel(f.To, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
 	}
 	// Frames to unknown hosts vanish, like on a real wire.
 }
 
-// deliveryLabel names a delivery event for schedule diagnostics.
-func deliveryLabel(to, from HostID) string {
-	return fmt.Sprintf("net:h%d<-h%d", to, from)
+// deliveryLabel names a delivery event for schedule diagnostics. Labels
+// are interned per (to, from) pair so steady-state delivery does not
+// re-format them.
+func (n *Network) deliveryLabel(to, from HostID) string {
+	key := labelKey{to: to, from: from}
+	if s, ok := n.labels[key]; ok {
+		return s
+	}
+	if n.labels == nil {
+		n.labels = make(map[labelKey]string)
+	}
+	s := fmt.Sprintf("net:h%d<-h%d", to, from)
+	n.labels[key] = s
+	return s
 }
 
 // Recv blocks until a frame arrives and returns it.

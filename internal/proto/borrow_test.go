@@ -1,0 +1,154 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Kind:    KindPageDeliver,
+		ReqID:   77,
+		From:    3,
+		Page:    12,
+		SrcArch: 2,
+		Args:    []uint32{1, 42, 9},
+		Data:    []byte{10, 20, 30, 40, 50},
+	}
+}
+
+// TestAppendEncodeMatchesEncode pins that the append-style encoder
+// produces the same bytes as Encode, both standalone and appended after
+// existing content.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	m := sampleMessage()
+	plain, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := m.AppendEncode([]byte("prefix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended[:6], []byte("prefix")) {
+		t.Fatal("AppendEncode clobbered existing content")
+	}
+	if !bytes.Equal(appended[6:], plain) {
+		t.Fatal("AppendEncode bytes differ from Encode")
+	}
+	// Spare capacity must be used without reallocating.
+	dst := make([]byte, 0, m.EncodedSize())
+	out, err := m.AppendEncode(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Fatal("AppendEncode reallocated despite sufficient capacity")
+	}
+}
+
+// TestDecodeBorrowAliasing pins the aliasing contracts: DecodeBorrow's
+// Data aliases the wire buffer, Decode's does not.
+func TestDecodeBorrowAliasing(t *testing.T) {
+	enc, err := sampleMessage().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	borrowed, err := DecodeBorrow(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(borrowed.Data, copied.Data) {
+		t.Fatal("borrow and copy decode disagree")
+	}
+	orig := borrowed.Data[0]
+	enc[len(enc)-len(borrowed.Data)] ^= 0xff // mutate the wire bytes
+	if borrowed.Data[0] == orig {
+		t.Error("DecodeBorrow Data does not alias the wire buffer")
+	}
+	if copied.Data[0] != orig {
+		t.Error("Decode Data aliases the wire buffer; must be a copy")
+	}
+	// Borrowed Data must not allow writes past its end into the buffer.
+	if cap(borrowed.Data) != len(borrowed.Data) {
+		t.Error("borrowed Data capacity extends past its length")
+	}
+}
+
+// TestDecodeBorrowIntoReuse pins that a reused Message decodes cleanly:
+// args land in the inline store, stale fields are cleared, and a second
+// decode fully replaces the first.
+func TestDecodeBorrowIntoReuse(t *testing.T) {
+	first, err := sampleMessage().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := (&Message{Kind: KindEcho, ReqID: 9}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	if err := DecodeBorrowInto(&m, first); err != nil {
+		t.Fatal(err)
+	}
+	m.SetWire(first)
+	if len(m.Args) != 3 || m.Arg(1) != 42 {
+		t.Fatalf("first decode args = %v", m.Args)
+	}
+	if w := m.TakeWire(); &w[0] != &first[0] {
+		t.Fatal("TakeWire did not return the recorded buffer")
+	}
+	if m.TakeWire() != nil {
+		t.Fatal("TakeWire did not clear the wire reference")
+	}
+	if err := DecodeBorrowInto(&m, second); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindEcho || m.ReqID != 9 {
+		t.Fatalf("second decode = %+v", m)
+	}
+	if len(m.Args) != 0 || len(m.Data) != 0 {
+		t.Fatalf("stale args/data survived reuse: %v %v", m.Args, m.Data)
+	}
+}
+
+// TestDecodeBorrowRejects pins validation in borrow mode: truncated
+// headers, arg counts beyond the inline store, and length mismatches.
+func TestDecodeBorrowRejects(t *testing.T) {
+	var m Message
+	if err := DecodeBorrowInto(&m, make([]byte, 10)); err == nil {
+		t.Error("truncated header accepted")
+	}
+	enc, _ := sampleMessage().Encode()
+	enc[2] = MaxArgs + 1
+	if err := DecodeBorrowInto(&m, enc); err == nil {
+		t.Error("oversized arg count accepted")
+	}
+	enc[2] = 3
+	if err := DecodeBorrowInto(&m, enc[:len(enc)-1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestBorrowPathZeroAllocs guards the hot-path encode/decode pair.
+func TestBorrowPathZeroAllocs(t *testing.T) {
+	m := sampleMessage()
+	dst := make([]byte, 0, m.EncodedSize())
+	var rx Message
+	avg := testing.AllocsPerRun(100, func() {
+		out, err := m.AppendEncode(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeBorrowInto(&rx, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AppendEncode+DecodeBorrowInto allocates %.1f times per run, want 0", avg)
+	}
+}

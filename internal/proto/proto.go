@@ -171,6 +171,27 @@ type Message struct {
 	Args []uint32
 	// Data carries bulk payload — page contents — as raw bytes.
 	Data []byte
+
+	// argStore backs Args in borrow-mode decoding so parsing a message
+	// never allocates an argument slice.
+	argStore [MaxArgs]uint32
+	// wire is the pooled buffer Data aliases after a borrow-mode decode.
+	// The consumer that finishes with Data detaches it with TakeWire and
+	// returns it to its pool.
+	wire []byte
+}
+
+// SetWire records the underlying wire buffer that Data aliases, for
+// later release via TakeWire. The message does not use it otherwise.
+func (m *Message) SetWire(buf []byte) { m.wire = buf }
+
+// TakeWire detaches and returns the recorded wire buffer (nil if none).
+// After TakeWire the caller owns the buffer; Data must no longer be
+// used if it aliased it.
+func (m *Message) TakeWire() []byte {
+	w := m.wire
+	m.wire = nil
+	return w
 }
 
 // EncodedSize returns the length of the encoded message in bytes.
@@ -178,12 +199,28 @@ func (m *Message) EncodedSize() int {
 	return headerSize + 4*len(m.Args) + len(m.Data)
 }
 
-// Encode serializes the message.
+// Encode serializes the message into a fresh buffer. The transfer hot
+// path uses AppendEncode with a pooled buffer instead.
 func (m *Message) Encode() ([]byte, error) {
+	return m.AppendEncode(nil)
+}
+
+// AppendEncode serializes the message, appending to dst (which may be
+// nil) and returning the extended slice. When dst has capacity for the
+// encoded message — a pooled buffer sliced to zero length — no
+// allocation occurs.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
 	if len(m.Args) > MaxArgs {
 		return nil, fmt.Errorf("proto: %d args exceeds maximum %d", len(m.Args), MaxArgs)
 	}
-	buf := make([]byte, m.EncodedSize())
+	n := m.EncodedSize()
+	if cap(dst)-len(dst) < n {
+		grown := make([]byte, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[len(dst) : len(dst)+n]
+	dst = dst[:len(dst)+n]
 	buf[0] = byte(m.Kind)
 	buf[1] = m.SrcArch
 	buf[2] = byte(len(m.Args))
@@ -198,40 +235,74 @@ func (m *Message) Encode() ([]byte, error) {
 		off += 4
 	}
 	copy(buf[off:], m.Data)
-	return buf, nil
+	return dst, nil
 }
 
-// Decode parses an encoded message.
+// Decode parses an encoded message into a fresh Message with its own
+// copy of Data; buf may be reused or mutated afterwards.
 func Decode(buf []byte) (*Message, error) {
-	if len(buf) < headerSize {
-		return nil, fmt.Errorf("proto: message of %d bytes shorter than header %d", len(buf), headerSize)
+	m := &Message{}
+	if err := DecodeBorrowInto(m, buf); err != nil {
+		return nil, err
 	}
-	m := &Message{
-		Kind:    Kind(buf[0]),
-		SrcArch: buf[1],
-		ReqID:   binary.BigEndian.Uint32(buf[4:]),
-		From:    binary.BigEndian.Uint32(buf[8:]),
-		Page:    binary.BigEndian.Uint32(buf[12:]),
+	if len(m.Data) > 0 {
+		data := make([]byte, len(m.Data))
+		copy(data, m.Data)
+		m.Data = data
+	}
+	return m, nil
+}
+
+// DecodeBorrow parses an encoded message without copying the payload:
+// the returned message's Data aliases buf. The caller must not recycle
+// or mutate buf while the message's Data is live.
+func DecodeBorrow(buf []byte) (*Message, error) {
+	m := &Message{}
+	if err := DecodeBorrowInto(m, buf); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeBorrowInto parses an encoded message into m without allocating:
+// Args decodes into m's inline argument store and Data aliases buf. Any
+// previous contents of m, including a recorded wire buffer, are
+// discarded (the wire buffer is not released — detach it with TakeWire
+// before reusing m).
+func DecodeBorrowInto(m *Message, buf []byte) error {
+	if len(buf) < headerSize {
+		return fmt.Errorf("proto: message of %d bytes shorter than header %d", len(buf), headerSize)
 	}
 	nargs := int(buf[2])
+	if nargs > MaxArgs {
+		return fmt.Errorf("proto: %d args exceeds maximum %d", nargs, MaxArgs)
+	}
 	dataLen := int(binary.BigEndian.Uint32(buf[16:]))
 	want := headerSize + 4*nargs + dataLen
 	if len(buf) != want {
-		return nil, fmt.Errorf("proto: message length %d, header implies %d", len(buf), want)
+		return fmt.Errorf("proto: message length %d, header implies %d", len(buf), want)
 	}
+	m.Kind = Kind(buf[0])
+	m.SrcArch = buf[1]
+	m.ReqID = binary.BigEndian.Uint32(buf[4:])
+	m.From = binary.BigEndian.Uint32(buf[8:])
+	m.Page = binary.BigEndian.Uint32(buf[12:])
+	m.Args = nil
+	m.Data = nil
+	m.wire = nil
 	off := headerSize
 	if nargs > 0 {
-		m.Args = make([]uint32, nargs)
-		for i := range m.Args {
-			m.Args[i] = binary.BigEndian.Uint32(buf[off:])
+		args := m.argStore[:nargs]
+		for i := range args {
+			args[i] = binary.BigEndian.Uint32(buf[off:])
 			off += 4
 		}
+		m.Args = args
 	}
 	if dataLen > 0 {
-		m.Data = make([]byte, dataLen)
-		copy(m.Data, buf[off:])
+		m.Data = buf[off : off+dataLen : off+dataLen]
 	}
-	return m, nil
+	return nil
 }
 
 // Arg returns Args[i], or 0 if absent — convenient for optional args.

@@ -23,8 +23,11 @@ package remoteop
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/bufpool"
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/proto"
@@ -58,7 +61,33 @@ type Stats struct {
 	BulkBytes int
 }
 
+// encOwner tracks a pooled encode buffer shared by a message's
+// fragments: the last fragment consumed (or dropped at delivery)
+// returns the buffer to the pool. Frames lost on the wire never
+// decrement, so their buffers simply fall to the garbage collector — a
+// pool miss, never a reuse-while-referenced.
+type encOwner struct {
+	buf       []byte
+	remaining atomic.Int32
+}
+
+func (o *encOwner) release() {
+	if o == nil {
+		return
+	}
+	if o.remaining.Add(-1) == 0 {
+		bufpool.Put(o.buf)
+		o.buf = nil
+		ownerPool.Put(o)
+	}
+}
+
+var ownerPool = sync.Pool{New: func() any { return new(encOwner) }}
+
 // fragment is the link-layer payload: one piece of an encoded message.
+// Unicast fragments are pooled (the receiver recycles them); broadcast
+// fragments are shared by every receiver and are left to the garbage
+// collector.
 type fragment struct {
 	srcHost HostID
 	srcKind arch.Kind
@@ -67,6 +96,21 @@ type fragment struct {
 	total   int
 	bulk    bool
 	chunk   []byte
+	owner   *encOwner
+	pooled  bool
+}
+
+var fragPool = sync.Pool{New: func() any { return new(fragment) }}
+
+// releaseFrag recycles a consumed fragment: the chunk's encode buffer
+// refcount drops, and pooled fragments return to the fragment pool.
+func releaseFrag(fr *fragment) {
+	owner, pooled := fr.owner, fr.pooled
+	if pooled {
+		*fr = fragment{}
+		fragPool.Put(fr)
+	}
+	owner.release()
 }
 
 type reasmKey struct {
@@ -75,11 +119,15 @@ type reasmKey struct {
 }
 
 type reasmBuf struct {
-	chunks  [][]byte
+	data    []byte
+	seen    []bool
 	have    int
+	bytes   int
 	bulk    bool
 	srcKind arch.Kind
 }
+
+var reasmPool = sync.Pool{New: func() any { return new(reasmBuf) }}
 
 type dedupKey struct {
 	from  uint32
@@ -178,57 +226,87 @@ func (e *Endpoint) Start() {
 func (e *Endpoint) serve(p *sim.Proc) {
 	for {
 		frame := e.ifc.Recv(p)
-		frag, ok := frame.Payload.(fragment)
+		frag, ok := frame.Payload.(*fragment)
 		if !ok {
 			continue // alien frame on the wire
 		}
 		e.stats.FragmentsReceived++
 		buf, done := e.reassemble(frag)
+		total, bulk, srcKind := frag.total, frag.bulk, frag.srcKind
+		// The chunk has been copied out (or dropped); recycle the
+		// fragment and its share of the sender's encode buffer.
+		releaseFrag(frag)
 		if !done {
 			continue
 		}
 		// Bulk receive processing: reassembly and page copy, plus the
 		// cross-type penalty (§2.2; fitted to Table 2).
-		if frag.bulk {
+		if bulk {
 			cost := e.params.MsgSetup.Of(e.kind) +
-				sim.Duration(frag.total)*e.params.FragCost.Of(e.kind)
-			if frag.srcKind != e.kind {
+				sim.Duration(total)*e.params.FragCost.Of(e.kind)
+			if srcKind != e.kind {
 				cost += e.params.CrossPenalty
 			}
 			p.Sleep(cost)
 		}
-		m, err := proto.Decode(buf)
-		if err != nil {
+		m := &proto.Message{}
+		if err := proto.DecodeBorrowInto(m, buf); err != nil {
+			bufpool.Put(buf)
 			continue // corrupt message; sender will retransmit
 		}
 		e.stats.Received++
+		if len(m.Data) == 0 {
+			// Nothing aliases the wire buffer once the header and args
+			// are parsed into the message; recycle it right away.
+			bufpool.Put(buf)
+		} else {
+			m.SetWire(buf)
+		}
 		e.dispatch(m)
 	}
 }
 
-func (e *Endpoint) reassemble(frag fragment) ([]byte, bool) {
+// reassemble copies the fragment's chunk into a pooled, receiver-owned
+// buffer and reports whether the message is now complete. The caller
+// releases the fragment afterwards in every path.
+func (e *Endpoint) reassemble(frag *fragment) ([]byte, bool) {
 	if frag.total == 1 {
-		return frag.chunk, true
+		out := bufpool.Get(len(frag.chunk))
+		copy(out, frag.chunk)
+		return out, true
 	}
 	key := reasmKey{src: frag.srcHost, msgID: frag.msgID}
 	buf := e.reasm[key]
 	if buf == nil {
-		buf = &reasmBuf{chunks: make([][]byte, frag.total), bulk: frag.bulk, srcKind: frag.srcKind}
+		buf = reasmPool.Get().(*reasmBuf)
+		buf.data = bufpool.Get(frag.total * e.params.MTUPayload)
+		if cap(buf.seen) >= frag.total {
+			buf.seen = buf.seen[:frag.total]
+			for i := range buf.seen {
+				buf.seen[i] = false
+			}
+		} else {
+			buf.seen = make([]bool, frag.total)
+		}
+		buf.have, buf.bytes = 0, 0
+		buf.bulk, buf.srcKind = frag.bulk, frag.srcKind
 		e.reasm[key] = buf
 	}
-	if frag.idx >= len(buf.chunks) || buf.chunks[frag.idx] != nil {
+	off := frag.idx * e.params.MTUPayload
+	if frag.idx >= len(buf.seen) || buf.seen[frag.idx] || off+len(frag.chunk) > len(buf.data) {
 		return nil, false // duplicate or inconsistent fragment
 	}
-	buf.chunks[frag.idx] = frag.chunk
+	buf.seen[frag.idx] = true
+	copy(buf.data[off:], frag.chunk)
 	buf.have++
-	if buf.have < len(buf.chunks) {
+	buf.bytes += len(frag.chunk)
+	if buf.have < len(buf.seen) {
 		return nil, false
 	}
 	delete(e.reasm, key)
-	var out []byte
-	for _, c := range buf.chunks {
-		out = append(out, c...)
-	}
+	out := buf.data[:buf.bytes]
+	buf.data = nil
+	reasmPool.Put(buf)
 	return out, true
 }
 
@@ -236,14 +314,17 @@ func (e *Endpoint) dispatch(m *proto.Message) {
 	if m.Kind.IsReply() {
 		pc := e.pending[m.ReqID]
 		if pc == nil {
+			bufpool.Put(m.TakeWire())
 			return // stale reply
 		}
 		if pc.multi != nil {
 			from := HostID(m.From)
 			if _, wanted := pc.want[from]; !wanted {
+				bufpool.Put(m.TakeWire())
 				return // ack from a bystander or duplicate source
 			}
 			if _, dup := pc.multi[from]; dup {
+				bufpool.Put(m.TakeWire())
 				return
 			}
 			pc.multi[from] = m
@@ -254,6 +335,7 @@ func (e *Endpoint) dispatch(m *proto.Message) {
 			return
 		}
 		if pc.reply != nil {
+			bufpool.Put(m.TakeWire())
 			return // duplicate reply
 		}
 		pc.reply = m
@@ -266,6 +348,7 @@ func (e *Endpoint) dispatch(m *proto.Message) {
 	key := dedupKey{from: m.From, reqID: m.ReqID}
 	if ent, seen := e.dedup[key]; seen {
 		e.stats.Duplicates++
+		bufpool.Put(m.TakeWire())
 		if ent.done && ent.reply != nil {
 			// Answer the retransmission from the reply cache.
 			reply, dst := ent.reply, ent.to
@@ -278,6 +361,7 @@ func (e *Endpoint) dispatch(m *proto.Message) {
 	e.remember(key, &dedupEntry{})
 	h := e.handler[m.Kind]
 	if h == nil {
+		bufpool.Put(m.TakeWire())
 		return // no handler: request vanishes, requester times out
 	}
 	e.k.Spawn(fmt.Sprintf("handler-%d-%s", e.id, m.Kind), func(p *sim.Proc) {
@@ -297,17 +381,40 @@ func (e *Endpoint) remember(key dedupKey, ent *dedupEntry) {
 
 // send encodes and transmits m to dst, fragmenting as needed and
 // charging bulk costs. It blocks for the sender-side virtual time.
+//
+// Unicast encodes into a pooled buffer shared by the fragments through
+// a refcounted owner; each receiver-side release decrements it, and the
+// last returns the buffer (fragments lost on the wire never decrement,
+// so their buffers fall to the garbage collector instead — always
+// safe). A broadcast frame is delivered to every host at once, so its
+// single fragment and buffer cannot be refcounted per receiver — they
+// stay unpooled and fall to the garbage collector.
 func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 	if m.SrcArch == 0 {
 		m.SrcArch = uint8(e.kind)
 	}
-	buf, err := m.Encode()
+	broadcast := dst == Broadcast
+	var (
+		buf []byte
+		err error
+	)
+	if broadcast {
+		buf, err = m.Encode() // vet:ignore hot-alloc — broadcast fragments share one GC-owned buffer
+	} else {
+		buf, err = m.AppendEncode(bufpool.Get(m.EncodedSize())[:0])
+	}
 	if err != nil {
 		// Encoding errors are programming errors in protocol code.
 		panic(fmt.Sprintf("remoteop: encode %v: %v", m.Kind, err))
 	}
 	bulk := len(m.Data) > 0
 	total := e.params.Fragments(len(buf))
+	var owner *encOwner
+	if !broadcast {
+		owner = ownerPool.Get().(*encOwner)
+		owner.buf = buf
+		owner.remaining.Store(int32(total))
+	}
 	e.nextMsg++
 	msgID := e.nextMsg
 	if bulk {
@@ -320,19 +427,28 @@ func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 		if bulk {
 			p.Sleep(e.params.FragCost.Of(e.kind))
 		}
+		var fr *fragment
+		if broadcast {
+			fr = &fragment{}
+		} else {
+			fr = fragPool.Get().(*fragment)
+		}
+		*fr = fragment{
+			srcHost: e.id,
+			srcKind: e.kind,
+			msgID:   msgID,
+			idx:     idx,
+			total:   total,
+			bulk:    bulk,
+			chunk:   buf[lo:hi],
+			owner:   owner,
+			pooled:  !broadcast,
+		}
 		frame := netsim.Frame{
-			From: e.id,
-			To:   dst,
-			Size: hi - lo,
-			Payload: fragment{
-				srcHost: e.id,
-				srcKind: e.kind,
-				msgID:   msgID,
-				idx:     idx,
-				total:   total,
-				bulk:    bulk,
-				chunk:   buf[lo:hi],
-			},
+			From:    e.id,
+			To:      dst,
+			Size:    hi - lo,
+			Payload: fr,
 		}
 		if err := e.ifc.Send(p, frame); err != nil {
 			panic(fmt.Sprintf("remoteop: send: %v", err))

@@ -1,0 +1,139 @@
+package vaxfloat
+
+// Bulk IEEE↔VAX conversion kernels. The element encoders in this
+// package (EncodeF/EncodeG and friends) go through float64 arithmetic —
+// Frexp, RoundToEven, Ldexp — per value, which Table 3 of the paper
+// shows dominating heterogeneous page transfers. The region kernels
+// below convert packed values with pure integer bit manipulation on the
+// fast path and fall back to the element encoders only for the values
+// that actually need their care.
+//
+// Fast-path eligibility is an exponent-field range check:
+//
+//   - IEEE→VAX: an IEEE normal whose VAX exponent (E_ieee + 2) still
+//     fits the VAX exponent field maps 1:1 — identical fraction bits,
+//     exponent re-biased by 2, words shuffled into the VAX
+//     middle-endian layout. Zeros, denormals, NaNs, infinities and
+//     too-large normals take the element encoder (clamp/flush/reserved
+//     per the documented policy), and are counted exactly as it counts
+//     them.
+//   - VAX→IEEE: a VAX value with exponent field ≥ 3 maps to an IEEE
+//     normal with the same fraction and exponent field E_vax - 2.
+//     Exponents 0–2 are the true zero, the reserved operand, and the
+//     two values that land in IEEE's denormal range; they take the
+//     element decoder.
+//
+// The fast path is bit-identical to the element path: for an IEEE
+// normal, Frexp yields the significand exactly (frac×2^(bits+1) is an
+// integer, so RoundToEven is the identity) and the re-biased exponent
+// equals E_ieee + 2; the differential tests in conv assert this over
+// arbitrary bit patterns.
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// IEEEToFRegion converts packed IEEE 754 singles to VAX F_floating in
+// place. srcBig says whether the IEEE values are stored big-endian.
+// It returns the overflow/underflow/NaN counts the element encoder
+// would have reported.
+func IEEEToFRegion(buf []byte, srcBig bool) (ov, uf, nan int) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		e := buf[i : i+4 : i+4]
+		v := binary.LittleEndian.Uint32(e)
+		if srcBig {
+			v = bits.ReverseBytes32(v)
+		}
+		exp := v >> 23 & 0xff
+		if exp-1 < 253 { // 1 ≤ exp ≤ 253: normal in, normal out
+			frac := v & (1<<23 - 1)
+			w0 := v>>31<<15 | (exp+2)<<7 | frac>>16
+			binary.LittleEndian.PutUint32(e, w0|frac<<16)
+			continue
+		}
+		switch FromIEEESingle(v, e) {
+		case OK:
+		case Overflowed:
+			ov++
+		case Underflowed:
+			uf++
+		case WasNaN:
+			nan++
+		}
+	}
+	return ov, uf, nan
+}
+
+// FToIEEERegion converts packed VAX F_floating values to IEEE 754
+// singles in place, stored big-endian when dstBig is set. Reserved
+// operands convert to quiet NaNs, as in ToIEEESingle.
+func FToIEEERegion(buf []byte, dstBig bool) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		e := buf[i : i+4 : i+4]
+		v := binary.LittleEndian.Uint32(e)
+		exp := v >> 7 & 0xff
+		var out uint32
+		if exp >= 3 { // maps to an IEEE normal
+			frac := (v&0x7f)<<16 | v>>16
+			out = v>>15&1<<31 | (exp-2)<<23 | frac
+		} else { // zero, reserved operand, or IEEE-denormal range
+			out = ToIEEESingle(e)
+		}
+		if dstBig {
+			out = bits.ReverseBytes32(out)
+		}
+		binary.LittleEndian.PutUint32(e, out)
+	}
+}
+
+// IEEEToGRegion converts packed IEEE 754 doubles to VAX G_floating in
+// place. srcBig says whether the IEEE values are stored big-endian.
+func IEEEToGRegion(buf []byte, srcBig bool) (ov, uf, nan int) {
+	for i := 0; i+8 <= len(buf); i += 8 {
+		e := buf[i : i+8 : i+8]
+		v := binary.LittleEndian.Uint64(e)
+		if srcBig {
+			v = bits.ReverseBytes64(v)
+		}
+		exp := uint32(v>>52) & 0x7ff
+		if exp-1 < 2045 { // 1 ≤ exp ≤ 2045: normal in, normal out
+			frac := v & (1<<52 - 1)
+			w0 := v>>63<<15 | uint64(exp+2)<<4 | frac>>48
+			out := w0 | frac>>32&0xffff<<16 | frac>>16&0xffff<<32 | frac&0xffff<<48
+			binary.LittleEndian.PutUint64(e, out)
+			continue
+		}
+		switch FromIEEEDouble(v, e) {
+		case OK:
+		case Overflowed:
+			ov++
+		case Underflowed:
+			uf++
+		case WasNaN:
+			nan++
+		}
+	}
+	return ov, uf, nan
+}
+
+// GToIEEERegion converts packed VAX G_floating values to IEEE 754
+// doubles in place, stored big-endian when dstBig is set.
+func GToIEEERegion(buf []byte, dstBig bool) {
+	for i := 0; i+8 <= len(buf); i += 8 {
+		e := buf[i : i+8 : i+8]
+		v := binary.LittleEndian.Uint64(e)
+		exp := uint32(v>>4) & 0x7ff
+		var out uint64
+		if exp >= 3 { // maps to an IEEE normal
+			frac := (v&0xf)<<48 | v>>16&0xffff<<32 | v>>32&0xffff<<16 | v>>48
+			out = v>>15&1<<63 | uint64(exp-2)<<52 | frac
+		} else { // zero, reserved operand, or IEEE-denormal range
+			out = ToIEEEDouble(e)
+		}
+		if dstBig {
+			out = bits.ReverseBytes64(out)
+		}
+		binary.LittleEndian.PutUint64(e, out)
+	}
+}

@@ -31,6 +31,12 @@
 //     indexed or sliced only inside the access layer; protocol code
 //     elsewhere reaching into raw page bytes bypasses the typed,
 //     conversion-aware gateway.
+//   - hot-alloc: the steady-state page-transfer path is allocation-free
+//     (pooled buffers, append-style encoding); a `make([]byte, ...)` or
+//     a copying `.Encode()` call in the transfer packages reintroduces
+//     per-transfer garbage. Deliberate allocation sites — the pool's
+//     own refill, buffers that escape into caches — carry a
+//     `vet:ignore hot-alloc` comment.
 //   - enum-switch: a switch over one of the project's enum types
 //     (Access, Policy, message kinds, ...) must either cover every
 //     declared constant or have a default clause; silently falling
@@ -92,6 +98,8 @@ type Config struct {
 	// declared in packages with this import-path prefix. Empty means
 	// every named type qualifies.
 	EnumModulePrefix string
+	// HotAllocPackages lists packages subject to the hot-alloc rule.
+	HotAllocPackages []string
 }
 
 // DefaultConfig returns the project's rule scoping for the module with
@@ -104,6 +112,7 @@ func DefaultConfig(module string) *Config {
 		PageBufferPackages:  []string{j("internal/dsm")},
 		PageBufferAllow:     []string{"access.go", "protocol.go", "central.go", "update.go"},
 		EnumModulePrefix:    module,
+		HotAllocPackages:    []string{j("internal/dsm"), j("internal/netsim"), j("internal/remoteop"), j("internal/bufpool")},
 	}
 }
 
@@ -184,6 +193,9 @@ func Check(pkg *Package, cfg *Config) []Finding {
 		}
 		if slices.Contains(cfg.PageBufferPackages, pkg.Path) {
 			c.checkPageBuffer(f)
+		}
+		if slices.Contains(cfg.HotAllocPackages, pkg.Path) {
+			c.checkHotAlloc(f)
 		}
 		c.checkEnumSwitch(f)
 	}
@@ -420,6 +432,65 @@ func deref(t types.Type) types.Type {
 		return p.Elem()
 	}
 	return t
+}
+
+// ---- hot-alloc -----------------------------------------------------
+
+// checkHotAlloc flags per-transfer allocation in the packages whose
+// steady state must be garbage-free: `make([]byte, ...)` (the pool's
+// bufpool.Get is the sanctioned source of scratch buffers) and calls
+// to a zero-argument `.Encode()` method (the copying encoder;
+// AppendEncode into a pooled buffer is the transfer-path form).
+// Deliberate allocation sites carry `vet:ignore hot-alloc`.
+func (c *checker) checkHotAlloc(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 2 {
+			if isByteSliceExpr(call.Args[0], c.pkg.Info) {
+				c.report(call.Pos(), "hot-alloc",
+					"make([]byte, ...) in a transfer-path package allocates per call; take scratch buffers from bufpool.Get (or annotate a deliberate allocation with vet:ignore hot-alloc)")
+			}
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Encode" && len(call.Args) == 0 {
+			// Skip package-qualified calls (pkg.Encode is not the
+			// message method); a local whose method is named Encode is
+			// exactly what the rule is after.
+			if id, isIdent := sel.X.(*ast.Ident); isIdent {
+				if obj, resolved := c.pkg.Info.Uses[id]; resolved {
+					if _, isPkg := obj.(*types.PkgName); isPkg {
+						return true
+					}
+				}
+			}
+			c.report(call.Pos(), "hot-alloc",
+				"%s.Encode() allocates a fresh wire buffer per message; use AppendEncode into a pooled buffer (or annotate a deliberate copy with vet:ignore hot-alloc)",
+				types.ExprString(sel.X))
+		}
+		return true
+	})
+}
+
+// isByteSliceExpr reports whether the type expression denotes []byte,
+// preferring resolved type information and falling back to syntax.
+func isByteSliceExpr(x ast.Expr, info *types.Info) bool {
+	if tv, ok := info.Types[x]; ok && tv.Type != nil {
+		if sl, ok := tv.Type.Underlying().(*types.Slice); ok {
+			if b, ok := sl.Elem().Underlying().(*types.Basic); ok {
+				return b.Kind() == types.Byte || b.Kind() == types.Uint8
+			}
+		}
+		return false
+	}
+	arr, ok := x.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	elt, ok := arr.Elt.(*ast.Ident)
+	return ok && (elt.Name == "byte" || elt.Name == "uint8")
 }
 
 // ---- enum-switch ---------------------------------------------------

@@ -27,6 +27,7 @@ func analyze(t *testing.T, pkgPath string, sources map[string]string) []Finding 
 		DeterminismPackages: []string{pkgPath},
 		PageBufferPackages:  []string{pkgPath},
 		PageBufferAllow:     []string{"access.go"},
+		HotAllocPackages:    []string{pkgPath},
 	}
 	return Check(pkg, cfg)
 }
@@ -318,4 +319,74 @@ func b() { _ = time.Now(); _ = time.Now() }
 	if !strings.Contains(fs[0].String(), "a.go") || !strings.Contains(fs[0].String(), "[time]") {
 		t.Fatalf("finding format: %q", fs[0].String())
 	}
+}
+
+func TestHotAllocFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/remoteop", map[string]string{"a.go": `
+package remoteop
+
+type msg struct{}
+
+func (m *msg) Encode() ([]byte, error)             { return nil, nil }
+func (m *msg) AppendEncode(d []byte) ([]byte, error) { return d, nil }
+
+func send(m *msg) {
+	wire := make([]byte, 8192)
+	enc, _ := m.Encode()
+	_, _ = wire, enc
+}
+
+func pooled(m *msg) {
+	scratch := make([]byte, 64) // vet:ignore hot-alloc — fixture's sanctioned site
+	enc, _ := m.AppendEncode(scratch[:0])
+	_ = enc
+}
+
+func notBytes() {
+	ints := make([]int, 8)   // other element types are fine
+	twoD := make([][]byte, 4) // a slice of slices is bookkeeping, not a buffer
+	_, _ = ints, twoD
+}
+`})
+	wantRule(t, fs, "hot-alloc", "make([]byte, ...)")
+	wantRule(t, fs, "hot-alloc", "m.Encode()")
+	if len(fs) != 2 {
+		t.Fatalf("want exactly the unannotated make and Encode, got %v", fs)
+	}
+}
+
+func TestHotAllocScopedToConfiguredPackages(t *testing.T) {
+	src := map[string]string{"a.go": `
+package other
+
+func alloc() []byte { return make([]byte, 1024) }
+`}
+	// The shared analyze helper scopes every rule to the fixture path,
+	// so build the config by hand with hot-alloc pointed elsewhere.
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src["a.go"], parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := NewPackage(fset, "fixture/other", []*ast.File{f}, nil)
+	fs := Check(pkg, &Config{HotAllocPackages: []string{"fixture/remoteop"}})
+	wantClean(t, fs)
+}
+
+func TestHotAllocSkipsPackageQualifiedEncode(t *testing.T) {
+	fs := analyze(t, "fixture/netsim", map[string]string{"a.go": `
+package netsim
+
+import "encoding/json"
+
+type codec struct{}
+
+func (codec) Encode() {}
+
+func ok() {
+	var enc *json.Encoder
+	_ = enc
+}
+`})
+	wantClean(t, fs)
 }
