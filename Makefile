@@ -1,9 +1,9 @@
 # The check target runs exactly what CI runs (.github/workflows/ci.yml);
 # keep the two in lockstep.
 
-.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep bench bench-smoke
+.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep chaos-smoke chaos-deep bench bench-smoke
 
-check: build vet fmt test race mermaid-vet mc-smoke
+check: build vet fmt test race mermaid-vet mc-smoke chaos-smoke
 
 build:
 	go build ./...
@@ -54,6 +54,40 @@ mc-smoke:
 	go run ./cmd/mermaid-mc -workload=basic -strategy=dfs -max-schedules=1200
 	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-invalidation -max-schedules=100
 	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-conversion -max-schedules=100
+
+# Chaos smoke: one seed per workload × fault class (12 campaigns).
+# Every run must survive its fault schedule — a violation prints a
+# replay token and fails the build. Budgeted for CI; chaos-deep widens
+# the seed range and double-runs everything for determinism.
+chaos-smoke:
+	go run ./cmd/mermaid-chaos -workload=slots -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=slots -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=slots -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=slots -class=mix -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=counter -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=counter -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=counter -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=counter -class=mix -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=handoff -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=handoff -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=handoff -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=handoff -class=mix -seed=1 -runs=1
+
+# Nightly-depth chaos: 25 seeds per workload × class with a
+# determinism double-run (-verify) on every campaign.
+chaos-deep:
+	go run ./cmd/mermaid-chaos -workload=slots -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=slots -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=slots -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=slots -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=counter -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=counter -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=counter -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=counter -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=handoff -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=handoff -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=handoff -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=handoff -class=mix -seed=1 -runs=25 -verify
 
 # Full mutation-kill suite plus a deeper clean sweep of every workload —
 # the nightly-depth run.

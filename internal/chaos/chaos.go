@@ -1,0 +1,257 @@
+// Package chaos is the randomized fault-injection harness for the
+// Mermaid DSM cluster. Where internal/mc explores *schedules* of a
+// fault-free run with a controlled chooser, chaos explores *fault
+// placements*: each run derives a scripted fault plan (burst loss,
+// duplication, corruption, partitions, a host crash) from a seed, runs
+// a small fault-tolerant workload against it under the calibrated cost
+// model, and judges the outcome with the same oracles the model
+// checker uses — the MRSW protocol invariant checker, the offline
+// sequential-consistency trace check, panic capture and hang
+// detection — plus the workload's own final assertions.
+//
+// Every run is a pure function of (workload, class, seed): the fault
+// plan is regenerated from the seed, the kernel is seeded with it, and
+// no wall-clock input exists anywhere in the stack, so the replay
+// token `chaos1:<workload>:<class>:<seed>` reproduces any violation
+// bit-identically. The harness double-checks that claim on demand by
+// running twice and comparing state fingerprints (Verify).
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cluster"
+	"repro/internal/dsm"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// Outcome classifies one chaos run.
+type Outcome int
+
+const (
+	// OK means every oracle and every workload assertion passed.
+	OK Outcome = iota
+	// InvariantViolation means the MRSW protocol invariant checker
+	// tripped during or after the run.
+	InvariantViolation
+	// SCViolation means the access trace admits no sequentially
+	// consistent witness order.
+	SCViolation
+	// Panic means a simulated process panicked outside the harness's
+	// typed-error paths.
+	Panic
+	// Hung means the workload never finished: either the event queue
+	// drained (deadlock) or the step budget ran out with background
+	// activity still churning (livelock — with heartbeats running the
+	// queue never drains, so a wedged workload surfaces this way).
+	Hung
+	// AppError means the workload's own final assertions failed —
+	// a value no crash-consistent execution can produce.
+	AppError
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case InvariantViolation:
+		return "invariant-violation"
+	case SCViolation:
+		return "sc-violation"
+	case Panic:
+		return "panic"
+	case Hung:
+		return "hung"
+	case AppError:
+		return "app-error"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result records one executed chaos run.
+type Result struct {
+	// Token replays this run exactly (see Replay).
+	Token string
+	// Outcome classifies the run; Detail explains a non-OK outcome.
+	Outcome Outcome
+	Detail  string
+	// Plan lists the injected faults, human-readable.
+	Plan []string
+	// Steps is the number of kernel events dispatched; Elapsed the
+	// virtual time the run took.
+	Steps   int
+	Elapsed sim.Duration
+	// Fingerprint digests the final cluster state plus fault/protocol
+	// counters; two runs of the same token must produce equal
+	// fingerprints (determinism), and any drift is a bug.
+	Fingerprint string
+	// PagesRecovered/PagesLost total the cluster's recovery outcomes.
+	PagesRecovered int
+	PagesLost      int
+	// RecoveryLatency is the virtual time from the first scripted crash
+	// to the first completed page recovery (0 when no crash happened or
+	// nothing needed recovering).
+	RecoveryLatency sim.Duration
+}
+
+// Opts parameterizes a run.
+type Opts struct {
+	// MaxSteps bounds dispatched kernel events (0 = DefaultMaxSteps).
+	// Exhausting it is reported as Hung.
+	MaxSteps int
+	// Mut injects a deliberate DSM protocol bug cluster-wide — used by
+	// the harness's own tests to prove the oracles have teeth.
+	Mut dsm.Mutation
+}
+
+// DefaultMaxSteps bounds one run's dispatched events. A healthy run
+// under the calibrated cost model dispatches a few tens of thousands
+// of events across its ~7 virtual seconds; the budget is an order of
+// magnitude above that.
+const DefaultMaxSteps = 500_000
+
+// traceLog watches the cluster's DSM trace stream for recovery events.
+type traceLog struct {
+	firstRecover sim.Time
+	recovers     int
+	lost         int
+}
+
+func (tl *traceLog) observe(ev dsm.TraceEvent) {
+	switch ev.Event {
+	case "recover":
+		if tl.recovers == 0 {
+			tl.firstRecover = ev.Time
+		}
+		tl.recovers++
+	case "page-lost":
+		tl.lost++
+	}
+}
+
+// Run executes one chaos run: generate the plan from the seed, build a
+// fresh cluster, drive the workload to completion, judge it.
+func Run(w *Workload, class Class, seed int64, o Opts) (*Result, error) {
+	plan := GeneratePlan(class, seed, w.Hosts)
+	inst, err := w.Build(seed, plan, o.Mut)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: building %s: %w", w.Name, err)
+	}
+	c := inst.C
+	k := c.K
+	if c.Check == nil {
+		return nil, fmt.Errorf("chaos: workload %s built without the invariant checker", w.Name)
+	}
+	var invs []dsm.Violation
+	c.Check.SetFailHandler(func(v dsm.Violation) { invs = append(invs, v) })
+
+	maxSteps := o.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	done := false
+	var appErr error
+	k.Spawn("chaos-main", func(p *sim.Proc) {
+		appErr = inst.Main(p, c)
+		done = true
+	})
+	steps := 0
+	panicMsg := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMsg = fmt.Sprint(r)
+			}
+		}()
+		for !done && steps < maxSteps && k.Step() {
+			steps++
+		}
+	}()
+	if done && panicMsg == "" {
+		// Final audit of the quiesced cluster (skips crashed hosts and
+		// in-flight transactions).
+		c.Check.CheckAll("chaos-teardown")
+	}
+
+	res := &Result{
+		Token:   EncodeToken(w.Name, class, seed),
+		Plan:    renderPlan(plan),
+		Steps:   steps,
+		Elapsed: k.Now().Sub(0),
+	}
+	total := c.TotalDSMStats()
+	res.PagesRecovered = total.PagesRecovered
+	res.PagesLost = total.PagesLost
+	if inst.Trace.recovers > 0 && len(plan.Crashes) > 0 {
+		res.RecoveryLatency = inst.Trace.firstRecover.Sub(plan.Crashes[0].At)
+	}
+	res.Fingerprint = fingerprint(c, steps)
+
+	scViols := sctrace.Check(inst.Rec.Ops())
+	switch {
+	case len(invs) > 0:
+		res.Outcome = InvariantViolation
+		res.Detail = invs[0].String()
+		if len(invs) > 1 {
+			res.Detail += fmt.Sprintf(" (+%d more)", len(invs)-1)
+		}
+	case len(scViols) > 0:
+		res.Outcome = SCViolation
+		res.Detail = fmt.Sprint(scViols[0])
+		if len(scViols) > 1 {
+			res.Detail += fmt.Sprintf(" (+%d more)", len(scViols)-1)
+		}
+	case panicMsg != "":
+		res.Outcome = Panic
+		res.Detail = panicMsg
+	case !done:
+		res.Outcome = Hung
+		res.Detail = fmt.Sprintf("not finished after %d steps at t=%v; stalled: %v", steps, k.Now(), k.Stalled())
+	case appErr != nil:
+		res.Outcome = AppError
+		res.Detail = appErr.Error()
+	default:
+		res.Outcome = OK
+	}
+	k.Shutdown()
+	return res, nil
+}
+
+// Verify runs the same token twice and errors if the runs diverge in
+// fingerprint, outcome or detail — the determinism guarantee behind
+// replay tokens, checked end to end.
+func Verify(w *Workload, class Class, seed int64, o Opts) (*Result, error) {
+	a, err := Run(w, class, seed, o)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Run(w, class, seed, o)
+	if err != nil {
+		return nil, err
+	}
+	if a.Fingerprint != b.Fingerprint || a.Outcome != b.Outcome || a.Detail != b.Detail {
+		return a, fmt.Errorf("chaos: %s not deterministic:\n run 1: %s %s\n   %s\n run 2: %s %s\n   %s",
+			a.Token, a.Outcome, a.Detail, a.Fingerprint, b.Outcome, b.Detail, b.Fingerprint)
+	}
+	return a, nil
+}
+
+// fingerprint digests the final protocol state of every host plus the
+// run's fault and protocol counters into a comparable line.
+func fingerprint(c *cluster.Cluster, steps int) string {
+	h := fnv.New64a()
+	for _, host := range c.Hosts {
+		host.DSM.WriteStateHash(h)
+		host.Sync.WriteStateHash(h)
+	}
+	ns := c.Net.Stats()
+	ds := c.TotalDSMStats()
+	return fmt.Sprintf("t=%v steps=%d state=%016x fetched=%d conv=%d recovered=%d lost=%d dropped=%d cut=%d corrupted=%d duplicated=%d toDead=%d",
+		c.K.Now(), steps, h.Sum64(),
+		ds.PagesFetched, ds.Conversions, ds.PagesRecovered, ds.PagesLost,
+		ns.FramesDropped, ns.FramesCut, ns.FramesCorrupted, ns.FramesDuplicated, ns.FramesToDead)
+}

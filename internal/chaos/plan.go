@@ -1,0 +1,158 @@
+package chaos
+
+// Seeded fault-schedule generation. A chaos run's entire fault plan is
+// a pure function of (class, seed, host count), so the replay token
+// only needs to carry those three facts: regenerating the plan and
+// re-running the simulation with the same kernel seed reproduces the
+// run bit-identically.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Class names a family of randomized fault schedules.
+type Class string
+
+const (
+	// ClassDrop injects message-level faults only: burst frame loss,
+	// duplication and in-flight corruption. No host dies, so the
+	// workloads apply their strict-progress assertions.
+	ClassDrop Class = "drop"
+	// ClassPartition cuts single hosts off the segment for windows kept
+	// shorter than the failure detector's death threshold: the protocol
+	// must ride the cut out with retries, not declare anyone dead.
+	ClassPartition Class = "partition"
+	// ClassCrash kills one non-coordinator host (crash-stop, no
+	// restart) at a randomized time; detection and copyset recovery
+	// must keep the survivors computing.
+	ClassCrash Class = "crash"
+	// ClassMix layers loss, a partition and a crash into one run.
+	ClassMix Class = "mix"
+)
+
+// Classes lists every schedule class.
+func Classes() []Class { return []Class{ClassDrop, ClassPartition, ClassCrash, ClassMix} }
+
+// ParseClass resolves a CLI spelling.
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes() {
+		if string(c) == s {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("chaos: unknown class %q (have %v)", s, Classes())
+}
+
+// Generated-schedule bounds, all in virtual time. Every fault window
+// closes inside the injection horizon, and the workloads settle for
+// several seconds past it, so by the time final assertions run the
+// fabric is quiet and failure detection has converged.
+const (
+	// injectHorizon bounds fault activity: no window extends past it.
+	injectHorizon = 2 * time.Second
+	// maxPartition keeps a cut shorter than the 2×SuspicionTimeout
+	// death threshold — a partitioned-but-alive host must never be
+	// declared dead (crash-stop detection cannot take a verdict back).
+	maxPartition = 1200 * time.Millisecond
+	// crashEarliest/crashLatest bound the scripted crash time, leaving
+	// room for the workloads to replicate some state first and for the
+	// fault windows around the crash to matter.
+	crashEarliest = 200 * time.Millisecond
+	crashLatest   = 1500 * time.Millisecond
+)
+
+// window draws a fault window of length [minLen, maxLen) starting so
+// that it closes before the injection horizon.
+func window(r *rand.Rand, minLen, maxLen time.Duration) netsim.Window {
+	length := minLen + time.Duration(r.Int63n(int64(maxLen-minLen)))
+	start := time.Duration(r.Int63n(int64(injectHorizon - length)))
+	return netsim.Window{From: sim.Time(start), Until: sim.Time(start + length)}
+}
+
+// GeneratePlan derives the scripted fault plan for one run. Host 0 is
+// the coordinator (allocation manager, semaphore managers, the
+// workloads' home for final assertions) and is never crashed or cut
+// off; every other host is fair game.
+func GeneratePlan(class Class, seed int64, hosts int) *netsim.FaultPlan {
+	r := rand.New(rand.NewSource(seed ^ 0x6368616f73)) // decouple from the kernel's stream
+	fp := &netsim.FaultPlan{}
+
+	addLoss := func() {
+		for i, n := 0, 1+r.Intn(3); i < n; i++ {
+			fp.Loss = append(fp.Loss, netsim.Burst{
+				Window: window(r, 100*time.Millisecond, 600*time.Millisecond),
+				Rate:   0.1 + 0.4*r.Float64(),
+			})
+		}
+		if r.Intn(2) == 0 {
+			fp.Duplicate = append(fp.Duplicate, netsim.Burst{
+				Window: window(r, 100*time.Millisecond, 500*time.Millisecond),
+				Rate:   0.2 + 0.3*r.Float64(),
+			})
+		}
+		if r.Intn(2) == 0 {
+			fp.Corrupt = append(fp.Corrupt, netsim.Burst{
+				Window: window(r, 100*time.Millisecond, 400*time.Millisecond),
+				Rate:   0.1 + 0.2*r.Float64(),
+			})
+		}
+	}
+	addPartition := func() {
+		for i, n := 0, 1+r.Intn(2); i < n; i++ {
+			cut := netsim.HostID(1 + r.Intn(hosts-1))
+			fp.Partitions = append(fp.Partitions, netsim.Partition{
+				Window: window(r, 200*time.Millisecond, maxPartition),
+				Group:  []netsim.HostID{cut},
+			})
+		}
+	}
+	addCrash := func() {
+		victim := netsim.HostID(1 + r.Intn(hosts-1))
+		at := crashEarliest + time.Duration(r.Int63n(int64(crashLatest-crashEarliest)))
+		fp.Crashes = append(fp.Crashes, netsim.CrashEvent{At: sim.Time(at), Host: victim})
+	}
+
+	switch class {
+	case ClassDrop:
+		addLoss()
+	case ClassPartition:
+		addPartition()
+	case ClassCrash:
+		addCrash()
+	case ClassMix:
+		addLoss()
+		addPartition()
+		addCrash()
+	}
+	return fp
+}
+
+// renderPlan lists the plan's faults as human-readable lines for the
+// replay transcript.
+func renderPlan(fp *netsim.FaultPlan) []string {
+	var lines []string
+	for _, b := range fp.Loss {
+		lines = append(lines, fmt.Sprintf("loss      [%v, %v) rate %.2f", b.From, b.Until, b.Rate))
+	}
+	for _, b := range fp.Duplicate {
+		lines = append(lines, fmt.Sprintf("duplicate [%v, %v) rate %.2f", b.From, b.Until, b.Rate))
+	}
+	for _, b := range fp.Corrupt {
+		lines = append(lines, fmt.Sprintf("corrupt   [%v, %v) rate %.2f", b.From, b.Until, b.Rate))
+	}
+	for _, pt := range fp.Partitions {
+		lines = append(lines, fmt.Sprintf("partition [%v, %v) cuts %v", pt.From, pt.Until, pt.Group))
+	}
+	for _, ce := range fp.Crashes {
+		lines = append(lines, fmt.Sprintf("crash     t=%v host %d", ce.At, ce.Host))
+	}
+	if len(lines) == 0 {
+		lines = append(lines, "(no faults)")
+	}
+	return lines
+}

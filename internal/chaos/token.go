@@ -1,0 +1,56 @@
+package chaos
+
+// Replay tokens. A chaos run is a pure function of (workload, class,
+// seed) — the plan is regenerated and the kernel reseeded from the
+// token, so replaying is just running again.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenVersion guards against replaying a token minted by an
+// incompatible harness.
+const tokenVersion = "chaos1"
+
+// EncodeToken renders a run's identity as `chaos1:<workload>:<class>:<seed>`.
+func EncodeToken(workload string, class Class, seed int64) string {
+	return fmt.Sprintf("%s:%s:%s:%d", tokenVersion, workload, class, seed)
+}
+
+// DecodeToken parses a replay token.
+func DecodeToken(tok string) (string, Class, int64, error) {
+	parts := strings.Split(tok, ":")
+	if len(parts) != 4 {
+		return "", "", 0, fmt.Errorf("chaos: malformed token %q (want %s:<workload>:<class>:<seed>)", tok, tokenVersion)
+	}
+	if parts[0] != tokenVersion {
+		return "", "", 0, fmt.Errorf("chaos: token version %q, this harness speaks %s", parts[0], tokenVersion)
+	}
+	if _, err := Lookup(parts[1]); err != nil {
+		return "", "", 0, err
+	}
+	class, err := ParseClass(parts[2])
+	if err != nil {
+		return "", "", 0, err
+	}
+	seed, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("chaos: bad seed in token %q: %v", tok, err)
+	}
+	return parts[1], class, seed, nil
+}
+
+// Replay re-executes the run a token names.
+func Replay(tok string, o Opts) (*Result, error) {
+	name, class, seed, err := DecodeToken(tok)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(w, class, seed, o)
+}

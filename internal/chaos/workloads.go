@@ -1,0 +1,455 @@
+package chaos
+
+// The chaos workloads. Unlike the model checker's (which assume a
+// fault-free fabric and assert exact results), these are written the
+// way a fault-tolerant application would be: every DSM and dsync call
+// goes through the error-returning variants, workers run as separate
+// simulated processes per host (so a host crash kills its worker and
+// nothing else), and the coordinator on host 0 — which is never
+// crashed or partitioned — polls shared state while workers run, then
+// applies final assertions calibrated to crash-stop semantics:
+//
+//   - With no host dead and every worker finished, progress must be
+//     exact: the fabric's message faults (loss, duplication,
+//     corruption, short partitions) are the protocol's to absorb.
+//   - After a crash, a page value may roll back to the last replicated
+//     snapshot (MRSW write-invalidate loses un-replicated writes with
+//     their owner — that is the documented semantics, and the recovery
+//     install re-records the snapshot so the SC oracle agrees), but it
+//     must still be a value that was actually written, never torn.
+//   - dsm.ErrPageLost is acceptable only if a host actually died (the
+//     sole owner took the only copy down with it). A persistent
+//     dsm.ErrHostDown on the coordinator's final read is *never*
+//     acceptable: host 0's manager is alive, so a recoverable page
+//     that stays unreadable means recovery itself is broken.
+//
+// The oracles (invariant checker, SC trace, hang detection) judge
+// every run on top of these assertions.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cluster"
+	"repro/internal/conv"
+	"repro/internal/dsm"
+	"repro/internal/netsim"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// Workload names a reproducible chaos scenario.
+type Workload struct {
+	// Name is the CLI spelling and the replay-token component.
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Hosts is the cluster size (the plan generator needs it before
+	// Build runs).
+	Hosts int
+	// Build constructs a fresh Instance wired to the given fault plan.
+	Build func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error)
+}
+
+// Instance is one freshly built, not-yet-run chaos scenario.
+type Instance struct {
+	// C is the assembled cluster (checker attached, recorder wired).
+	C *cluster.Cluster
+	// Rec records the run's DSM accesses for the offline SC check.
+	Rec *sctrace.Recorder
+	// Trace accumulates recovery events from the DSM trace stream.
+	Trace *traceLog
+	// Main is the coordinator body, run on host 0. A non-nil error is
+	// an application-level verdict (AppError).
+	Main func(p *sim.Proc, c *cluster.Cluster) error
+}
+
+const (
+	chaosPageSize  = 8192
+	chaosSpaceSize = 4 * 8192
+	chaosPageInts  = chaosPageSize / 4
+
+	// Workload tempo: workers act every workPeriod during the fault
+	// horizon, the coordinator polls shared state every pollPeriod
+	// (seeding replicas that make pages recoverable), and settlePhase
+	// gives failure detection (~2–3 s after a late crash) plus the
+	// recovery sweep room to converge before final assertions.
+	workPeriod  = 120 * time.Millisecond
+	pollPeriod  = 150 * time.Millisecond
+	activePhase = 2400 * time.Millisecond
+	settlePhase = 4500 * time.Millisecond
+
+	chaosSemLock = 1
+	chaosSemPing = 2
+	chaosSemPong = 3
+)
+
+// buildChaosCluster assembles the standard chaos cluster: calibrated
+// cost model, central manager on never-crashed host 0, failure
+// detection, invariant checker and SC recorder attached.
+func buildChaosCluster(seed int64, kinds []arch.Kind, plan *netsim.FaultPlan, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, *traceLog, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	rec := sctrace.NewRecorder()
+	tl := &traceLog{}
+	c, err := cluster.New(cluster.Config{
+		Hosts:            hosts,
+		PageSize:         chaosPageSize,
+		SpaceSize:        chaosSpaceSize,
+		Seed:             seed,
+		CentralManager:   true,
+		FailureDetection: true,
+		InvariantChecks:  true,
+		SCTrace:          rec,
+		FaultPlan:        plan,
+		Trace:            tl.observe,
+		Mutation:         mut,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, rec, tl, nil
+}
+
+// anyDead reports whether host 0's detector has declared any peer dead.
+func anyDead(c *cluster.Cluster) bool {
+	for h := 1; h < len(c.Hosts); h++ {
+		if c.Hosts[0].Detect.Dead(cluster.HostID(h)) {
+			return true
+		}
+	}
+	return false
+}
+
+// tolerableLost reports whether err is a page loss that crash-stop
+// semantics permit: the sole owner died with the only copy.
+func tolerableLost(err error, died bool) bool {
+	return died && errors.Is(err, dsm.ErrPageLost)
+}
+
+// workloads is the registry, keyed by Name.
+var workloads = map[string]*Workload{}
+
+func register(w *Workload) { workloads[w.Name] = w }
+
+// Lookup resolves a workload by name.
+func Lookup(name string) (*Workload, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown workload %q (have %v)", name, WorkloadNames())
+	}
+	return w, nil
+}
+
+// WorkloadNames lists registered workloads alphabetically.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for n := range workloads { // vet:ignore map-order — sorted below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered workload in name order.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(workloads))
+	for _, n := range WorkloadNames() {
+		out = append(out, workloads[n])
+	}
+	return out
+}
+
+func init() {
+	register(slotsWorkload())
+	register(counterWorkload())
+	register(handoffWorkload())
+}
+
+// slotsWorkload gives each host a private page it stamps with a
+// monotone sequence number, mirrored in a second word of the same
+// access (so a recovered page is either a complete snapshot or wrong).
+// The coordinator polls every page while the writers run — each poll
+// leaves a read replica in the page's copyset, which is exactly what
+// makes the page recoverable when its owner dies. Final assertions:
+// each slot must read back a mirrored pair no newer than the writer's
+// last completed write; exact progress when nobody died.
+func slotsWorkload() *Workload {
+	const rounds = 12
+	return &Workload{
+		Name:  "slots",
+		Desc:  "3 hosts, per-host monotone writers + polling coordinator (recovery rollback bounds)",
+		Hosts: 3,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			c, rec, tl, err := buildChaosCluster(seed, []arch.Kind{arch.Sun, arch.Firefly, arch.Firefly}, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				var pages [3]dsm.Addr
+				for i := range pages {
+					if pages[i], err = h0.DSM.Alloc(p, conv.Int32, chaosPageInts); err != nil {
+						return err
+					}
+				}
+				var last [3]int32
+				var stopped [3]error
+				for w := 0; w < 3; w++ {
+					w := w
+					host := c.Hosts[w]
+					c.K.Spawn(fmt.Sprintf("slot-writer%d", w), func(wp *sim.Proc) {
+						for i := int32(1); i <= rounds; i++ {
+							if err := host.DSM.WriteInt32sE(wp, pages[w], []int32{i, i}); err != nil {
+								stopped[w] = err
+								return
+							}
+							last[w] = i
+							// Dwell two poll periods between stamps so the
+							// coordinator's replica usually postdates the last
+							// write — that replica is what recovery runs on.
+							wp.Sleep(2*workPeriod + time.Duration(w)*17*time.Millisecond)
+						}
+					})
+				}
+				// Poll while the writers run: transient errors during fault
+				// windows are the fabric's business, but every successful
+				// read refreshes this host's replica.
+				for c.K.Now() < sim.Time(activePhase) {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						if err := h0.DSM.ReadInt32sE(p, pages[w], pair[:]); err == nil && pair[0] != pair[1] {
+							return fmt.Errorf("poll saw torn slot %d: %v", w, pair)
+						}
+					}
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				died := anyDead(c)
+				strict := !died
+				for w := 0; w < 3; w++ {
+					if stopped[w] != nil {
+						strict = false
+					}
+				}
+				// The coordinator's own replica could satisfy its read
+				// without a fault; a witness on another surviving host has
+				// no copy, so its read must go through the manager — the
+				// end-to-end proof that pages still *serve* after recovery.
+				witness := h0
+				for h := 1; h < 3; h++ {
+					if !h0.Detect.Dead(cluster.HostID(h)) {
+						witness = c.Hosts[h]
+						break
+					}
+				}
+				for _, reader := range []*cluster.Host{h0, witness} {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						err := reader.DSM.ReadInt32sE(p, pages[w], pair[:])
+						switch {
+						case err == nil:
+							if pair[0] != pair[1] {
+								return fmt.Errorf("host %d: slot %d torn after settle: %v", reader.ID, w, pair)
+							}
+							if pair[0] < 0 || pair[0] > last[w] {
+								return fmt.Errorf("host %d: slot %d = %d, never written (writer completed %d)", reader.ID, w, pair[0], last[w])
+							}
+							if strict && pair[0] != rounds {
+								return fmt.Errorf("host %d: slot %d = %d, want %d with every host alive", reader.ID, w, pair[0], rounds)
+							}
+						case tolerableLost(err, died):
+							// Sole owner died holding the only copy.
+						default:
+							return fmt.Errorf("host %d: slot %d unreadable after settle: %w", reader.ID, w, err)
+						}
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
+}
+
+// counterWorkload increments one shared counter from every host under
+// a distributed semaphore. A worker that hits a fault releases the
+// lock if it can and retires; a worker whose host crashes inside the
+// critical section takes the lock to its grave, parking the others —
+// the coordinator never waits on workers, so that is tolerated, not a
+// hang. Final assertions: exact count when nobody died and every
+// worker finished; otherwise the counter must not exceed the completed
+// increments (recovery may roll it back, never forward).
+func counterWorkload() *Workload {
+	const rounds = 6
+	return &Workload{
+		Name:  "counter",
+		Desc:  "3 hosts, semaphore-locked shared counter (exact under message faults, bounded under crashes)",
+		Hosts: 3,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			c, rec, tl, err := buildChaosCluster(seed, []arch.Kind{arch.Sun, arch.Firefly, arch.Sun}, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(chaosSemLock, 0, 1)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				ctr, err := h0.DSM.Alloc(p, conv.Int32, chaosPageInts)
+				if err != nil {
+					return err
+				}
+				var incr [3]int32
+				var stopped [3]error
+				for w := 0; w < 3; w++ {
+					w := w
+					host := c.Hosts[w]
+					c.K.Spawn(fmt.Sprintf("counter%d", w), func(wp *sim.Proc) {
+						for i := 0; i < rounds; i++ {
+							if err := host.Sync.PE(wp, chaosSemLock); err != nil {
+								stopped[w] = err
+								return
+							}
+							v, err := host.DSM.ReadInt32E(wp, ctr)
+							if err == nil {
+								err = host.DSM.WriteInt32E(wp, ctr, v+1)
+							}
+							if err != nil {
+								stopped[w] = err
+								host.Sync.VE(wp, chaosSemLock) // best-effort release before retiring
+								return
+							}
+							incr[w]++
+							if err := host.Sync.VE(wp, chaosSemLock); err != nil {
+								stopped[w] = err
+								return
+							}
+							wp.Sleep(workPeriod)
+						}
+					})
+				}
+				for c.K.Now() < sim.Time(activePhase) {
+					h0.DSM.ReadInt32E(p, ctr) // poll to seed replicas; errors are transient
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				died := anyDead(c)
+				strict := !died
+				var completed int32
+				for w := 0; w < 3; w++ {
+					completed += incr[w]
+					if stopped[w] != nil {
+						strict = false
+					}
+				}
+				got, err := h0.DSM.ReadInt32E(p, ctr)
+				switch {
+				case err == nil:
+					if strict && got != 3*rounds {
+						return fmt.Errorf("counter = %d, want %d with every host alive", got, 3*rounds)
+					}
+					if got < 0 || got > completed+1 {
+						// +1: a crashed worker may have committed its write
+						// locally without living to record it.
+						return fmt.Errorf("counter = %d, outside [0, %d]", got, completed+1)
+					}
+				case tolerableLost(err, died):
+				default:
+					return fmt.Errorf("counter unreadable after settle: %w", err)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
+}
+
+// handoffWorkload ping-pongs ownership of one page between two hosts
+// of different architectures: each increment is a full ownership
+// transfer with conversion, so a crash has a wide window to land in
+// the middle of a handoff — the exact scenario the manager's
+// suspect-transfer reconciliation exists for. Final assertions mirror
+// counterWorkload's.
+func handoffWorkload() *Workload {
+	const rounds = 4
+	return &Workload{
+		Name:  "handoff",
+		Desc:  "3 hosts, strict ownership ping-pong across architectures (crash mid-handoff)",
+		Hosts: 3,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			c, rec, tl, err := buildChaosCluster(seed, []arch.Kind{arch.Sun, arch.Sun, arch.Firefly}, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(chaosSemPing, 0, 1)
+			c.DefineSemaphore(chaosSemPong, 0, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				val, err := h0.DSM.Alloc(p, conv.Int32, chaosPageInts)
+				if err != nil {
+					return err
+				}
+				var incr [2]int32
+				var stopped [2]error
+				sems := [2]uint32{chaosSemPing, chaosSemPong}
+				for w := 0; w < 2; w++ {
+					w := w
+					host := c.Hosts[w+1]
+					c.K.Spawn(fmt.Sprintf("handoff%d", w), func(wp *sim.Proc) {
+						for i := 0; i < rounds; i++ {
+							if err := host.Sync.PE(wp, sems[w]); err != nil {
+								stopped[w] = err
+								return
+							}
+							v, err := host.DSM.ReadInt32E(wp, val)
+							if err == nil {
+								err = host.DSM.WriteInt32E(wp, val, v+1)
+							}
+							if err != nil {
+								stopped[w] = err
+								host.Sync.VE(wp, sems[1-w]) // best-effort: let the partner run on
+								return
+							}
+							incr[w]++
+							if err := host.Sync.VE(wp, sems[1-w]); err != nil {
+								stopped[w] = err
+								return
+							}
+						}
+					})
+				}
+				for c.K.Now() < sim.Time(activePhase) {
+					var pair [1]int32
+					h0.DSM.ReadInt32sE(p, val, pair[:]) // poll to seed replicas; errors are transient
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				died := anyDead(c)
+				strict := !died && stopped[0] == nil && stopped[1] == nil
+				completed := incr[0] + incr[1]
+				got, err := h0.DSM.ReadInt32E(p, val)
+				switch {
+				case err == nil:
+					if strict && got != 2*rounds {
+						return fmt.Errorf("handoff value = %d, want %d with every host alive", got, 2*rounds)
+					}
+					if got < 0 || got > completed+1 {
+						return fmt.Errorf("handoff value = %d, outside [0, %d]", got, completed+1)
+					}
+				case tolerableLost(err, died):
+				default:
+					return fmt.Errorf("handoff value unreadable after settle: %w", err)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
+}

@@ -66,6 +66,18 @@ type Config struct {
 	UnicastInvalidate bool
 	// DropRate injects frame loss for fault-tolerance experiments.
 	DropRate float64
+	// FaultPlan scripts deterministic faults (loss bursts, corruption,
+	// duplication, partitions, host crashes) against virtual time. Crash
+	// events are applied by the cluster: the NIC goes down and every
+	// module of the host stops (crash-stop; no restart).
+	FaultPlan *netsim.FaultPlan
+	// FailureDetection runs a failure detector on every host (virtual-
+	// time heartbeats plus call-timeout escalation) and enables
+	// copyset-based page recovery: crashes then surface as typed errors
+	// (dsm.ErrHostDown, dsm.ErrPageLost) instead of hangs. Off by
+	// default — no-fault runs spawn no detector processes and stay
+	// bit-identical to earlier builds.
+	FailureDetection bool
 	// Trace, when set, receives DSM protocol events from every host.
 	Trace func(dsm.TraceEvent)
 	// InvariantChecks attaches a dsm.InvariantChecker across all hosts:
@@ -95,6 +107,8 @@ type Host struct {
 	Threads *threads.Manager
 	// Sync is the distributed synchronization service.
 	Sync *dsync.Service
+	// Detect is the failure detector (nil unless Config.FailureDetection).
+	Detect *dsm.Detector
 }
 
 // Cluster is the assembled simulated system.
@@ -142,6 +156,9 @@ func New(cfg Config) (*Cluster, error) {
 	k := sim.NewKernel(cfg.Seed)
 	net := netsim.New(k, &params)
 	net.DropRate = cfg.DropRate
+	if !cfg.FaultPlan.Empty() {
+		net.SetFaultPlan(cfg.FaultPlan)
+	}
 	funcs := threads.NewRegistry()
 
 	dsmCfg := &dsm.Config{
@@ -189,7 +206,15 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		sync := dsync.New(k, ep, spec.Kind, &params)
+		var det *dsm.Detector
+		if cfg.FailureDetection {
+			det = dsm.NewDetector(k, ep, &params, len(cfg.Hosts))
+			mod.AttachLiveness(det)
+		}
 		ep.Start()
+		if det != nil {
+			det.Start()
+		}
 		c.Hosts = append(c.Hosts, &Host{
 			ID:      netsim.HostID(i),
 			Arch:    archs[i],
@@ -197,7 +222,18 @@ func New(cfg Config) (*Cluster, error) {
 			DSM:     mod,
 			Threads: tm,
 			Sync:    sync,
+			Detect:  det,
 		})
+	}
+	// Scripted crashes are applied by the cluster at their virtual times:
+	// the fabric downs the NIC, the modules freeze.
+	if cfg.FaultPlan != nil {
+		for _, ce := range cfg.FaultPlan.Crashes {
+			h := HostID(ce.Host)
+			k.AfterNamed(fmt.Sprintf("crash:h%d", h), sim.Duration(ce.At.Sub(k.Now())), func() {
+				c.CrashHost(h)
+			})
+		}
 	}
 	// Wire thread managers together so threads can migrate (§2.2).
 	peers := make([]*threads.Manager, len(c.Hosts))
@@ -238,6 +274,22 @@ func (c *Cluster) DefineBarrier(id uint32, manager HostID, n int) {
 	}
 }
 
+// CrashHost fails host h immediately (crash-stop): its NIC goes down,
+// in-flight frames to and from it vanish, and every module freezes —
+// handler processes unwind at their next activation and never answer
+// again. There is no restart. Scripted FaultPlan crashes call this; the
+// chaos harness and tests also call it directly.
+func (c *Cluster) CrashHost(h HostID) {
+	host := c.Hosts[h]
+	c.Net.SetHostDown(netsim.HostID(h), true)
+	host.EP.Crash()
+	host.DSM.Crash()
+	host.Sync.Crash()
+	if host.Detect != nil {
+		host.Detect.Crash()
+	}
+}
+
 // Run executes main as a simulated process on host mainHost and drives
 // the simulation until it finishes, returning the virtual time it took.
 // Background activity (server loops, persistent retransmissions) does
@@ -273,6 +325,8 @@ func (c *Cluster) TotalDSMStats() dsm.Stats {
 		total.BytesFetched += s.BytesFetched
 		total.RemoteReads += s.RemoteReads
 		total.RemoteWrites += s.RemoteWrites
+		total.PagesRecovered += s.PagesRecovered
+		total.PagesLost += s.PagesLost
 	}
 	return total
 }

@@ -15,6 +15,13 @@ import (
 // therefore live in memory exactly as the paper's machines stored them —
 // big-endian IEEE on a Sun, little-endian VAX-float on a Firefly — and
 // only page migration converts them.
+//
+// Each accessor exists in two forms. The plain form (ReadInt32s,
+// WriteBytes, ...) panics if the access cannot complete — correct for
+// fault-free runs, where any failure is a simulation bug. The E-suffixed
+// form returns an error instead, so applications running under failure
+// detection can observe ErrHostDown / ErrPageLost and continue working
+// on pages that survive.
 
 // checkTyped validates that [addr, addr+size*count) lies in pages
 // allocated for the expected type and does not straddle elements across
@@ -49,6 +56,15 @@ func (m *Module) checkTyped(addr Addr, id conv.TypeID, size, count int) {
 	}
 }
 
+// mustOK converts an access error into the pre-fault-tolerance panic:
+// the plain accessors keep their historical contract that any failure is
+// a simulation bug.
+func (m *Module) mustOK(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("dsm: host %d: %v", m.id, err))
+	}
+}
+
 // forEachSpan walks the per-page byte spans of [addr, addr+n), handing
 // the local page buffer segment to fn. Access must already be ensured.
 func (m *Module) forEachSpan(addr Addr, n int, fn func(seg []byte, off int)) {
@@ -67,16 +83,26 @@ func (m *Module) forEachSpan(addr Addr, n int, fn func(seg []byte, off int)) {
 
 // ReadBytes copies n raw bytes at addr into buf (Char pages).
 func (m *Module) ReadBytes(p *sim.Proc, addr Addr, buf []byte) {
+	m.mustOK(m.ReadBytesE(p, addr, buf))
+}
+
+// ReadBytesE is ReadBytes returning crash errors.
+func (m *Module) ReadBytesE(p *sim.Proc, addr Addr, buf []byte) error {
 	m.checkTyped(addr, conv.Char, 1, len(buf))
-	m.readRegion(p, addr, len(buf), func(seg []byte, off int) {
+	return m.readRegion(p, addr, len(buf), func(seg []byte, off int) {
 		copy(buf[off:], seg)
 	})
 }
 
 // WriteBytes stores raw bytes at addr (Char pages).
 func (m *Module) WriteBytes(p *sim.Proc, addr Addr, data []byte) {
+	m.mustOK(m.WriteBytesE(p, addr, data))
+}
+
+// WriteBytesE is WriteBytes returning crash errors.
+func (m *Module) WriteBytesE(p *sim.Proc, addr Addr, data []byte) error {
 	m.checkTyped(addr, conv.Char, 1, len(data))
-	m.writeRegion(p, addr, len(data), func(seg []byte, off int) {
+	return m.writeRegion(p, addr, len(data), func(seg []byte, off int) {
 		copy(seg, data[off:])
 	})
 }
@@ -88,16 +114,33 @@ func (m *Module) ReadInt32(p *sim.Proc, addr Addr) int32 {
 	return v[0]
 }
 
+// ReadInt32E is ReadInt32 returning crash errors.
+func (m *Module) ReadInt32E(p *sim.Proc, addr Addr) (int32, error) {
+	var v [1]int32
+	err := m.ReadInt32sE(p, addr, v[:])
+	return v[0], err
+}
+
 // WriteInt32 stores one int32.
 func (m *Module) WriteInt32(p *sim.Proc, addr Addr, v int32) {
 	m.WriteInt32s(p, addr, []int32{v})
 }
 
+// WriteInt32E is WriteInt32 returning crash errors.
+func (m *Module) WriteInt32E(p *sim.Proc, addr Addr, v int32) error {
+	return m.WriteInt32sE(p, addr, []int32{v})
+}
+
 // ReadInt32s loads consecutive int32 elements starting at addr.
 func (m *Module) ReadInt32s(p *sim.Proc, addr Addr, dst []int32) {
+	m.mustOK(m.ReadInt32sE(p, addr, dst))
+}
+
+// ReadInt32sE is ReadInt32s returning crash errors.
+func (m *Module) ReadInt32sE(p *sim.Proc, addr Addr, dst []int32) error {
 	m.checkTyped(addr, conv.Int32, 4, len(dst))
 	i := 0
-	m.readRegion(p, addr, 4*len(dst), func(seg []byte, _ int) {
+	return m.readRegion(p, addr, 4*len(dst), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 4 {
 			dst[i] = conv.GetInt32(m.arch, seg[o:])
 			i++
@@ -107,9 +150,14 @@ func (m *Module) ReadInt32s(p *sim.Proc, addr Addr, dst []int32) {
 
 // WriteInt32s stores consecutive int32 elements starting at addr.
 func (m *Module) WriteInt32s(p *sim.Proc, addr Addr, src []int32) {
+	m.mustOK(m.WriteInt32sE(p, addr, src))
+}
+
+// WriteInt32sE is WriteInt32s returning crash errors.
+func (m *Module) WriteInt32sE(p *sim.Proc, addr Addr, src []int32) error {
 	m.checkTyped(addr, conv.Int32, 4, len(src))
 	i := 0
-	m.writeRegion(p, addr, 4*len(src), func(seg []byte, _ int) {
+	return m.writeRegion(p, addr, 4*len(src), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 4 {
 			conv.PutInt32(m.arch, seg[o:], src[i])
 			i++
@@ -119,9 +167,14 @@ func (m *Module) WriteInt32s(p *sim.Proc, addr Addr, src []int32) {
 
 // ReadInt16s loads consecutive int16 elements starting at addr.
 func (m *Module) ReadInt16s(p *sim.Proc, addr Addr, dst []int16) {
+	m.mustOK(m.ReadInt16sE(p, addr, dst))
+}
+
+// ReadInt16sE is ReadInt16s returning crash errors.
+func (m *Module) ReadInt16sE(p *sim.Proc, addr Addr, dst []int16) error {
 	m.checkTyped(addr, conv.Int16, 2, len(dst))
 	i := 0
-	m.readRegion(p, addr, 2*len(dst), func(seg []byte, _ int) {
+	return m.readRegion(p, addr, 2*len(dst), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 2 {
 			dst[i] = conv.GetInt16(m.arch, seg[o:])
 			i++
@@ -131,9 +184,14 @@ func (m *Module) ReadInt16s(p *sim.Proc, addr Addr, dst []int16) {
 
 // WriteInt16s stores consecutive int16 elements starting at addr.
 func (m *Module) WriteInt16s(p *sim.Proc, addr Addr, src []int16) {
+	m.mustOK(m.WriteInt16sE(p, addr, src))
+}
+
+// WriteInt16sE is WriteInt16s returning crash errors.
+func (m *Module) WriteInt16sE(p *sim.Proc, addr Addr, src []int16) error {
 	m.checkTyped(addr, conv.Int16, 2, len(src))
 	i := 0
-	m.writeRegion(p, addr, 2*len(src), func(seg []byte, _ int) {
+	return m.writeRegion(p, addr, 2*len(src), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 2 {
 			conv.PutInt16(m.arch, seg[o:], src[i])
 			i++
@@ -143,9 +201,14 @@ func (m *Module) WriteInt16s(p *sim.Proc, addr Addr, src []int16) {
 
 // ReadFloat32s loads consecutive float32 elements starting at addr.
 func (m *Module) ReadFloat32s(p *sim.Proc, addr Addr, dst []float32) {
+	m.mustOK(m.ReadFloat32sE(p, addr, dst))
+}
+
+// ReadFloat32sE is ReadFloat32s returning crash errors.
+func (m *Module) ReadFloat32sE(p *sim.Proc, addr Addr, dst []float32) error {
 	m.checkTyped(addr, conv.Float32, 4, len(dst))
 	i := 0
-	m.readRegion(p, addr, 4*len(dst), func(seg []byte, _ int) {
+	return m.readRegion(p, addr, 4*len(dst), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 4 {
 			dst[i] = conv.GetFloat32(m.arch, seg[o:])
 			i++
@@ -155,9 +218,14 @@ func (m *Module) ReadFloat32s(p *sim.Proc, addr Addr, dst []float32) {
 
 // WriteFloat32s stores consecutive float32 elements starting at addr.
 func (m *Module) WriteFloat32s(p *sim.Proc, addr Addr, src []float32) {
+	m.mustOK(m.WriteFloat32sE(p, addr, src))
+}
+
+// WriteFloat32sE is WriteFloat32s returning crash errors.
+func (m *Module) WriteFloat32sE(p *sim.Proc, addr Addr, src []float32) error {
 	m.checkTyped(addr, conv.Float32, 4, len(src))
 	i := 0
-	m.writeRegion(p, addr, 4*len(src), func(seg []byte, _ int) {
+	return m.writeRegion(p, addr, 4*len(src), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 4 {
 			conv.PutFloat32(m.arch, seg[o:], src[i])
 			i++
@@ -167,9 +235,14 @@ func (m *Module) WriteFloat32s(p *sim.Proc, addr Addr, src []float32) {
 
 // ReadFloat64s loads consecutive float64 elements starting at addr.
 func (m *Module) ReadFloat64s(p *sim.Proc, addr Addr, dst []float64) {
+	m.mustOK(m.ReadFloat64sE(p, addr, dst))
+}
+
+// ReadFloat64sE is ReadFloat64s returning crash errors.
+func (m *Module) ReadFloat64sE(p *sim.Proc, addr Addr, dst []float64) error {
 	m.checkTyped(addr, conv.Float64, 8, len(dst))
 	i := 0
-	m.readRegion(p, addr, 8*len(dst), func(seg []byte, _ int) {
+	return m.readRegion(p, addr, 8*len(dst), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 8 {
 			dst[i] = conv.GetFloat64(m.arch, seg[o:])
 			i++
@@ -179,9 +252,14 @@ func (m *Module) ReadFloat64s(p *sim.Proc, addr Addr, dst []float64) {
 
 // WriteFloat64s stores consecutive float64 elements starting at addr.
 func (m *Module) WriteFloat64s(p *sim.Proc, addr Addr, src []float64) {
+	m.mustOK(m.WriteFloat64sE(p, addr, src))
+}
+
+// WriteFloat64sE is WriteFloat64s returning crash errors.
+func (m *Module) WriteFloat64sE(p *sim.Proc, addr Addr, src []float64) error {
 	m.checkTyped(addr, conv.Float64, 8, len(src))
 	i := 0
-	m.writeRegion(p, addr, 8*len(src), func(seg []byte, _ int) {
+	return m.writeRegion(p, addr, 8*len(src), func(seg []byte, _ int) {
 		for o := 0; o < len(seg); o += 8 {
 			conv.PutFloat64(m.arch, seg[o:], src[i])
 			i++
@@ -193,25 +271,37 @@ func (m *Module) WriteFloat64s(p *sim.Proc, addr Addr, src []float64) {
 // The stored form is the host-virtual address (base + offset); a stored
 // zero is the null pointer, reported by ok=false.
 func (m *Module) ReadPointer(p *sim.Proc, addr Addr) (Addr, bool) {
+	target, ok, err := m.ReadPointerE(p, addr)
+	m.mustOK(err)
+	return target, ok
+}
+
+// ReadPointerE is ReadPointer returning crash errors.
+func (m *Module) ReadPointerE(p *sim.Proc, addr Addr) (Addr, bool, error) {
 	m.checkTyped(addr, conv.Pointer, 4, 1)
 	var raw uint32
-	m.readRegion(p, addr, 4, func(seg []byte, _ int) {
+	err := m.readRegion(p, addr, 4, func(seg []byte, _ int) {
 		raw = conv.GetPointer(m.arch, seg)
 	})
-	if raw == 0 {
-		return 0, false
+	if err != nil || raw == 0 {
+		return 0, false, err
 	}
-	return Addr(raw - m.Base()), true
+	return Addr(raw - m.Base()), true, nil
 }
 
 // WritePointer stores a DSM pointer to target; ok=false stores null.
 func (m *Module) WritePointer(p *sim.Proc, addr Addr, target Addr, ok bool) {
+	m.mustOK(m.WritePointerE(p, addr, target, ok))
+}
+
+// WritePointerE is WritePointer returning crash errors.
+func (m *Module) WritePointerE(p *sim.Proc, addr Addr, target Addr, ok bool) error {
 	m.checkTyped(addr, conv.Pointer, 4, 1)
 	raw := uint32(0)
 	if ok {
 		raw = m.Base() + uint32(target)
 	}
-	m.writeRegion(p, addr, 4, func(seg []byte, _ int) {
+	return m.writeRegion(p, addr, 4, func(seg []byte, _ int) {
 		conv.PutPointer(m.arch, seg, raw)
 	})
 }
@@ -227,15 +317,24 @@ func (m *Module) WritePointer(p *sim.Proc, addr Addr, target Addr, ok bool) {
 // synchronization facility. The spinlock-vs-semaphore experiment uses
 // this to reproduce that comparison.
 func (m *Module) AtomicSwapInt32(p *sim.Proc, addr Addr, v int32) int32 {
+	old, err := m.AtomicSwapInt32E(p, addr, v)
+	m.mustOK(err)
+	return old
+}
+
+// AtomicSwapInt32E is AtomicSwapInt32 returning crash errors.
+func (m *Module) AtomicSwapInt32E(p *sim.Proc, addr Addr, v int32) (int32, error) {
 	m.checkTyped(addr, conv.Int32, 4, 1)
 	if m.cfg.Policy == PolicyCentral {
-		return m.centralSwap(p, addr, v)
+		return m.centralSwap(p, addr, v), nil
 	}
 	if m.cfg.Policy == PolicyUpdate {
 		panic("dsm: atomic operations are not defined under the write-update policy; use the distributed synchronization facility")
 	}
 	t0 := p.Now()
-	m.mustEnsureAccess(p, addr, 4, true)
+	if err := m.EnsureAccess(p, addr, 4, true); err != nil {
+		return 0, err
+	}
 	var old int32
 	m.forEachSpan(addr, 4, func(seg []byte, _ int) {
 		old = conv.GetInt32(m.arch, seg)
@@ -243,31 +342,41 @@ func (m *Module) AtomicSwapInt32(p *sim.Proc, addr Addr, v int32) int32 {
 		conv.PutInt32(m.arch, seg, v)
 		m.recordSC(p, sctrace.Write, t0, addr, seg)
 	})
-	return old
+	return old, nil
 }
 
 // ReadStruct copies the raw native bytes of count elements of a
 // user-registered compound type into buf (len must be count×size).
 // Field decoding is up to the caller via the conv helpers.
 func (m *Module) ReadStruct(p *sim.Proc, addr Addr, id conv.TypeID, buf []byte) {
+	m.mustOK(m.ReadStructE(p, addr, id, buf))
+}
+
+// ReadStructE is ReadStruct returning crash errors.
+func (m *Module) ReadStructE(p *sim.Proc, addr Addr, id conv.TypeID, buf []byte) error {
 	t := m.cfg.Registry.MustGet(id)
 	if len(buf)%t.Size != 0 {
 		panic(fmt.Sprintf("dsm: buffer of %d bytes not a multiple of %s size %d", len(buf), t.Name, t.Size))
 	}
 	m.checkTyped(addr, id, t.Size, len(buf)/t.Size)
-	m.readRegion(p, addr, len(buf), func(seg []byte, off int) {
+	return m.readRegion(p, addr, len(buf), func(seg []byte, off int) {
 		copy(buf[off:], seg)
 	})
 }
 
 // WriteStruct stores raw native bytes of a user-registered compound type.
 func (m *Module) WriteStruct(p *sim.Proc, addr Addr, id conv.TypeID, data []byte) {
+	m.mustOK(m.WriteStructE(p, addr, id, data))
+}
+
+// WriteStructE is WriteStruct returning crash errors.
+func (m *Module) WriteStructE(p *sim.Proc, addr Addr, id conv.TypeID, data []byte) error {
 	t := m.cfg.Registry.MustGet(id)
 	if len(data)%t.Size != 0 {
 		panic(fmt.Sprintf("dsm: buffer of %d bytes not a multiple of %s size %d", len(data), t.Name, t.Size))
 	}
 	m.checkTyped(addr, id, t.Size, len(data)/t.Size)
-	m.writeRegion(p, addr, len(data), func(seg []byte, off int) {
+	return m.writeRegion(p, addr, len(data), func(seg []byte, off int) {
 		copy(seg, data[off:])
 	})
 }

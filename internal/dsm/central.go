@@ -33,19 +33,33 @@ const (
 // as they would against a real application's access stream. Under the
 // central policy the bytes are fetched from each page's server, already
 // converted to this host's representation.
-func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) {
+//
+// Under failure detection the page-policy path returns the fault's
+// typed error (ErrHostDown, ErrPageLost) and stops at the first group
+// that cannot be made resident: a multi-group region access is not
+// atomic, so groups already consumed stay consumed. The central and
+// update policies predate fault tolerance and keep their hard-panic
+// contract.
+func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error {
 	if m.cfg.Policy != PolicyCentral {
 		off := 0
+		var ferr error
 		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
+			if ferr != nil {
+				return
+			}
 			t0 := p.Now()
-			m.mustEnsureAccess(p, chunkAddr, chunkLen, m.cfg.Policy == PolicyMigration)
+			if err := m.EnsureAccess(p, chunkAddr, chunkLen, m.cfg.Policy == PolicyMigration); err != nil {
+				ferr = err
+				return
+			}
 			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
 				fn(seg, off+o)
 				m.recordSC(p, sctrace.Read, t0, chunkAddr+Addr(o), seg)
 			})
 			off += chunkLen
 		})
-		return
+		return ferr
 	}
 	off := 0
 	end := int(addr) + n
@@ -60,28 +74,36 @@ func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, o
 		off += hi - pos
 		pos = hi
 	}
+	return nil
 }
 
 // writeRegion makes [addr, addr+n) writable and lets fill produce the
 // new bytes span by span, with the same per-group granularity as
 // readRegion.
-func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) {
+func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error {
 	if m.cfg.Policy == PolicyUpdate {
 		m.updateWriteRegion(p, addr, n, fill)
-		return
+		return nil
 	}
 	if m.cfg.Policy != PolicyCentral {
 		off := 0
+		var ferr error
 		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
+			if ferr != nil {
+				return
+			}
 			t0 := p.Now()
-			m.mustEnsureAccess(p, chunkAddr, chunkLen, true)
+			if err := m.EnsureAccess(p, chunkAddr, chunkLen, true); err != nil {
+				ferr = err
+				return
+			}
 			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
 				fill(seg, off+o)
 				m.recordSC(p, sctrace.Write, t0, chunkAddr+Addr(o), seg)
 			})
 			off += chunkLen
 		})
-		return
+		return ferr
 	}
 	off := 0
 	end := int(addr) + n
@@ -100,6 +122,7 @@ func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte
 		off += hi - pos
 		pos = hi
 	}
+	return nil
 }
 
 // forEachGroup splits [addr, addr+n) at native-VM-page-group boundaries

@@ -137,6 +137,9 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 	var writers []HostID
 	var holders []HostID
 	for _, m := range c.mods {
+		if m.crashed {
+			continue // a corpse's copies died with it
+		}
 		lp := m.local[page]
 		if lp == nil {
 			continue
@@ -181,8 +184,8 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 	// Manager-side invariants are asserted only when the page is
 	// quiescent: its transfer lock free, no confirmation outstanding.
 	mgrMod := c.byID(c.mods[0].manager(page))
-	if mgrMod == nil {
-		return
+	if mgrMod == nil || mgrMod.crashed {
+		return // the manager's records died with it (unavailable but isolated)
 	}
 	ent := mgrMod.mgr[page]
 	if ent == nil {
@@ -191,11 +194,28 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 	if ent.lock.Count() == 0 {
 		return // transfer transaction in flight: transient states allowed
 	}
+	if ent.suspect {
+		// The last transfer was never confirmed: the entry is known to be
+		// possibly ahead of reality until the next transaction reconciles
+		// it against the unconfirmed requester.
+		return
+	}
+	if ent.lost {
+		// A lost page must really be gone: any surviving copy means the
+		// manager gave up while a recovery source existed.
+		for _, h := range holders {
+			c.report(point, page, "page is declared lost but host %d still holds a copy", h)
+		}
+		return
+	}
 
 	owner := c.byID(ent.owner)
 	if owner == nil {
 		c.report(point, page, "manager %d records unknown owner %d", mgrMod.id, ent.owner)
 		return
+	}
+	if owner.crashed || mgrMod.deadHost(ent.owner) {
+		return // owner crashed: state is transient until the recovery sweep
 	}
 	if owner.Access(page) == NoAccess {
 		c.report(point, page, "owner %d holds no copy", ent.owner)

@@ -226,6 +226,16 @@ type mgrEntry struct {
 	confirmed    bool
 	confirmArmed bool
 	confirmW     sim.Waiter
+	// lost marks a page whose only copy died with its crashed owner;
+	// accesses fail with ErrPageLost (see recovery.go).
+	lost bool
+	// suspect marks an entry whose last transfer was never confirmed by
+	// a live requester (the forwarding owner may have crashed with the
+	// page in flight): the bookkeeping may not reflect who really holds
+	// the page. The next transaction reconciles by asking suspectHost
+	// (see recovery.go) before trusting the entry.
+	suspect     bool
+	suspectHost HostID
 }
 
 // Stats counts one host's DSM activity.
@@ -260,6 +270,10 @@ type Stats struct {
 	UpdateWrites   int
 	UpdatePushes   int
 	UpdatesApplied int
+	// PagesRecovered counts pages this manager re-owned after their
+	// owner crashed; PagesLost counts pages declared unrecoverable.
+	PagesRecovered int
+	PagesLost      int
 }
 
 // Module is one host's DSM engine.
@@ -293,6 +307,14 @@ type Module struct {
 	// material of thrashing diagnosis (§3.3's "detailed statistics of
 	// the numbers of page faults and transfers").
 	pageFetches map[PageNo]int
+
+	// liveness is the attached failure detector; nil (the default)
+	// means no failure detection: protocol failures panic and the
+	// fault-tolerance paths are unreachable.
+	liveness *Detector
+	// crashed marks this host as failed (crash-stop): its processes
+	// unwind at their next DSM interaction and its state is dead.
+	crashed bool
 }
 
 // New creates the DSM module for one host and registers its protocol
@@ -335,7 +357,42 @@ func New(k *sim.Kernel, ep *remoteop.Endpoint, cfg *Config, hosts []arch.Arch) (
 	ep.Handle(proto.KindRemoteWrite, m.handleRemoteWrite)
 	ep.Handle(proto.KindUpdateWrite, m.handleUpdateWrite)
 	ep.Handle(proto.KindApplyUpdate, m.handleApplyUpdate)
+	ep.Handle(proto.KindRecoverPage, m.handleRecoverPage)
 	return m, nil
+}
+
+// AttachLiveness connects a failure detector: dead hosts make calls
+// fail fast with typed errors, and every declared death triggers the
+// copyset recovery sweep on this host (see recovery.go).
+func (m *Module) AttachLiveness(d *Detector) {
+	m.liveness = d
+	d.OnDeath(m.onHostDeath)
+}
+
+// Crash marks this host as failed (crash-stop). Its processes unwind
+// at their next DSM or network interaction; its memory and manager
+// state are gone for protocol purposes. The caller (the cluster) also
+// downs the NIC and crashes the endpoint.
+func (m *Module) Crash() { m.crashed = true }
+
+// Crashed reports whether Crash has been called.
+func (m *Module) Crashed() bool { return m.crashed }
+
+// exitIfCrashed unwinds the calling process if this host has crashed:
+// a dead machine's threads simply cease.
+func (m *Module) exitIfCrashed(p *sim.Proc) {
+	if m.crashed {
+		p.Exit()
+	}
+}
+
+// Lost reports whether the page has been declared lost. It must only
+// be called on the page's manager host.
+func (m *Module) Lost(page PageNo) bool {
+	if ent := m.mgr[page]; ent != nil {
+		return ent.lost
+	}
+	return false
 }
 
 // ID returns the host this module serves.
@@ -352,6 +409,10 @@ func (m *Module) NumPages() int { return m.cfg.SpaceSize / m.cfg.PageSize }
 
 // PageOf returns the DSM page containing addr.
 func (m *Module) PageOf(addr Addr) PageNo { return PageNo(int(addr) / m.cfg.PageSize) }
+
+// Manager returns the fixed manager of a page — useful for tests and
+// fault harnesses that place work relative to a page's manager.
+func (m *Module) Manager(page PageNo) HostID { return m.manager(page) }
 
 // manager returns the fixed manager of a page: distributed round-robin
 // by default, or host 0 under the centralized-manager ablation.

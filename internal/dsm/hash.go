@@ -20,9 +20,15 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 	var buf [4]byte
 	put := func(v uint32) {
 		binary.LittleEndian.PutUint32(buf[:], v)
-		h.Write(buf[:])
+		h.Write(buf[:]) // vet:ignore err-drop — hash.Hash.Write never returns an error
 	}
 	put(uint32(m.id))
+	if m.crashed {
+		// A corpse's frozen tables are all alike: one flag word stands
+		// in for everything below.
+		put(0xdead_dead)
+		return
+	}
 
 	pages := make([]PageNo, 0, len(m.local))
 	for pg := range m.local { // vet:ignore map-order — sorted below
@@ -38,7 +44,8 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 			if mt, ok := m.meta[pg]; ok && mt.used <= len(lp.data) {
 				used = mt.used
 			}
-			h.Write(lp.data[:used]) // vet:ignore page-buffer — read-only fingerprint of the raw bytes
+			body := lp.data[:used] // vet:ignore page-buffer — read-only fingerprint of the raw bytes
+			h.Write(body)          // vet:ignore err-drop — hash.Hash.Write never returns an error
 		}
 	}
 
@@ -53,6 +60,13 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 		put(uint32(pg))
 		put(uint32(ent.owner))
 		put(uint32(ent.lock.Count())) // distinguishes in-flight from quiescent
+		if ent.lost {
+			put(0xdead_4c57) // "LOST": a lost page is its own protocol state
+		}
+		if ent.suspect {
+			put(0x5b5_bec7) // "SUSPECT": unconfirmed transfer awaiting reconciliation
+			put(uint32(ent.suspectHost))
+		}
 		for _, hID := range copysetList(ent) {
 			put(uint32(hID))
 		}

@@ -45,6 +45,10 @@ const (
 	// without invoking the conversion routine, leaving foreign-format
 	// bytes behind (§2.3's corruption scenario).
 	MutSkipConversion
+	// MutForgetRecovery makes a manager skip the copyset re-own after an
+	// owner crash: the page stays wedged at its dead owner and every
+	// later access times out instead of recovering.
+	MutForgetRecovery
 
 	numMutations
 )
@@ -79,6 +83,8 @@ func (mu Mutation) String() string {
 		return "alloc-overrun"
 	case MutSkipConversion:
 		return "skip-conversion"
+	case MutForgetRecovery:
+		return "forget-recovery"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(mu))
 	}

@@ -1,11 +1,13 @@
 package dsm
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/arch"
 	"repro/internal/bufpool"
 	"repro/internal/proto"
+	"repro/internal/remoteop"
 	"repro/internal/sim"
 )
 
@@ -16,7 +18,14 @@ const (
 	// flagUpgrade marks a write grant without data: the requester's
 	// resident read copy is current and may simply be upgraded.
 	flagUpgrade
+	// flagLost marks a reply for a page whose only copy died with its
+	// crashed owner: the fault fails with ErrPageLost.
+	flagLost
 )
+
+// faultRetries bounds how many times a fault whose transaction aborted
+// mid-crash is re-issued before the page is reported unreachable.
+const faultRetries = 3
 
 // EnsureAccess makes [addr, addr+n) accessible with the given right,
 // faulting in whatever is missing. Faulting granularity is the host's
@@ -28,11 +37,17 @@ const (
 // (including one whose addr+n wraps the 32-bit address) is rejected
 // with an error before any protocol traffic.
 //
+// Under failure detection, a fault that cannot complete because of a
+// host crash returns a typed error: ErrHostDown when the page's
+// manager (or every possible source) has crashed, ErrPageLost when the
+// page's only copy died with its owner.
+//
 // The loop re-checks after fetching because a page obtained early in a
 // multi-page fault can be stolen while later ones are fetched; repeated
 // iterations under contention are precisely the page-thrashing behaviour
 // studied in §3.3.
 func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) error {
+	m.exitIfCrashed(p)
 	for {
 		pages, err := m.requiredPages(addr, n)
 		if err != nil {
@@ -59,7 +74,9 @@ func (m *Module) EnsureAccess(p *sim.Proc, addr Addr, n int, write bool) error {
 			p.Sleep(m.jittered(m.cfg.Params.FaultRead.Of(m.arch.Kind)))
 		}
 		for _, pg := range missing {
-			m.faultPage(p, pg, write)
+			if err := m.faultPage(p, pg, write); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -106,23 +123,50 @@ func (m *Module) requiredPages(addr Addr, n int) ([]PageNo, error) {
 	return pages, nil
 }
 
+// callFailed classifies a protocol call failure. Without failure
+// detection it is a simulation bug and panics, exactly as before the
+// fault-tolerance work; with detection it becomes an error the fault
+// machinery retries or aborts on.
+func (m *Module) callFailed(err error, format string, args ...any) error {
+	if m.liveness == nil {
+		panic(fmt.Sprintf("dsm: "+format+": %v", append(args, err)...))
+	}
+	return fmt.Errorf(format+": %w", append(args, err)...)
+}
+
 // faultPage obtains one DSM page with the requested right. Concurrent
 // threads on the same host faulting on the same page are serialized so
-// the protocol runs once.
-func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) {
+// the protocol runs once. Under failure detection, transient failures
+// (a transaction aborted by a mid-transfer crash) are retried a bounded
+// number of times — giving detection and recovery one request timeout
+// to converge per attempt — before the page is reported down.
+func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) error {
 	l := m.faultLockFor(page)
 	l.P(p)
 	// Deferred before the lock release so it runs after it (LIFO): the
 	// checker sees the page with the fault fully serviced.
 	defer m.checkpoint("fault-serviced", page)
 	defer l.V()
-	if m.hasAccess(page, write) {
-		return // another local thread fetched it meanwhile
-	}
-	if m.manager(page) == m.id {
-		m.localManagerFault(p, page, write)
-	} else {
-		m.remoteFault(p, page, write)
+	for attempt := 0; ; attempt++ {
+		if m.hasAccess(page, write) {
+			return nil // another local thread fetched it meanwhile
+		}
+		var err error
+		if m.manager(page) == m.id {
+			err = m.localManagerFault(p, page, write)
+		} else {
+			err = m.remoteFault(p, page, write)
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrPageLost) || errors.Is(err, ErrHostDown) {
+			return err
+		}
+		if attempt >= faultRetries {
+			return fmt.Errorf("%w: page %d fault kept failing: %v", ErrHostDown, page, err)
+		}
+		p.Sleep(m.cfg.Params.RequestTimeout)
 	}
 }
 
@@ -131,28 +175,46 @@ func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) {
 // upgrade grant) or, forwarded, from the owner (the page body). After
 // installation the manager is asynchronously told the transfer is
 // complete so it can admit the next transaction for the page.
-func (m *Module) remoteFault(p *sim.Proc, page PageNo, write bool) {
+func (m *Module) remoteFault(p *sim.Proc, page PageNo, write bool) error {
 	kind := proto.KindGetPage
 	if write {
 		kind = proto.KindGetPageWrite
 	}
-	resp, err := m.ep.Call(p, m.manager(page), &proto.Message{Kind: kind, Page: uint32(page)})
+	mgrHost := m.manager(page)
+	resp, err := m.ep.Call(p, mgrHost, &proto.Message{Kind: kind, Page: uint32(page)})
 	if err != nil {
-		panic(fmt.Sprintf("dsm: host %d page %d fault: %v", m.id, page, err))
+		if m.liveness == nil {
+			panic(fmt.Sprintf("dsm: host %d page %d fault: %v", m.id, page, err))
+		}
+		if errors.Is(err, remoteop.ErrPeerDead) {
+			// The manager itself crashed: its page range is unavailable
+			// but isolated — other ranges keep working.
+			return hostDownErr(mgrHost, "page %d's manager crashed", page)
+		}
+		return fmt.Errorf("page %d fault unanswered by manager %d: %w", page, mgrHost, err)
+	}
+	if resp.Arg(0)&flagLost != 0 {
+		bufpool.Put(resp.TakeWire())
+		return pageLostErr(page)
 	}
 	m.installBody(p, page, resp, write)
-	mgrHost := m.manager(page)
 	m.k.Spawn(fmt.Sprintf("confirm-%d-p%d", m.id, page), func(cp *sim.Proc) {
 		if _, err := m.ep.Call(cp, mgrHost, &proto.Message{Kind: proto.KindOwnerUpdate, Page: uint32(page)}); err != nil {
-			panic(fmt.Sprintf("dsm: host %d confirming page %d: %v", m.id, page, err))
+			if m.liveness == nil {
+				panic(fmt.Sprintf("dsm: host %d confirming page %d: %v", m.id, page, err))
+			}
+			// The manager died before hearing the confirmation; the
+			// recovery sweep rebuilds its successor state, so the loss
+			// is harmless.
 		}
 	})
+	return nil
 }
 
 // localManagerFault is the requester side when this host is the page's
 // manager: the owner lookup is a local page table access (Table 4's
 // R/M→O row has no manager message cost).
-func (m *Module) localManagerFault(p *sim.Proc, page PageNo, write bool) {
+func (m *Module) localManagerFault(p *sim.Proc, page PageNo, write bool) error {
 	ent := m.mgrEntryFor(page)
 	ent.lock.P(p)
 	defer ent.lock.V()
@@ -160,12 +222,28 @@ func (m *Module) localManagerFault(p *sim.Proc, page PageNo, write bool) {
 	// the zero-filled page with write access (Li's initialization), so
 	// the first touch of a self-managed page is satisfied right here.
 	if m.hasAccess(page, write) {
-		return
+		return nil
+	}
+	if ent.suspect {
+		if err := m.reconcileSuspect(p, page, ent); err != nil {
+			return err
+		}
+	}
+	if m.liveness != nil && !ent.lost && ent.owner != m.id && m.liveness.Dead(ent.owner) {
+		m.recoverPage(p, page, ent)
+	}
+	if ent.lost {
+		return pageLostErr(page)
+	}
+	if m.hasAccess(page, write) {
+		return nil // recovery installed exactly what this fault needed
 	}
 	if write {
 		hasCopy := m.hasAccess(page, false)
 		targets := m.invalidationTargets(ent, m.id, hasCopy)
-		m.sendInvalidations(p, page, targets)
+		if err := m.sendInvalidations(p, page, targets); err != nil {
+			return err
+		}
 		if ent.owner == m.id || hasCopy {
 			lp := m.localPageFor(page)
 			lp.access = WriteAccess
@@ -174,7 +252,7 @@ func (m *Module) localManagerFault(p *sim.Proc, page PageNo, write bool) {
 		} else {
 			resp, err := m.ep.Call(p, ent.owner, &proto.Message{Kind: proto.KindGetPageWrite, Page: uint32(page)})
 			if err != nil {
-				panic(fmt.Sprintf("dsm: manager %d fetching page %d from owner %d: %v", m.id, page, ent.owner, err))
+				return m.callFailed(err, "manager %d fetching page %d from owner %d", m.id, page, ent.owner)
 			}
 			m.installBody(p, page, resp, true)
 		}
@@ -189,23 +267,25 @@ func (m *Module) localManagerFault(p *sim.Proc, page PageNo, write bool) {
 		}
 		resp, err := m.ep.Call(p, src, &proto.Message{Kind: proto.KindGetPage, Page: uint32(page)})
 		if err != nil {
-			panic(fmt.Sprintf("dsm: manager %d fetching page %d from %d: %v", m.id, page, src, err))
+			return m.callFailed(err, "manager %d fetching page %d from %d", m.id, page, src)
 		}
 		m.installBody(p, page, resp, false)
 		ent.copyset[m.id] = struct{}{}
 	}
+	return nil
 }
 
 // handleGetPage serves KindGetPage and KindGetPageWrite. On the page's
 // manager it runs the transfer transaction; on any other host it is a
 // forwarded request to the owner (or, for reads, to a same-type holder).
 func (m *Module) handleGetPage(p *sim.Proc, req *proto.Message) {
+	m.exitIfCrashed(p)
 	page := PageNo(req.Page)
 	write := req.Kind == proto.KindGetPageWrite
 	if m.manager(page) != m.id {
 		// A direct request from the page's manager (the R==M fast
 		// path): serve straight back to it.
-		m.serveCopy(p, page, write, HostID(req.From), req.ReqID)
+		_ = m.serveCopy(p, page, write, HostID(req.From), req.ReqID) // vet:ignore err-drop — the requester times out and re-faults
 		return
 	}
 	requester := HostID(req.From)
@@ -216,34 +296,64 @@ func (m *Module) handleGetPage(p *sim.Proc, req *proto.Message) {
 	defer m.checkpoint("transfer-complete", page)
 	defer ent.lock.V()
 	m.protoCPU.Use(p, m.jittered(m.cfg.Params.ManagerProcess.Of(m.arch.Kind)))
-	ent.confirmed = false
-	if write {
-		m.writeTransaction(p, req, page, ent, requester)
-	} else {
-		m.readTransaction(p, req, page, ent, requester)
+	if ent.suspect {
+		if err := m.reconcileSuspect(p, page, ent); err != nil {
+			return // requester times out and re-faults
+		}
 	}
-	m.awaitConfirm(p, ent)
+	if m.liveness != nil && !ent.lost && ent.owner != m.id && m.liveness.Dead(ent.owner) {
+		m.recoverPage(p, page, ent)
+	}
+	if ent.lost {
+		// Redeem the requester's call with a lost marker so the fault
+		// fails fast with ErrPageLost instead of timing out.
+		_ = m.deliver(p, requester, &proto.Message{ // vet:ignore err-drop — the requester may have died too
+			Kind: proto.KindPageDeliver,
+			Page: uint32(page),
+			Args: []uint32{flagLost, req.ReqID},
+		})
+		return
+	}
+	ent.confirmed = false
+	var err error
+	if write {
+		err = m.writeTransaction(p, req, page, ent, requester)
+	} else {
+		err = m.readTransaction(p, req, page, ent, requester)
+	}
+	if err != nil {
+		// A host died mid-transaction: abort without touching the
+		// bookkeeping; the requester times out and re-faults after
+		// detection and recovery converge.
+		return
+	}
+	m.awaitConfirm(p, ent, requester)
 }
 
-func (m *Module) readTransaction(p *sim.Proc, req *proto.Message, page PageNo, ent *mgrEntry, requester HostID) {
+func (m *Module) readTransaction(p *sim.Proc, req *proto.Message, page PageNo, ent *mgrEntry, requester HostID) error {
 	src := m.readSource(ent, requester)
 	if src == m.id {
-		m.serveCopy(p, page, false, requester, req.ReqID)
+		if err := m.serveCopy(p, page, false, requester, req.ReqID); err != nil {
+			return err
+		}
 	} else {
 		p.Sleep(m.cfg.Params.ForwardCost.Of(m.arch.Kind))
-		m.forwardServe(p, src, page, false, requester, req.ReqID)
+		if err := m.forwardServe(p, src, page, false, requester, req.ReqID); err != nil {
+			return err
+		}
 	}
 	if m.cfg.Mutation == MutDropCopyset {
-		return // injected bug: the new reader is never invalidated
+		return nil // injected bug: the new reader is never invalidated
 	}
 	ent.copyset[requester] = struct{}{}
+	return nil
 }
 
 // forwardServe reliably hands the serving job to src: a ServeRequest
 // call that src acknowledges on receipt (it then delivers the page to
 // the requester with its own reliable call). Unlike a one-way forward,
 // a lost hop is retransmitted rather than deadlocking the transaction.
-func (m *Module) forwardServe(p *sim.Proc, src HostID, page PageNo, write bool, requester HostID, origReqID uint32) {
+func (m *Module) forwardServe(p *sim.Proc, src HostID, page PageNo, write bool, requester HostID, origReqID uint32) error {
 	w := uint32(0)
 	if write {
 		w = 1
@@ -253,31 +363,52 @@ func (m *Module) forwardServe(p *sim.Proc, src HostID, page PageNo, write bool, 
 		Page: uint32(page),
 		Args: []uint32{uint32(requester), origReqID, w},
 	}); err != nil {
-		panic(fmt.Sprintf("dsm: manager %d forwarding page %d to %d: %v", m.id, page, src, err))
+		return m.callFailed(err, "manager %d forwarding page %d to %d", m.id, page, src)
 	}
+	return nil
 }
 
-func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, ent *mgrEntry, requester HostID) {
+func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, ent *mgrEntry, requester HostID) error {
 	requesterHasCopy := ent.owner == requester
 	if _, ok := ent.copyset[requester]; ok {
 		requesterHasCopy = true
 	}
 	targets := m.invalidationTargets(ent, requester, requesterHasCopy)
-	m.sendInvalidations(p, page, targets)
+	if err := m.sendInvalidations(p, page, targets); err != nil {
+		return err
+	}
 	switch {
 	case requesterHasCopy:
 		// The requester's resident copy is current: grant an upgrade
 		// without a transfer (invalidations above removed all others).
-		m.deliver(p, requester, &proto.Message{
+		if err := m.deliver(p, requester, &proto.Message{
 			Kind: proto.KindPageDeliver,
 			Page: uint32(page),
 			Args: []uint32{flagUpgrade, req.ReqID},
-		})
+		}); err != nil {
+			// The grant never landed — but the invalidation round above
+			// already destroyed every other copy (the old owner's
+			// included), so the requester's resident copy IS the page
+			// now. Commit the handoff before aborting, or the entry
+			// keeps naming an owner who holds nothing: a live requester
+			// re-faults and upgrades again; a dead one is re-owned or
+			// declared lost by the recovery sweep.
+			if m.cfg.Mutation != MutStaleOwner {
+				ent.owner = requester
+			}
+			clear(ent.copyset)
+			ent.copyset[requester] = struct{}{}
+			return err
+		}
 	case ent.owner == m.id:
-		m.serveCopy(p, page, true, requester, req.ReqID)
+		if err := m.serveCopy(p, page, true, requester, req.ReqID); err != nil {
+			return err
+		}
 	default:
 		p.Sleep(m.cfg.Params.ForwardCost.Of(m.arch.Kind))
-		m.forwardServe(p, ent.owner, page, true, requester, req.ReqID)
+		if err := m.forwardServe(p, ent.owner, page, true, requester, req.ReqID); err != nil {
+			return err
+		}
 	}
 	if m.cfg.Mutation != MutStaleOwner {
 		// Injected bug when skipped: the owner field keeps pointing at
@@ -286,6 +417,7 @@ func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, 
 	}
 	clear(ent.copyset)
 	ent.copyset[requester] = struct{}{}
+	return nil
 }
 
 // invalidationTargets computes who must drop their copy before a write
@@ -320,9 +452,12 @@ func (m *Module) invalidationTargets(ent *mgrEntry, requester HostID, requesterU
 // travels in the message so bystanders stay silent. Copysets too large
 // for the argument list (or the unicast ablation) fall back to
 // individual calls. The local copy, if targeted, is dropped directly.
-func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) {
+// Under failure detection, crashed targets are skipped — their copies
+// died with them — including targets that die mid-round, in which case
+// the round is re-issued to the survivors.
+func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) error {
 	if m.cfg.Mutation == MutSkipInvalidation {
-		return // injected coherence bug: readers keep stale copies
+		return nil // injected coherence bug: readers keep stale copies
 	}
 	remote := targets[:0:0]
 	for _, h := range targets {
@@ -334,28 +469,55 @@ func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) {
 		}
 		remote = append(remote, h)
 	}
-	if len(remote) == 0 {
-		return
-	}
-	m.stats.InvalidationsSent += len(remote)
-	var err error
-	if m.cfg.UnicastInvalidate || len(remote) > proto.MaxArgs {
-		_, err = m.ep.CallAll(p, remote, func(HostID) *proto.Message {
-			return &proto.Message{Kind: proto.KindInvalidate, Page: uint32(page)}
-		})
-	} else {
-		args := make([]uint32, len(remote))
-		for i, h := range remote {
-			args[i] = uint32(h)
+	for {
+		if m.liveness != nil {
+			live := remote[:0]
+			for _, h := range remote {
+				if !m.liveness.Dead(h) {
+					live = append(live, h)
+				}
+			}
+			remote = live
 		}
-		_, err = m.ep.CallMulticast(p, remote, &proto.Message{
-			Kind: proto.KindInvalidate,
-			Page: uint32(page),
-			Args: args,
-		})
-	}
-	if err != nil {
-		panic(fmt.Sprintf("dsm: host %d invalidating page %d: %v", m.id, page, err))
+		if len(remote) == 0 {
+			return nil
+		}
+		m.stats.InvalidationsSent += len(remote)
+		var err error
+		if m.cfg.UnicastInvalidate || len(remote) > proto.MaxArgs {
+			_, err = m.ep.CallAll(p, remote, func(HostID) *proto.Message {
+				return &proto.Message{Kind: proto.KindInvalidate, Page: uint32(page)}
+			})
+		} else {
+			args := make([]uint32, len(remote))
+			for i, h := range remote {
+				args[i] = uint32(h)
+			}
+			_, err = m.ep.CallMulticast(p, remote, &proto.Message{
+				Kind: proto.KindInvalidate,
+				Page: uint32(page),
+				Args: args,
+			})
+		}
+		if err == nil {
+			return nil
+		}
+		if m.liveness == nil {
+			panic(fmt.Sprintf("dsm: host %d invalidating page %d: %v", m.id, page, err))
+		}
+		// A target died mid-round: its copy died with it. Re-filter and
+		// repeat for the survivors; if everyone still looks alive the
+		// failure is real.
+		stillDead := false
+		for _, h := range remote {
+			if m.liveness.Dead(h) {
+				stillDead = true
+				break
+			}
+		}
+		if !stillDead {
+			return fmt.Errorf("host %d invalidating page %d: %w", m.id, page, err)
+		}
 	}
 }
 
@@ -380,7 +542,7 @@ func (m *Module) readSource(ent *mgrEntry, requester HostID) HostID {
 			best = h
 		}
 	}
-	if best != -1 {
+	if best != -1 && !m.deadHost(best) {
 		return best
 	}
 	return src
@@ -390,10 +552,18 @@ func (m *Module) readSource(ent *mgrEntry, requester HostID) HostID {
 // requester as a reliable PageDeliver call that redeems the requester's
 // outstanding fault request. For writes, ownership leaves with the data
 // and the local copy is invalidated; for reads, the local copy is
-// downgraded to read-only (MRSW).
-func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostID, origReqID uint32) {
+// downgraded to read-only (MRSW). If the delivery fails because the
+// requester crashed, the previous access right is restored — the
+// transfer never happened, and the copy survives for recovery.
+func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostID, origReqID uint32) error {
 	lp := m.local[page]
 	if lp == nil || lp.access == NoAccess {
+		if m.liveness != nil {
+			// An aborted transfer or a crash-truncated invalidation can
+			// leave the manager pointing here without a copy; let the
+			// requester time out and re-fault after recovery.
+			return fmt.Errorf("host %d asked to serve page %d it does not hold", m.id, page)
+		}
 		panic(fmt.Sprintf("dsm: host %d asked to serve page %d it does not hold (access %v)",
 			m.id, page, m.Access(page)))
 	}
@@ -407,6 +577,7 @@ func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostI
 	// be recycled as soon as deliver returns.
 	data := bufpool.Get(used)
 	copy(data, lp.data[:used])
+	prev := lp.access
 	switch {
 	case m.cfg.Mutation == MutDoubleWriterGrant:
 		// Injected bug: keep the local copy (and right) the transfer
@@ -416,30 +587,37 @@ func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostI
 	default:
 		lp.access = ReadAccess
 	}
-	m.stats.PagesServed++
-	m.trace("serve", page)
-	m.deliver(p, requester, &proto.Message{
+	err := m.deliver(p, requester, &proto.Message{
 		Kind: proto.KindPageDeliver,
 		Page: uint32(page),
 		Args: []uint32{flagData, origReqID},
 		Data: data,
 	})
 	bufpool.Put(data)
+	if err != nil {
+		lp.access = prev // the transfer never completed; keep the copy
+		return err
+	}
+	m.stats.PagesServed++
+	m.trace("serve", page)
+	return nil
 }
 
 // deliver sends a PageDeliver call and waits for its acknowledgement.
-func (m *Module) deliver(p *sim.Proc, requester HostID, msg *proto.Message) {
+func (m *Module) deliver(p *sim.Proc, requester HostID, msg *proto.Message) error {
 	if _, err := m.ep.Call(p, requester, msg); err != nil {
-		panic(fmt.Sprintf("dsm: host %d delivering page %d to %d: %v", m.id, msg.Page, requester, err))
+		return m.callFailed(err, "host %d delivering page %d to %d", m.id, msg.Page, requester)
 	}
+	return nil
 }
 
 // handleServeRequest is the serving host's side of a manager forward:
 // acknowledge receipt (so the manager's call completes), then deliver
 // the page to the requester.
 func (m *Module) handleServeRequest(p *sim.Proc, req *proto.Message) {
+	m.exitIfCrashed(p)
 	m.ep.Reply(p, req, &proto.Message{Kind: proto.KindServeAck, Page: req.Page})
-	m.serveCopy(p, PageNo(req.Page), req.Arg(2) == 1, HostID(req.Arg(0)), req.Arg(1))
+	_ = m.serveCopy(p, PageNo(req.Page), req.Arg(2) == 1, HostID(req.Arg(0)), req.Arg(1)) // vet:ignore err-drop — the requester times out and re-faults
 }
 
 // handlePageDeliver receives a page body (or upgrade grant) on the
@@ -509,13 +687,39 @@ func (m *Module) installBody(p *sim.Proc, page PageNo, resp *proto.Message, writ
 	m.checkpoint("page-installed", page)
 }
 
+// confirmPatience bounds how many suspicion-timeout rounds a manager
+// transaction waits for the requester's installation confirmation. A
+// live requester can legitimately never confirm: the *forwarding owner*
+// may have crashed after acknowledging the serve order but before
+// delivering the page, so the requester never installed anything and is
+// itself waiting — on the very transaction lock this wait holds. Waiting
+// forever would deadlock the page; after confirmPatience rounds the
+// transaction gives up and marks the entry suspect, and the next
+// transaction reconciles the bookkeeping against reality (recovery.go).
+const confirmPatience = 3
+
 // awaitConfirm parks the manager transaction until the requester reports
 // the page installed, keeping per-page transactions strictly serial.
-func (m *Module) awaitConfirm(p *sim.Proc, ent *mgrEntry) {
-	for !ent.confirmed {
+// Under failure detection the park carries a timeout: a requester that
+// crashes mid-transfer would otherwise wedge the page's transaction
+// lock forever, blocking recovery itself.
+func (m *Module) awaitConfirm(p *sim.Proc, ent *mgrEntry, requester HostID) {
+	for rounds := 0; !ent.confirmed; rounds++ {
+		if m.deadHost(requester) {
+			return // requester died mid-transfer; recovery rebuilds the entry
+		}
+		if m.liveness != nil && rounds >= confirmPatience {
+			ent.suspect = true
+			ent.suspectHost = requester
+			return
+		}
 		ent.confirmW = p.PrepareWait()
 		ent.confirmArmed = true
-		p.Park()
+		if m.liveness != nil {
+			p.ParkTimeout(m.cfg.Params.SuspicionTimeout)
+		} else {
+			p.Park()
+		}
 		ent.confirmArmed = false
 	}
 }
@@ -526,6 +730,9 @@ func (m *Module) handleOwnerUpdate(p *sim.Proc, req *proto.Message) {
 	if m.manager(page) == m.id {
 		ent := m.mgrEntryFor(page)
 		ent.confirmed = true
+		// A confirmation that arrives after the transaction gave up
+		// waiting settles the doubt: the transfer did land.
+		ent.suspect = false
 		if ent.confirmArmed {
 			ent.confirmArmed = false
 			m.k.Wake(ent.confirmW, sim.WakeSignal)

@@ -85,6 +85,21 @@ type Service struct {
 	sems     map[uint32]*semState
 	events   map[uint32]*eventState
 	barriers map[uint32]*barrierState
+
+	crashed bool
+}
+
+// Crash marks this host's service failed: handler processes unwind at
+// their next activation and primitives it managed stay silent forever
+// (crash-stop).
+func (s *Service) Crash() { s.crashed = true }
+
+// mustOK keeps the plain primitives' historical contract: without
+// failure detection a synchronization failure is a simulation bug.
+func mustOK(op string, id uint32, err error) {
+	if err != nil {
+		panic(fmt.Sprintf("dsync: %s(%d): %v", op, id, err))
+	}
 }
 
 // New creates a host's synchronization service and registers handlers.
@@ -218,7 +233,11 @@ func parkLocal(p *sim.Proc, list *[]grantee) {
 // --- Semaphores ---
 
 // P acquires one unit of semaphore id, blocking until granted.
-func (s *Service) P(p *sim.Proc, id uint32) {
+func (s *Service) P(p *sim.Proc, id uint32) { mustOK("P", id, s.PE(p, id)) }
+
+// PE is P returning an error when the semaphore's manager host has
+// crashed (the primitive is gone with it) instead of blocking forever.
+func (s *Service) PE(p *sim.Proc, id uint32) error {
 	d, ok := s.defsSem[id]
 	if !ok {
 		panic(fmt.Sprintf("dsync: semaphore %d not defined", id))
@@ -227,33 +246,40 @@ func (s *Service) P(p *sim.Proc, id uint32) {
 		st := s.sems[id]
 		if st.count > 0 {
 			st.count--
-			return
+			return nil
 		}
 		parkLocal(p, &st.waiters)
-		return
+		return nil
 	}
-	s.ep.CallBlocking(p, d.manager, &proto.Message{
+	if _, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
 		Kind: proto.KindSemOp,
 		Args: []uint32{id, opSemP},
-	})
+	}); err != nil {
+		return fmt.Errorf("semaphore %d died with its manager %d: %w", id, d.manager, err)
+	}
+	return nil
 }
 
 // V releases one unit of semaphore id, waking the oldest waiter.
-func (s *Service) V(p *sim.Proc, id uint32) {
+func (s *Service) V(p *sim.Proc, id uint32) { mustOK("V", id, s.VE(p, id)) }
+
+// VE is V returning crash errors.
+func (s *Service) VE(p *sim.Proc, id uint32) error {
 	d, ok := s.defsSem[id]
 	if !ok {
 		panic(fmt.Sprintf("dsync: semaphore %d not defined", id))
 	}
 	if d.manager == s.id {
 		s.semV(p, s.sems[id])
-		return
+		return nil
 	}
 	if _, err := s.ep.Call(p, d.manager, &proto.Message{
 		Kind: proto.KindSemOp,
 		Args: []uint32{id, opSemV},
 	}); err != nil {
-		panic(fmt.Sprintf("dsync: V(%d): %v", id, err))
+		return fmt.Errorf("semaphore %d died with its manager %d: %w", id, d.manager, err)
 	}
+	return nil
 }
 
 func (s *Service) semV(p *sim.Proc, st *semState) {
@@ -267,6 +293,9 @@ func (s *Service) semV(p *sim.Proc, st *semState) {
 }
 
 func (s *Service) handleSemOp(p *sim.Proc, req *proto.Message) {
+	if s.crashed {
+		p.Exit()
+	}
 	p.Sleep(s.params.SyncProcess.Of(s.kind))
 	st := s.sems[req.Arg(0)]
 	if st == nil {
@@ -291,7 +320,10 @@ func (s *Service) handleSemOp(p *sim.Proc, req *proto.Message) {
 // --- Events ---
 
 // EventWait blocks until event id is set.
-func (s *Service) EventWait(p *sim.Proc, id uint32) {
+func (s *Service) EventWait(p *sim.Proc, id uint32) { mustOK("EventWait", id, s.EventWaitE(p, id)) }
+
+// EventWaitE is EventWait returning crash errors.
+func (s *Service) EventWaitE(p *sim.Proc, id uint32) error {
 	d, ok := s.defsEvent[id]
 	if !ok {
 		panic(fmt.Sprintf("dsync: event %d not defined", id))
@@ -299,33 +331,40 @@ func (s *Service) EventWait(p *sim.Proc, id uint32) {
 	if d.manager == s.id {
 		st := s.events[id]
 		if st.set {
-			return
+			return nil
 		}
 		parkLocal(p, &st.waiters)
-		return
+		return nil
 	}
-	s.ep.CallBlocking(p, d.manager, &proto.Message{
+	if _, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
 		Kind: proto.KindEventOp,
 		Args: []uint32{id, opEventWait},
-	})
+	}); err != nil {
+		return fmt.Errorf("event %d died with its manager %d: %w", id, d.manager, err)
+	}
+	return nil
 }
 
 // EventSet sets event id, releasing all waiters.
-func (s *Service) EventSet(p *sim.Proc, id uint32) {
+func (s *Service) EventSet(p *sim.Proc, id uint32) { mustOK("EventSet", id, s.EventSetE(p, id)) }
+
+// EventSetE is EventSet returning crash errors.
+func (s *Service) EventSetE(p *sim.Proc, id uint32) error {
 	d, ok := s.defsEvent[id]
 	if !ok {
 		panic(fmt.Sprintf("dsync: event %d not defined", id))
 	}
 	if d.manager == s.id {
 		s.eventSet(p, s.events[id])
-		return
+		return nil
 	}
 	if _, err := s.ep.Call(p, d.manager, &proto.Message{
 		Kind: proto.KindEventOp,
 		Args: []uint32{id, opEventSet},
 	}); err != nil {
-		panic(fmt.Sprintf("dsync: EventSet(%d): %v", id, err))
+		return fmt.Errorf("event %d died with its manager %d: %w", id, d.manager, err)
 	}
+	return nil
 }
 
 func (s *Service) eventSet(p *sim.Proc, st *eventState) {
@@ -337,6 +376,9 @@ func (s *Service) eventSet(p *sim.Proc, st *eventState) {
 }
 
 func (s *Service) handleEventOp(p *sim.Proc, req *proto.Message) {
+	if s.crashed {
+		p.Exit()
+	}
 	p.Sleep(s.params.SyncProcess.Of(s.kind))
 	st := s.events[req.Arg(0)]
 	if st == nil {
@@ -362,6 +404,11 @@ func (s *Service) handleEventOp(p *sim.Proc, req *proto.Message) {
 // BarrierArrive announces arrival at barrier id and blocks until all
 // participants have arrived; the barrier then resets for reuse.
 func (s *Service) BarrierArrive(p *sim.Proc, id uint32) {
+	mustOK("BarrierArrive", id, s.BarrierArriveE(p, id))
+}
+
+// BarrierArriveE is BarrierArrive returning crash errors.
+func (s *Service) BarrierArriveE(p *sim.Proc, id uint32) error {
 	d, ok := s.defsBarrier[id]
 	if !ok {
 		panic(fmt.Sprintf("dsync: barrier %d not defined", id))
@@ -375,18 +422,24 @@ func (s *Service) BarrierArrive(p *sim.Proc, id uint32) {
 				s.release(p, g, proto.KindBarrierReply)
 			}
 			st.waiters = nil
-			return
+			return nil
 		}
 		parkLocal(p, &st.waiters)
-		return
+		return nil
 	}
-	s.ep.CallBlocking(p, d.manager, &proto.Message{
+	if _, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
 		Kind: proto.KindBarrierOp,
 		Args: []uint32{id},
-	})
+	}); err != nil {
+		return fmt.Errorf("barrier %d died with its manager %d: %w", id, d.manager, err)
+	}
+	return nil
 }
 
 func (s *Service) handleBarrierOp(p *sim.Proc, req *proto.Message) {
+	if s.crashed {
+		p.Exit()
+	}
 	p.Sleep(s.params.SyncProcess.Of(s.kind))
 	st := s.barriers[req.Arg(0)]
 	if st == nil {

@@ -25,8 +25,11 @@ import (
 //     member is always the requester itself); "ring"'s third-party
 //     write invalidates host 1's replica remotely.
 //   - unsequenced-update mutates the write-update policy's sequencer,
-//     so it needs the "update" workload; every other mutation targets
-//     the MRSW invalidate path that "basic" exercises.
+//     so it needs the "update" workload; forget-recovery mutates the
+//     copyset re-own after an owner crash, which only the "crash"
+//     workload (failure detection on, a host actually dying) reaches —
+//     every other mutation targets the MRSW invalidate path that
+//     "basic" exercises.
 var killPlan = map[dsm.Mutation]string{
 	dsm.MutSkipInvalidation:  "basic",
 	dsm.MutDropCopyset:       "ring",
@@ -36,6 +39,7 @@ var killPlan = map[dsm.Mutation]string{
 	dsm.MutDoubleWriterGrant: "basic",
 	dsm.MutAllocOverrun:      "basic",
 	dsm.MutSkipConversion:    "basic",
+	dsm.MutForgetRecovery:    "crash",
 }
 
 // KillResult records one mutation's fate.

@@ -60,6 +60,29 @@ func TestDFSClean(t *testing.T) {
 	}
 }
 
+// TestCrashWorkloadCleanDFS explores crash placements around the
+// ownership transfer on the unmutated protocol: wherever the owner
+// dies — before, after, or between any two steps of the handoff —
+// detection plus copyset recovery must leave every oracle silent.
+func TestCrashWorkloadCleanDFS(t *testing.T) {
+	budget := 120
+	if testing.Short() {
+		budget = 25
+	}
+	w, err := Lookup("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunDFS(w, dsm.MutNone, DFSOpts{MaxSchedules: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violating != nil {
+		t.Fatalf("false positive on the correct protocol under crash injection: %s", rep)
+	}
+	t.Logf("%s", rep)
+}
+
 // TestRandomClean fuzzes the unmutated "basic" workload.
 func TestRandomClean(t *testing.T) {
 	runs := 200
@@ -165,7 +188,7 @@ func TestKillSuite(t *testing.T) {
 	}
 	if !testing.Short() {
 		txt := FormatKillResults(rs)
-		if !strings.Contains(txt, "8/8 mutations killed") {
+		if !strings.Contains(txt, "9/9 mutations killed") {
 			t.Errorf("kill summary:\n%s", txt)
 		}
 	}

@@ -146,6 +146,123 @@ func init() {
 	register(updateWorkload())
 	register(semWorkload())
 	register(barrierWorkload())
+	register(crashWorkload())
+}
+
+// buildFaultCluster is buildCluster with the failure detector running on
+// every host — the crash workload needs detection and recovery, and no
+// other workload pays for the heartbeat events.
+func buildFaultCluster(kinds []arch.Kind, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	params := mcParams()
+	rec := sctrace.NewRecorder()
+	c, err := cluster.New(cluster.Config{
+		Hosts:            hosts,
+		PageSize:         workloadPageSize,
+		SpaceSize:        workloadSpaceSize,
+		Params:           &params,
+		Seed:             1,
+		Policy:           dsm.PolicyMRSW,
+		FailureDetection: true,
+		InvariantChecks:  true,
+		SCTrace:          rec,
+		Mutation:         mut,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, rec, nil
+}
+
+// crashWorkload explores crash points around an ownership transfer: a
+// Firefly owner dies before, after, or *during* the handoff of its page
+// to another Firefly, and the Sun manager must recover the page from
+// the surviving copyset member (converting representations) so the
+// final read sees the last completed write. The crash point is a
+// kernel Choose — part of the recorded schedule, so the explorer
+// branches over it and a violating placement replays from its token.
+// The mid-transfer variant enqueues the crash as a zero-delay event that
+// ties with the transfer's own events, letting the chooser slide the
+// crash between any two protocol steps. Host 0 (manager and allocation
+// coordinator) never crashes.
+func crashWorkload() *Workload {
+	return &Workload{
+		Name: "crash",
+		Desc: "3 hosts, owner crash before/after/during an ownership transfer + copyset recovery",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildFaultCluster([]arch.Kind{arch.Sun, arch.Firefly, arch.Firefly}, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(semDone, 0, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0, h1, h2 := c.Hosts[0], c.Hosts[1], c.Hosts[2]
+				x, err := h0.DSM.Alloc(p, conv.Int32, pageInts) // page 0, managed by host 0
+				if err != nil {
+					return err
+				}
+				vals := []int32{11, 22, 33, 44}
+				vals2 := []int32{55, 66, 77, 88}
+				if err := h1.DSM.WriteInt32sE(p, x, vals); err != nil {
+					return fmt.Errorf("doomed owner's write: %w", err)
+				}
+				var snap [4]int32
+				if err := h2.DSM.ReadInt32sE(p, x, snap[:]); err != nil {
+					return fmt.Errorf("survivor's replicate read: %w", err)
+				}
+				wrote := false
+				switch c.K.Choose(3, "crash-point") {
+				case 0:
+					// Owner dies holding the only current copy of its
+					// writes; the survivor's read replica must carry them.
+					c.CrashHost(1)
+				case 1:
+					// Ownership moves first; the corpse is a bystander.
+					if err := h2.DSM.WriteInt32sE(p, x, vals2); err != nil {
+						return fmt.Errorf("transfer before crash: %w", err)
+					}
+					wrote = true
+					c.CrashHost(1)
+				case 2:
+					// The crash event ties with the transfer's events at the
+					// same instant: the chooser decides how far the handoff
+					// gets before the owner drops dead.
+					var werr error
+					c.K.Spawn("transfer", func(wp *sim.Proc) {
+						werr = h2.DSM.WriteInt32sE(wp, x, vals2)
+						h2.Sync.V(wp, semDone)
+					})
+					c.K.AfterNamed("crash", 0, func() { c.CrashHost(1) })
+					h0.Sync.P(p, semDone)
+					if werr != nil {
+						return fmt.Errorf("transfer interrupted by crash never completed: %w", werr)
+					}
+					wrote = true
+				}
+				// Let heartbeat silence cross the death threshold and the
+				// recovery sweep finish.
+				p.Sleep(4 * sim.Duration(1_000_000_000))
+				var got [4]int32
+				if err := h0.DSM.ReadInt32sE(p, x, got[:]); err != nil {
+					return fmt.Errorf("read after owner crash: %w", err)
+				}
+				want := vals
+				if wrote {
+					want = vals2
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return fmt.Errorf("recovered value [%d] = %d, want %d", i, got[i], want[i])
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
 }
 
 // basicWorkload is the CI smoke scenario: 2 hosts (one Sun, one

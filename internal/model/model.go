@@ -155,6 +155,18 @@ type Params struct {
 	// may legitimately block for a long time (P on a semaphore, event
 	// waits, barrier arrivals); these retry forever.
 	BlockingRetryInterval time.Duration
+
+	// --- Failure detection (crash-stop fault tolerance) ---
+
+	// HeartbeatInterval is the period of the failure detector's liveness
+	// broadcast. Heartbeats (and the detector itself) only run when the
+	// cluster enables failure detection.
+	HeartbeatInterval time.Duration
+	// SuspicionTimeout is how long a host may stay silent before the
+	// detector suspects it; a suspect that stays silent for a second
+	// timeout is declared dead. It must comfortably exceed
+	// HeartbeatInterval plus worst-case medium occupancy.
+	SuspicionTimeout time.Duration
 }
 
 // Default returns the cost model calibrated against the paper.
@@ -196,6 +208,9 @@ func Default() Params {
 		RequestTimeout:        500 * time.Millisecond,
 		MaxRetries:            10,
 		BlockingRetryInterval: 5 * time.Second,
+
+		HeartbeatInterval: 250 * time.Millisecond,
+		SuspicionTimeout:  1 * time.Second,
 	}
 	p.CPUFactor.Sun = 1.31
 	p.CPUFactor.Firefly = 1.0

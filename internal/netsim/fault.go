@@ -1,0 +1,189 @@
+package netsim
+
+// Fault fabric: a scripted, virtual-time fault plan layered under the
+// shared-bus model. Every fault is a pure function of the plan, the
+// virtual clock, and the kernel's seeded random source, so any faulty
+// run replays bit-identically from its seed — and a nil plan leaves the
+// send/delivery path exactly as it was (no extra random draws, no extra
+// events), keeping existing no-fault runs bit-identical too.
+//
+// The fabric models what a real segment does to frames: burst loss
+// windows, partitions that cut one host group off from the rest,
+// duplicated deliveries, payload corruption in flight, and host
+// crash/restart (a down host's NIC neither transmits nor receives).
+// Payloads are opaque references owned by the remote-operation layer,
+// so duplication and corruption go through caller-registered hooks that
+// know how to deep-copy and damage a payload without aliasing pooled
+// buffers.
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Window is a half-open virtual-time interval [From, Until). Until 0
+// means "until the end of the run".
+type Window struct {
+	From  sim.Time
+	Until sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool {
+	return t >= w.From && (w.Until == 0 || t < w.Until)
+}
+
+// Burst is a fault-rate window: while open, each frame is subjected to
+// the fault with probability Rate.
+type Burst struct {
+	Window
+	Rate float64
+}
+
+// Partition cuts the hosts in Group off from every host outside it
+// while the window is open. Frames crossing the cut, in either
+// direction, are lost; frames within a side pass normally.
+type Partition struct {
+	Window
+	Group []HostID
+}
+
+// separates reports whether a and b are on opposite sides of the cut.
+func (pt *Partition) separates(a, b HostID) bool {
+	return pt.inGroup(a) != pt.inGroup(b)
+}
+
+func (pt *Partition) inGroup(h HostID) bool {
+	for _, g := range pt.Group {
+		if g == h {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashEvent scripts a host crash at a virtual time. The fabric only
+// records the schedule; applying a crash (downing the NIC, discarding
+// the host's memory, unwinding its threads) is the cluster layer's job.
+type CrashEvent struct {
+	At   sim.Time
+	Host HostID
+}
+
+// FaultPlan scripts every fault for one run. The zero value (and a nil
+// plan) injects nothing.
+type FaultPlan struct {
+	// Loss windows drop frames at send time with the window's rate,
+	// on top of the network's uniform DropRate.
+	Loss []Burst
+	// Corrupt windows damage a frame's payload in flight (through the
+	// registered corrupt hook), so the receiver's checksum — not luck —
+	// decides whether the damage is caught.
+	Corrupt []Burst
+	// Duplicate windows deliver a second, independent copy of the frame
+	// (through the registered clone hook).
+	Duplicate []Burst
+	// Partitions cut host groups off for their windows.
+	Partitions []Partition
+	// Crashes scripts host crash times for the cluster layer.
+	Crashes []CrashEvent
+}
+
+// rateAt sums the rates of all open windows, capped at 1.
+func rateAt(bursts []Burst, t sim.Time) float64 {
+	r := 0.0
+	for i := range bursts {
+		if bursts[i].Contains(t) {
+			r += bursts[i].Rate
+		}
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// cutAt reports whether any open partition separates a and b.
+func (fp *FaultPlan) cutAt(t sim.Time, a, b HostID) bool {
+	for i := range fp.Partitions {
+		if fp.Partitions[i].Contains(t) && fp.Partitions[i].separates(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the plan injects nothing.
+func (fp *FaultPlan) Empty() bool {
+	return fp == nil ||
+		(len(fp.Loss) == 0 && len(fp.Corrupt) == 0 && len(fp.Duplicate) == 0 &&
+			len(fp.Partitions) == 0 && len(fp.Crashes) == 0)
+}
+
+// SetFaultPlan installs (or, with nil, removes) the fault plan. It must
+// be set before traffic starts.
+func (n *Network) SetFaultPlan(fp *FaultPlan) { n.plan = fp }
+
+// FaultPlan returns the installed plan, if any.
+func (n *Network) FaultPlan() *FaultPlan { return n.plan }
+
+// SetPayloadHooks registers the payload deep-copy and corruption hooks
+// the duplicate/corrupt faults need. clone must return an independent
+// copy safe to deliver twice (no shared pooled buffers); corrupt must
+// return a copy with wire bytes damaged, drawing any randomness it
+// needs from r. The remote-operation layer registers both.
+func (n *Network) SetPayloadHooks(clone func(payload any) any, corrupt func(payload any, r *rand.Rand) any) {
+	n.clone = clone
+	n.corruptFn = corrupt
+}
+
+// SetHostDown marks a host's NIC down (crashed) or back up (restarted).
+// A down host transmits nothing and frames addressed or broadcast to it
+// vanish at delivery time, like frames to a powered-off machine.
+func (n *Network) SetHostDown(h HostID, down bool) {
+	if n.down == nil {
+		n.down = make(map[HostID]bool)
+	}
+	n.down[h] = down
+}
+
+// HostDown reports whether the host's NIC is currently down.
+func (n *Network) HostDown(h HostID) bool { return n.down[h] }
+
+// sendFaults applies send-time plan faults to a frame that already paid
+// its wire time. It reports whether the frame was lost; it may mutate
+// f's payload (corruption) or schedule an extra delivery (duplication).
+// Only called with a non-nil plan, so no-fault runs draw no randomness.
+func (n *Network) sendFaults(f *Frame) (lost bool) {
+	now := n.k.Now()
+	if r := rateAt(n.plan.Loss, now); r > 0 && n.k.Rand().Float64() < r {
+		n.stats.FramesDropped++
+		n.stats.FramesBurstLost++
+		return true
+	}
+	if r := rateAt(n.plan.Corrupt, now); r > 0 && n.corruptFn != nil && n.k.Rand().Float64() < r {
+		f.Payload = n.corruptFn(f.Payload, n.k.Rand())
+		n.stats.FramesCorrupted++
+	}
+	if r := rateAt(n.plan.Duplicate, now); r > 0 && n.clone != nil && n.k.Rand().Float64() < r {
+		dup := *f
+		dup.Payload = n.clone(f.Payload)
+		n.stats.FramesDuplicated++
+		n.scheduleDelivery(dup)
+	}
+	return false
+}
+
+// cut reports whether the partition plan blocks a frame from from to to
+// right now, counting it if so.
+func (n *Network) cut(from, to HostID) bool {
+	if n.plan == nil {
+		return false
+	}
+	if n.plan.cutAt(n.k.Now(), from, to) {
+		n.stats.FramesCut++
+		return true
+	}
+	return false
+}

@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/model"
@@ -42,12 +43,24 @@ type Frame struct {
 type Stats struct {
 	// FramesSent counts transmission attempts.
 	FramesSent int
-	// FramesDropped counts frames lost to injected loss.
+	// FramesDropped counts frames lost to injected loss (uniform and
+	// burst combined).
 	FramesDropped int
 	// BytesSent counts payload bytes transmitted.
 	BytesSent int
 	// BusyTime is the total time the medium was occupied.
 	BusyTime sim.Duration
+	// FramesBurstLost counts frames lost to fault-plan loss windows
+	// (also included in FramesDropped).
+	FramesBurstLost int
+	// FramesCut counts frames lost to an open partition.
+	FramesCut int
+	// FramesCorrupted counts frames whose payload was damaged in flight.
+	FramesCorrupted int
+	// FramesDuplicated counts frames delivered twice.
+	FramesDuplicated int
+	// FramesToDead counts frames that arrived at a down host's NIC.
+	FramesToDead int
 }
 
 // Network is a simulated shared Ethernet segment.
@@ -66,6 +79,15 @@ type Network struct {
 	// keep the per-frame delivery path allocation-free.
 	bcast  []HostID
 	labels map[labelKey]string
+
+	// plan scripts injected faults (see fault.go); nil injects nothing.
+	plan *FaultPlan
+	// down marks crashed hosts' NICs.
+	down map[HostID]bool
+	// clone and corruptFn are the payload hooks for the duplicate and
+	// corrupt faults (see SetPayloadHooks).
+	clone     func(payload any) any
+	corruptFn func(payload any, r *rand.Rand) any
 }
 
 type labelKey struct{ to, from HostID }
@@ -115,6 +137,11 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 	if f.From != ifc.id {
 		return fmt.Errorf("netsim: frame From %d sent via interface %d", f.From, ifc.id)
 	}
+	if n.down[f.From] {
+		// A crashed host's NIC transmits nothing: the frame vanishes
+		// without touching the cable.
+		return nil
+	}
 	tx := n.params.WireTime(f.Size)
 	n.cable.Acquire(p)
 	p.Sleep(tx)
@@ -124,6 +151,9 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 	n.stats.BusyTime += tx
 	if n.DropRate > 0 && n.k.Rand().Float64() < n.DropRate {
 		n.stats.FramesDropped++
+		return nil
+	}
+	if n.plan != nil && n.sendFaults(&f) {
 		return nil
 	}
 	n.scheduleDelivery(f)
@@ -151,15 +181,31 @@ func (n *Network) scheduleDelivery(f Frame) {
 			if id == f.From {
 				continue
 			}
+			if n.cut(f.From, id) {
+				continue
+			}
 			ifc := n.ifaces[id]
-			n.k.AfterNamed(n.deliveryLabel(id, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
+			n.k.AfterNamed(n.deliveryLabel(id, f.From), n.params.PacketLatency, func() { n.deliver(ifc, f) })
 		}
 		return
 	}
+	if n.cut(f.From, f.To) {
+		return
+	}
 	if ifc, ok := n.ifaces[f.To]; ok {
-		n.k.AfterNamed(n.deliveryLabel(f.To, f.From), n.params.PacketLatency, func() { ifc.rx.Put(f) })
+		n.k.AfterNamed(n.deliveryLabel(f.To, f.From), n.params.PacketLatency, func() { n.deliver(ifc, f) })
 	}
 	// Frames to unknown hosts vanish, like on a real wire.
+}
+
+// deliver puts a frame on the destination's receive queue unless the
+// host's NIC went down while the frame was in flight.
+func (n *Network) deliver(ifc *Interface, f Frame) {
+	if n.down[ifc.id] {
+		n.stats.FramesToDead++
+		return
+	}
+	ifc.rx.Put(f)
 }
 
 // deliveryLabel names a delivery event for schedule diagnostics. Labels
@@ -197,3 +243,6 @@ func (ifc *Interface) Pending() int { return ifc.rx.Len() }
 
 // ID returns the interface's host ID.
 func (ifc *Interface) ID() HostID { return ifc.id }
+
+// Network returns the network this interface is attached to.
+func (ifc *Interface) Network() *Network { return ifc.net }

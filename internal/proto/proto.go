@@ -108,6 +108,16 @@ const (
 	KindEcho
 	// KindEchoReply is the response to KindEcho.
 	KindEchoReply
+	// KindHeartbeat is the failure detector's periodic liveness
+	// broadcast (one-way, never acked; silence is the signal).
+	KindHeartbeat
+	// KindRecoverPage asks a surviving copyset member for its copy of a
+	// page whose owner crashed. Unlike KindServeRequest it tolerates the
+	// target no longer holding the copy.
+	KindRecoverPage
+	// KindRecoverPageReply carries the survivor's copy in its native
+	// format (Args[0]=1) or reports it holds none (Args[0]=0).
+	KindRecoverPageReply
 )
 
 // String names the message kind.
@@ -124,6 +134,7 @@ func (k Kind) String() string {
 		"update-write", "update-write-ack", "apply-update", "apply-update-ack",
 		"remote-read", "remote-read-reply", "remote-write", "remote-write-ack",
 		"echo", "echo-reply",
+		"heartbeat", "recover-page", "recover-page-reply",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -139,7 +150,8 @@ func (k Kind) IsReply() bool {
 		KindThreadCreated, KindThreadExitedAck, KindThreadMigrateAck, KindSemReply, KindEventReply,
 		KindBarrierReply, KindAllocReply, KindPageMetaAck,
 		KindUpdateWriteAck, KindApplyUpdateAck,
-		KindRemoteReadReply, KindRemoteWriteAck, KindEchoReply:
+		KindRemoteReadReply, KindRemoteWriteAck, KindEchoReply,
+		KindRecoverPageReply:
 		return true
 	default:
 		return false

@@ -59,6 +59,9 @@ type Stats struct {
 	Duplicates int
 	// BulkBytes counts page payload bytes sent.
 	BulkBytes int
+	// ChecksumDrops counts fragments discarded because their checksum
+	// did not match — corruption detected in flight.
+	ChecksumDrops int
 }
 
 // encOwner tracks a pooled encode buffer shared by a message's
@@ -96,8 +99,11 @@ type fragment struct {
 	total   int
 	bulk    bool
 	chunk   []byte
-	owner   *encOwner
-	pooled  bool
+	// sum is the FNV-1a checksum of chunk, stamped at send time and
+	// verified on receive, so in-flight corruption is detected.
+	sum    uint32
+	owner  *encOwner
+	pooled bool
 }
 
 var fragPool = sync.Pool{New: func() any { return new(fragment) }}
@@ -176,6 +182,13 @@ type Endpoint struct {
 	dedupQ  []dedupKey
 	stats   Stats
 	started bool
+
+	// peerDead is the failure detector's liveness predicate; onTimeout
+	// its escalation callback; crashed marks this endpoint's own host as
+	// failed (see fault.go).
+	peerDead  func(h HostID) bool
+	onTimeout func(dst HostID)
+	crashed   bool
 }
 
 // dedupCap bounds the duplicate-detection cache per endpoint.
@@ -184,6 +197,7 @@ const dedupCap = 2048
 // New creates an endpoint for a host of the given machine kind attached
 // to the network through ifc.
 func New(k *sim.Kernel, ifc *netsim.Interface, kind arch.Kind, params *model.Params) *Endpoint {
+	registerFaultHooks(ifc.Network())
 	return &Endpoint{
 		k:       k,
 		id:      ifc.ID(),
@@ -231,6 +245,14 @@ func (e *Endpoint) serve(p *sim.Proc) {
 			continue // alien frame on the wire
 		}
 		e.stats.FragmentsReceived++
+		if checksum(frag.chunk) != frag.sum {
+			// Corrupted in flight: drop it here, before reassembly, and
+			// let the sender's retransmission recover. Without this
+			// check the damage would be installed as page content.
+			e.stats.ChecksumDrops++
+			releaseFrag(frag)
+			continue
+		}
 		buf, done := e.reassemble(frag)
 		total, bulk, srcKind := frag.total, frag.bulk, frag.srcKind
 		// The chunk has been copied out (or dropped); recycle the
@@ -390,6 +412,7 @@ func (e *Endpoint) remember(key dedupKey, ent *dedupEntry) {
 // single fragment and buffer cannot be refcounted per receiver — they
 // stay unpooled and fall to the garbage collector.
 func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
+	e.exitIfCrashed(p)
 	if m.SrcArch == 0 {
 		m.SrcArch = uint8(e.kind)
 	}
@@ -441,6 +464,7 @@ func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 			total:   total,
 			bulk:    bulk,
 			chunk:   buf[lo:hi],
+			sum:     checksum(buf[lo:hi]),
 			owner:   owner,
 			pooled:  !broadcast,
 		}
@@ -471,6 +495,11 @@ func (e *Endpoint) Call(p *sim.Proc, dst HostID, m *proto.Message) (*proto.Messa
 	defer delete(e.pending, m.ReqID)
 
 	for try := 0; try <= e.params.MaxRetries; try++ {
+		if e.dead(dst) {
+			// The detector declared the peer dead (possibly mid-call):
+			// fail fast instead of spending retransmissions on it.
+			return nil, peerDeadErr(dst)
+		}
 		if try > 0 {
 			e.stats.Retransmits++
 		}
@@ -485,21 +514,28 @@ func (e *Endpoint) Call(p *sim.Proc, dst HostID, m *proto.Message) (*proto.Messa
 		if pc.reply != nil {
 			return pc.reply, nil
 		}
+		e.escalate(dst)
 		if reason == sim.WakeSignal {
 			// Spurious wake without a reply cannot happen by
 			// construction, but guard anyway.
 			continue
 		}
 	}
+	if e.dead(dst) {
+		return nil, peerDeadErr(dst)
+	}
 	return nil, fmt.Errorf("%w (kind %v to host %d)", ErrTimeout, m.Kind, dst)
 }
 
 // CallBlocking is Call for operations that may legitimately wait a long
 // time for their reply (P on a held semaphore, event waits, barrier
-// arrivals): it never gives up, retransmitting every
-// BlockingRetryInterval. Duplicate-request absorption at the receiver
-// makes the retransmissions harmless.
-func (e *Endpoint) CallBlocking(p *sim.Proc, dst HostID, m *proto.Message) *proto.Message {
+// arrivals): it retries indefinitely, retransmitting every
+// BlockingRetryInterval, and only fails when the failure detector
+// declares the destination dead — waiting forever on a crashed
+// semaphore manager would wedge the caller permanently. Duplicate-
+// request absorption at the receiver makes the retransmissions
+// harmless.
+func (e *Endpoint) CallBlocking(p *sim.Proc, dst HostID, m *proto.Message) (*proto.Message, error) {
 	e.nextReq++
 	m.ReqID = e.nextReq
 	m.From = uint32(e.id)
@@ -507,19 +543,22 @@ func (e *Endpoint) CallBlocking(p *sim.Proc, dst HostID, m *proto.Message) *prot
 	e.pending[m.ReqID] = pc
 	defer delete(e.pending, m.ReqID)
 	for try := 0; ; try++ {
+		if e.dead(dst) {
+			return nil, peerDeadErr(dst)
+		}
 		if try > 0 {
 			e.stats.Retransmits++
 		}
 		e.send(p, dst, m)
 		if pc.reply != nil {
-			return pc.reply
+			return pc.reply, nil
 		}
 		pc.w = p.PrepareWait()
 		pc.armed = true
 		p.ParkTimeout(e.params.BlockingRetryInterval)
 		pc.armed = false
 		if pc.reply != nil {
-			return pc.reply
+			return pc.reply, nil
 		}
 	}
 }
@@ -626,6 +665,7 @@ func (e *Endpoint) CallMulticast(p *sim.Proc, targets []HostID, m *proto.Message
 		e.stats.Retransmits++
 		for _, t := range targets {
 			if _, ok := pc.multi[t]; !ok {
+				e.escalate(t)
 				e.send(p, t, m)
 			}
 		}
@@ -675,6 +715,7 @@ func (e *Endpoint) CallAll(p *sim.Proc, dsts []HostID, mk func(dst HostID) *prot
 			if calls[i].reply == nil {
 				if try > 0 {
 					e.stats.Retransmits++
+					e.escalate(dst)
 				}
 				e.send(p, dst, msgs[i])
 			}

@@ -529,7 +529,11 @@ func TestCallBlockingWaitsThroughRetries(t *testing.T) {
 	var got uint32
 	var at sim.Time
 	r.k.Spawn("caller", func(p *sim.Proc) {
-		resp := r.eps[0].CallBlocking(p, 1, &proto.Message{Kind: proto.KindSemOp})
+		resp, err := r.eps[0].CallBlocking(p, 1, &proto.Message{Kind: proto.KindSemOp})
+		if err != nil {
+			t.Errorf("blocking call: %v", err)
+			return
+		}
 		got = resp.Arg(0)
 		at = p.Now()
 	})

@@ -489,6 +489,36 @@ func (pp *Proc) park() WakeReason {
 	return r
 }
 
+// Exit terminates the calling process immediately as a normal
+// completion: deferred functions run and the kernel records a clean
+// exit, exactly as if the process function had returned. It is how
+// simulated crash-stop failures unwind a dead host's threads — the
+// process simply ceases at its next interaction with the machine.
+func (pp *Proc) Exit() {
+	panic(killSentinel{})
+}
+
+// Choose resolves an explicit n-way decision through the installed
+// Chooser, making application-level nondeterminism — fault-injection
+// points, for example — part of the recorded schedule that the model
+// checker explores and replays. Without a chooser the kernel's seeded
+// random source decides, so plain runs stay deterministic per seed.
+func (k *Kernel) Choose(n int, label string) int {
+	if n <= 1 {
+		return 0
+	}
+	if k.chooser != nil {
+		idx := k.chooser.Choose(k.now, n, func(i int) string {
+			return fmt.Sprintf("%s#%d", label, i)
+		})
+		if idx < 0 || idx >= n {
+			idx = 0
+		}
+		return idx
+	}
+	return k.rng.Intn(n)
+}
+
 // wakeToken identifies one parked episode of a process, so that stale
 // wakes (after the process has already resumed) are ignored.
 type wakeToken struct {

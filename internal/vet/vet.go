@@ -100,6 +100,8 @@ type Config struct {
 	EnumModulePrefix string
 	// HotAllocPackages lists packages subject to the hot-alloc rule.
 	HotAllocPackages []string
+	// ErrDropPackages lists packages subject to the err-drop rule.
+	ErrDropPackages []string
 }
 
 // DefaultConfig returns the project's rule scoping for the module with
@@ -110,9 +112,10 @@ func DefaultConfig(module string) *Config {
 		PVPackages:          []string{j("internal/dsm"), j("internal/dsync"), j("internal/threads")},
 		DeterminismPackages: []string{j("internal/sim"), j("internal/dsm"), j("internal/netsim")},
 		PageBufferPackages:  []string{j("internal/dsm")},
-		PageBufferAllow:     []string{"access.go", "protocol.go", "central.go", "update.go"},
+		PageBufferAllow:     []string{"access.go", "protocol.go", "central.go", "update.go", "recovery.go"},
 		EnumModulePrefix:    module,
 		HotAllocPackages:    []string{j("internal/dsm"), j("internal/netsim"), j("internal/remoteop"), j("internal/bufpool")},
+		ErrDropPackages:     []string{j("internal/dsm"), j("internal/remoteop")},
 	}
 }
 
@@ -196,6 +199,9 @@ func Check(pkg *Package, cfg *Config) []Finding {
 		}
 		if slices.Contains(cfg.HotAllocPackages, pkg.Path) {
 			c.checkHotAlloc(f)
+		}
+		if slices.Contains(cfg.ErrDropPackages, pkg.Path) {
+			c.checkErrDrop(f)
 		}
 		c.checkEnumSwitch(f)
 	}
@@ -491,6 +497,74 @@ func isByteSliceExpr(x ast.Expr, info *types.Info) bool {
 	}
 	elt, ok := arr.Elt.(*ast.Ident)
 	return ok && (elt.Name == "byte" || elt.Name == "uint8")
+}
+
+// ---- err-drop ------------------------------------------------------
+
+// checkErrDrop flags silently discarded errors in the protocol
+// packages: a call statement whose error result is never bound, and
+// `_ = call(...)` / `_, _ = call(...)` assignments that throw every
+// result away while one of them is an error. A swallowed error in the
+// transfer or remote-operation path turns a detectable fault (a dead
+// peer, a timed-out request) into a silent hang or stale data —
+// exactly the bug class the crash-stop work exists to surface.
+// Deliberate fire-and-forget sites (a reply to a requester that may
+// itself be dead) carry `vet:ignore err-drop` with a justification.
+// The rule needs resolved type information for the callee; calls the
+// checker could not type are skipped.
+func (c *checker) checkErrDrop(f *ast.File) {
+	flag := func(call *ast.CallExpr, how string) {
+		if !c.callReturnsError(call) {
+			return
+		}
+		c.report(call.Pos(), "err-drop",
+			"%s %s discards its error result; propagate it or annotate the deliberate drop with vet:ignore err-drop",
+			how, types.ExprString(call.Fun))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok {
+				flag(call, "call statement")
+			}
+		case *ast.AssignStmt:
+			if len(node.Rhs) != 1 {
+				return true
+			}
+			call, ok := node.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return true // at least one result is bound
+				}
+			}
+			flag(call, "blank assignment of")
+		case *ast.GoStmt:
+			return false // the called function's body is still inspected via its own statements
+		}
+		return true
+	})
+}
+
+// callReturnsError reports whether the call's results include the
+// built-in error type, per resolved type information.
+func (c *checker) callReturnsError(call *ast.CallExpr) bool {
+	tv, ok := c.pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(tv.Type, errType)
 }
 
 // ---- enum-switch ---------------------------------------------------

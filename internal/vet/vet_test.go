@@ -28,6 +28,7 @@ func analyze(t *testing.T, pkgPath string, sources map[string]string) []Finding 
 		PageBufferPackages:  []string{pkgPath},
 		PageBufferAllow:     []string{"access.go"},
 		HotAllocPackages:    []string{pkgPath},
+		ErrDropPackages:     []string{pkgPath},
 	}
 	return Check(pkg, cfg)
 }
@@ -388,5 +389,79 @@ func ok() {
 	_ = enc
 }
 `})
+	wantClean(t, fs)
+}
+
+func TestErrDropFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+import "errors"
+
+type ep struct{}
+
+func (e *ep) Call() (int, error)  { return 0, errors.New("x") }
+func (e *ep) Notify() error       { return nil }
+func (e *ep) Fire()               {}
+
+func drops(e *ep) {
+	e.Notify()           // statement drop: error vanishes
+	_ = e.Notify()       // blank assignment drop
+	_, _ = e.Call()      // every result blanked, one is an error
+	e.Fire()             // no error result: fine
+	v, _ := e.Call()     // error blanked but a result is bound: out of scope
+	_ = v
+}
+`})
+	if got := len(fs); got != 3 {
+		t.Fatalf("want 3 err-drop findings, got %d: %v", got, fs)
+	}
+	wantRule(t, fs, "err-drop", "call statement e.Notify")
+	wantRule(t, fs, "err-drop", "blank assignment of e.Notify")
+	wantRule(t, fs, "err-drop", "blank assignment of e.Call")
+}
+
+func TestErrDropAnnotatedSitesPass(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+import "errors"
+
+type ep struct{}
+
+func (e *ep) Notify() error { return nil }
+
+func fireAndForget(e *ep) {
+	_ = e.Notify() // vet:ignore err-drop — the requester times out and re-faults
+	var err = errors.New("handled")
+	_ = err
+}
+`})
+	wantClean(t, fs)
+}
+
+func TestErrDropScopedToConfiguredPackages(t *testing.T) {
+	src := map[string]string{"a.go": `
+package other
+
+import "errors"
+
+func oops() error { return errors.New("x") }
+
+func f() {
+	oops()
+}
+`}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for name, s := range src {
+		f, err := parser.ParseFile(fset, name, s, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg := NewPackage(fset, "fixture/other", files, nil)
+	fs := Check(pkg, &Config{ErrDropPackages: []string{"fixture/dsm"}})
 	wantClean(t, fs)
 }
