@@ -54,6 +54,8 @@ mc-smoke:
 	go run ./cmd/mermaid-mc -workload=basic -strategy=dfs -max-schedules=1200
 	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-invalidation -max-schedules=100
 	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-conversion -max-schedules=100
+	go run ./cmd/mermaid-mc -workload=dynamic -strategy=dfs -max-schedules=1200
+	go run ./cmd/mermaid-mc -workload=dynamic -mutation=stale-probable-owner -max-schedules=100
 
 # Chaos smoke: one seed per workload × fault class (12 campaigns).
 # Every run must survive its fault schedule — a violation prints a
@@ -72,6 +74,10 @@ chaos-smoke:
 	go run ./cmd/mermaid-chaos -workload=handoff -class=partition -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=handoff -class=crash -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=handoff -class=mix -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=forward -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=forward -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=forward -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=forward -class=mix -seed=1 -runs=1
 
 # Nightly-depth chaos: 25 seeds per workload × class with a
 # determinism double-run (-verify) on every campaign.
@@ -88,6 +94,10 @@ chaos-deep:
 	go run ./cmd/mermaid-chaos -workload=handoff -class=partition -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=handoff -class=crash -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=handoff -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=forward -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=forward -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=forward -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=forward -class=mix -seed=1 -runs=25 -verify
 
 # Full mutation-kill suite plus a deeper clean sweep of every workload —
 # the nightly-depth run.
@@ -99,5 +109,6 @@ mc-deep:
 	go run ./cmd/mermaid-mc -workload=sem -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=barrier -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=update -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=dynamic -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=basic -strategy=random -runs=2000
 	go run ./cmd/mermaid-mc -workload=matmul -strategy=delay -delays=3 -max-schedules=5000

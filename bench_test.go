@@ -225,6 +225,20 @@ func BenchmarkRealQuickstartScenario(b *testing.B) {
 	}
 }
 
+func BenchmarkRealOwnerForwarding(b *testing.B) {
+	// Wall-clock cost of a full dynamic-directory simulation (Li &
+	// Hudak's probable-owner forwarding) on the migratory workload,
+	// with the chain statistics as custom metrics.
+	var r exp.DirectorySchemeRow
+	for i := 0; i < b.N; i++ {
+		r = exp.OwnerForwarding()
+	}
+	b.ReportMetric(r.ElapsedS, "s_simulated")
+	b.ReportMetric(float64(r.Forwards), "forwards")
+	b.ReportMetric(r.AvgHops, "avg_hops")
+	b.ReportMetric(float64(r.MaxChain), "max_chain")
+}
+
 func BenchmarkAblationSyncStyles(b *testing.B) {
 	var r exp.SyncStyleResult
 	for i := 0; i < b.N; i++ {

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl")
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs")
 	flag.Parse()
 	if err := run(*only); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -96,6 +96,12 @@ func run(only string) error {
 
 		show(exp.AlgorithmChoiceTable(exp.AlgorithmChoice()))
 		show(exp.InvalidationTable(exp.InvalidationScaling([]int{1, 3, 5, 10, 14})))
+	}
+	// The manager-scheme comparison runs only when asked for by name:
+	// the default output is a bit-identity regression gate against
+	// pre-dynamic-directory builds and must not grow new sections.
+	if only != "" && want("dirs") {
+		show(exp.DirectorySchemesTable(exp.DirectorySchemes()))
 	}
 	return nil
 }

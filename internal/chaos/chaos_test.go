@@ -268,3 +268,36 @@ func TestUpgradeGrantCrashRegression(t *testing.T) {
 		}
 	}
 }
+
+// TestDynamicForwardCrashRegression pins three chaos-found bugs in the
+// dynamic directory's crash handling, each from the forward workload's
+// concurrent-faulter pressure:
+//
+//   - crash:5 — the owner died with requests in flight, leaving the
+//     survivors' probable-owner hints in a cycle with every hop alive;
+//     the chase panicked at the hop bound instead of routing the
+//     requester through recovery.
+//   - crash:7 — a page deliver in flight at crash time landed on the
+//     dead requester, whose zombie install let application writes
+//     execute (and be witnessed) on a crashed machine while the serving
+//     owner resurrected its stale copy.
+//   - mix:15 — a write-serve deliver landed but its ack was lost; when
+//     the call finally errored (the new owner had crashed) the old
+//     owner restored its copy, rolling back writes third parties had
+//     already witnessed. Write handoffs are now arbitrated by the
+//     requester's install confirmation, not the deliver ack.
+func TestDynamicForwardCrashRegression(t *testing.T) {
+	for _, tok := range []string{
+		EncodeToken("forward", ClassCrash, 5),
+		EncodeToken("forward", ClassCrash, 7),
+		EncodeToken("forward", ClassMix, 15),
+	} {
+		r, err := Replay(tok, Opts{})
+		if err != nil {
+			t.Fatalf("%s: %v", tok, err)
+		}
+		if r.Outcome != OK {
+			t.Errorf("%s: %s — %s", tok, r.Outcome, r.Detail)
+		}
+	}
+}

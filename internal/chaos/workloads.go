@@ -116,6 +116,37 @@ func buildChaosCluster(seed int64, kinds []arch.Kind, plan *netsim.FaultPlan, mu
 	return c, rec, tl, nil
 }
 
+// buildDynChaosCluster is buildChaosCluster under the dynamic
+// distributed directory (Li & Hudak probable-owner forwarding) instead
+// of the central manager: ownership requests chase hint chains, so
+// crashes and partitions land mid-forward and exercise the dynamic
+// directory's lazy chain repair.
+func buildDynChaosCluster(seed int64, kinds []arch.Kind, plan *netsim.FaultPlan, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, *traceLog, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	rec := sctrace.NewRecorder()
+	tl := &traceLog{}
+	c, err := cluster.New(cluster.Config{
+		Hosts:            hosts,
+		PageSize:         chaosPageSize,
+		SpaceSize:        chaosSpaceSize,
+		Seed:             seed,
+		Directory:        dsm.DirDynamic,
+		FailureDetection: true,
+		InvariantChecks:  true,
+		SCTrace:          rec,
+		FaultPlan:        plan,
+		Trace:            tl.observe,
+		Mutation:         mut,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, rec, tl, nil
+}
+
 // anyDead reports whether host 0's detector has declared any peer dead.
 func anyDead(c *cluster.Cluster) bool {
 	for h := 1; h < len(c.Hosts); h++ {
@@ -169,6 +200,7 @@ func init() {
 	register(slotsWorkload())
 	register(counterWorkload())
 	register(handoffWorkload())
+	register(forwardWorkload())
 }
 
 // slotsWorkload gives each host a private page it stamps with a
@@ -268,6 +300,109 @@ func slotsWorkload() *Workload {
 							// Sole owner died holding the only copy.
 						default:
 							return fmt.Errorf("host %d: slot %d unreadable after settle: %w", reader.ID, w, err)
+						}
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
+}
+
+// forwardWorkload runs under the dynamic distributed directory: three
+// workers stamp disjoint mirrored pairs of one shared page, so every
+// stamp migrates the page's ownership to the writer and the next
+// writer's request chases a probable-owner chain. The coordinator
+// polls the page (refreshing the replica recovery runs on) while the
+// fault plan drops, cuts and crashes around the forwards — a crash can
+// land on the owner, on a forwarder mid-chain, or between the
+// invalidation round and the handoff. Final assertions mirror
+// slotsWorkload's: each pair must read back mirrored and no newer than
+// its writer's last completed stamp; exact when nobody died and every
+// worker finished.
+func forwardWorkload() *Workload {
+	const rounds = 12
+	return &Workload{
+		Name:  "forward",
+		Desc:  "4 hosts, dynamic directory: writers migrate one page through probable-owner chains (crash mid-forward)",
+		Hosts: 4,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			c, rec, tl, err := buildDynChaosCluster(seed, []arch.Kind{arch.Sun, arch.Firefly, arch.Sun, arch.Firefly}, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				page, err := h0.DSM.Alloc(p, conv.Int32, chaosPageInts)
+				if err != nil {
+					return err
+				}
+				slot := func(w int) dsm.Addr { return page + dsm.Addr(8*w) }
+				var last [3]int32
+				var stopped [3]error
+				for w := 0; w < 3; w++ {
+					w := w
+					host := c.Hosts[w+1]
+					c.K.Spawn(fmt.Sprintf("forward-writer%d", w), func(wp *sim.Proc) {
+						for i := int32(1); i <= rounds; i++ {
+							if err := host.DSM.WriteInt32sE(wp, slot(w), []int32{i, i}); err != nil {
+								stopped[w] = err
+								return
+							}
+							last[w] = i
+							// Stagger the writers so ownership keeps rotating
+							// through all three and the chains stay warm.
+							wp.Sleep(workPeriod + time.Duration(w)*37*time.Millisecond)
+						}
+					})
+				}
+				for c.K.Now() < sim.Time(activePhase) {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						if err := h0.DSM.ReadInt32sE(p, slot(w), pair[:]); err == nil && pair[0] != pair[1] {
+							return fmt.Errorf("poll saw torn pair %d: %v", w, pair)
+						}
+					}
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				died := anyDead(c)
+				strict := !died
+				for w := 0; w < 3; w++ {
+					if stopped[w] != nil {
+						strict = false
+					}
+				}
+				// A witness with no replica proves the page still serves
+				// through the (possibly repaired) hint graph after settle.
+				witness := h0
+				for h := 1; h < 4; h++ {
+					if !h0.Detect.Dead(cluster.HostID(h)) {
+						witness = c.Hosts[h]
+						break
+					}
+				}
+				for _, reader := range []*cluster.Host{h0, witness} {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						err := reader.DSM.ReadInt32sE(p, slot(w), pair[:])
+						switch {
+						case err == nil:
+							if pair[0] != pair[1] {
+								return fmt.Errorf("host %d: pair %d torn after settle: %v", reader.ID, w, pair)
+							}
+							if pair[0] < 0 || pair[0] > last[w] {
+								return fmt.Errorf("host %d: pair %d = %d, never written (writer completed %d)", reader.ID, w, pair[0], last[w])
+							}
+							if strict && pair[0] != rounds {
+								return fmt.Errorf("host %d: pair %d = %d, want %d with every host alive", reader.ID, w, pair[0], rounds)
+							}
+						case tolerableLost(err, died):
+							// The owner died holding the only copy.
+						default:
+							return fmt.Errorf("host %d: pair %d unreadable after settle: %w", reader.ID, w, err)
 						}
 					}
 				}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 	"repro/internal/remoteop"
 	"repro/internal/sctrace"
 	"repro/internal/sim"
@@ -59,6 +60,11 @@ type Config struct {
 	// CentralManager places every page's manager on host 0 (ablation of
 	// the fixed distributed manager).
 	CentralManager bool
+	// Directory selects the manager-placement scheme (fixed distributed,
+	// centralized, or Li & Hudak's dynamic distributed manager). The
+	// zero value is the fixed scheme; CentralManager remains the compat
+	// shorthand for dsm.DirCentral.
+	Directory dsm.Directory
 	// Policy selects the coherence algorithm (default: MRSW).
 	Policy dsm.Policy
 	// UnicastInvalidate disables broadcast multicast invalidation
@@ -169,6 +175,7 @@ func New(cfg Config) (*Cluster, error) {
 		ConversionEnabled:    !cfg.DisableConversion,
 		PreferSameKindSource: cfg.PreferSameKindSource,
 		CentralManager:       cfg.CentralManager,
+		Directory:            cfg.Directory,
 		Policy:               cfg.Policy,
 		UnicastInvalidate:    cfg.UnicastInvalidate,
 		Bases:                dsm.DefaultBases(),
@@ -327,6 +334,20 @@ func (c *Cluster) TotalDSMStats() dsm.Stats {
 		total.RemoteWrites += s.RemoteWrites
 		total.PagesRecovered += s.PagesRecovered
 		total.PagesLost += s.PagesLost
+		total.Forwards += s.Forwards
+		total.ChainServes += s.ChainServes
+		total.ChainHops += s.ChainHops
+		if s.ChainMax > total.ChainMax {
+			total.ChainMax = s.ChainMax
+		}
+		if s.Messages != nil {
+			if total.Messages == nil {
+				total.Messages = make(map[proto.Kind]int, len(s.Messages))
+			}
+			for k, n := range s.Messages { // vet:ignore map-order — commutative sum
+				total.Messages[k] += n
+			}
+		}
 	}
 	return total
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/conv"
-	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -325,24 +324,7 @@ func (m *Module) AtomicSwapInt32(p *sim.Proc, addr Addr, v int32) int32 {
 // AtomicSwapInt32E is AtomicSwapInt32 returning crash errors.
 func (m *Module) AtomicSwapInt32E(p *sim.Proc, addr Addr, v int32) (int32, error) {
 	m.checkTyped(addr, conv.Int32, 4, 1)
-	if m.cfg.Policy == PolicyCentral {
-		return m.centralSwap(p, addr, v), nil
-	}
-	if m.cfg.Policy == PolicyUpdate {
-		panic("dsm: atomic operations are not defined under the write-update policy; use the distributed synchronization facility")
-	}
-	t0 := p.Now()
-	if err := m.EnsureAccess(p, addr, 4, true); err != nil {
-		return 0, err
-	}
-	var old int32
-	m.forEachSpan(addr, 4, func(seg []byte, _ int) {
-		old = conv.GetInt32(m.arch, seg)
-		m.recordSC(p, sctrace.Read, t0, addr, seg)
-		conv.PutInt32(m.arch, seg, v)
-		m.recordSC(p, sctrace.Write, t0, addr, seg)
-	})
-	return old, nil
+	return m.engine.atomicSwap(p, addr, v)
 }
 
 // ReadStruct copies the raw native bytes of count elements of a

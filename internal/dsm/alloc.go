@@ -128,11 +128,12 @@ func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, e
 		// holds every fresh page as a zero-filled writable copy until
 		// someone faults it away. Under the central policy pages live
 		// at their servers instead.
-		if m.cfg.Policy != PolicyCentral {
+		if m.engine.allocFirstTouch() {
 			lp := m.localPageFor(page)
 			if lp.access == NoAccess {
 				lp.access = WriteAccess
 			}
+			m.dir.allocOwned(page)
 		}
 	}
 	if err := m.distributeMeta(p, pages, updates); err != nil {

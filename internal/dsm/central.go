@@ -14,7 +14,6 @@ import (
 	"repro/internal/arch"
 	"repro/internal/bufpool"
 	"repro/internal/proto"
-	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -23,107 +22,6 @@ const (
 	remoteOpStore = 0
 	remoteOpSwap  = 1
 )
-
-// readRegion makes [addr, addr+n) readable and hands its byte spans to
-// fn in order, according to the active policy. Under the page policies
-// (MRSW, migration) residency is ensured one native-VM-page group at a
-// time and the group's bytes are consumed before moving on — the
-// consistency a sequence of hardware accesses would see; a large region
-// is NOT fetched atomically, so concurrent writers interleave exactly
-// as they would against a real application's access stream. Under the
-// central policy the bytes are fetched from each page's server, already
-// converted to this host's representation.
-//
-// Under failure detection the page-policy path returns the fault's
-// typed error (ErrHostDown, ErrPageLost) and stops at the first group
-// that cannot be made resident: a multi-group region access is not
-// atomic, so groups already consumed stay consumed. The central and
-// update policies predate fault tolerance and keep their hard-panic
-// contract.
-func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error {
-	if m.cfg.Policy != PolicyCentral {
-		off := 0
-		var ferr error
-		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
-			if ferr != nil {
-				return
-			}
-			t0 := p.Now()
-			if err := m.EnsureAccess(p, chunkAddr, chunkLen, m.cfg.Policy == PolicyMigration); err != nil {
-				ferr = err
-				return
-			}
-			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
-				fn(seg, off+o)
-				m.recordSC(p, sctrace.Read, t0, chunkAddr+Addr(o), seg)
-			})
-			off += chunkLen
-		})
-		return ferr
-	}
-	off := 0
-	end := int(addr) + n
-	for pos := int(addr); pos < end; {
-		pg := m.PageOf(Addr(pos))
-		pageStart := int(pg) * m.cfg.PageSize
-		hi := min(end, pageStart+m.cfg.PageSize)
-		t0 := p.Now()
-		seg := m.centralRead(p, pg, pos-pageStart, hi-pos)
-		fn(seg, off)
-		m.recordSC(p, sctrace.Read, t0, Addr(pos), seg)
-		off += hi - pos
-		pos = hi
-	}
-	return nil
-}
-
-// writeRegion makes [addr, addr+n) writable and lets fill produce the
-// new bytes span by span, with the same per-group granularity as
-// readRegion.
-func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error {
-	if m.cfg.Policy == PolicyUpdate {
-		m.updateWriteRegion(p, addr, n, fill)
-		return nil
-	}
-	if m.cfg.Policy != PolicyCentral {
-		off := 0
-		var ferr error
-		m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
-			if ferr != nil {
-				return
-			}
-			t0 := p.Now()
-			if err := m.EnsureAccess(p, chunkAddr, chunkLen, true); err != nil {
-				ferr = err
-				return
-			}
-			m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
-				fill(seg, off+o)
-				m.recordSC(p, sctrace.Write, t0, chunkAddr+Addr(o), seg)
-			})
-			off += chunkLen
-		})
-		return ferr
-	}
-	off := 0
-	end := int(addr) + n
-	for pos := int(addr); pos < end; {
-		pg := m.PageOf(Addr(pos))
-		pageStart := int(pg) * m.cfg.PageSize
-		hi := min(end, pageStart+m.cfg.PageSize)
-		// Pooled staging: centralWrite blocks until the server has
-		// acknowledged and recordSC copies what it keeps.
-		seg := bufpool.Get(hi - pos)
-		t0 := p.Now()
-		fill(seg, off)
-		m.centralWrite(p, pg, pos-pageStart, seg)
-		m.recordSC(p, sctrace.Write, t0, Addr(pos), seg)
-		bufpool.Put(seg)
-		off += hi - pos
-		pos = hi
-	}
-	return nil
-}
 
 // forEachGroup splits [addr, addr+n) at native-VM-page-group boundaries
 // (the host's fault granularity) and calls fn per chunk, in order.
@@ -223,7 +121,7 @@ func (m *Module) serverPageFor(page PageNo) *localPage {
 // handleRemoteRead serves a central-policy read: convert the requested
 // region to the client's representation and send it.
 func (m *Module) handleRemoteRead(p *sim.Proc, req *proto.Message) {
-	if m.cfg.Policy != PolicyCentral || m.manager(PageNo(req.Page)) != m.id {
+	if !m.engine.serverOnly() || m.manager(PageNo(req.Page)) != m.id {
 		return // misdirected; client times out
 	}
 	m.protoCPU.Use(p, m.cfg.Params.RemoteOpProcess.Of(m.arch.Kind))
@@ -243,7 +141,7 @@ func (m *Module) handleRemoteRead(p *sim.Proc, req *proto.Message) {
 // wire buffer is recycled once its Data has been consumed (or the
 // request rejected).
 func (m *Module) handleRemoteWrite(p *sim.Proc, req *proto.Message) {
-	if m.cfg.Policy != PolicyCentral || m.manager(PageNo(req.Page)) != m.id {
+	if !m.engine.serverOnly() || m.manager(PageNo(req.Page)) != m.id {
 		bufpool.Put(req.TakeWire())
 		return
 	}

@@ -114,6 +114,9 @@ func (c *InvariantChecker) CheckAll(point string) {
 		for pg := range m.meta { // vet:ignore map-order — set insertion
 			set[pg] = struct{}{}
 		}
+		for pg := range m.dyn { // vet:ignore map-order — set insertion
+			set[pg] = struct{}{}
+		}
 	}
 	pages := make([]PageNo, 0, len(set))
 	for pg := range set { // vet:ignore map-order — sorted below
@@ -169,7 +172,7 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 		c.report(point, page, "multiple writable copies on hosts %v", writers)
 	}
 
-	if cfg.Policy == PolicyCentral {
+	if c.mods[0].engine.serverOnly() {
 		// Central policy: the page lives only at its server; nobody
 		// caches. Any copy elsewhere is a protocol leak.
 		mgrMod := c.byID(c.mods[0].manager(page))
@@ -178,6 +181,11 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 				c.report(point, page, "host %d caches a copy under the central-server policy", h)
 			}
 		}
+		return
+	}
+
+	if c.mods[0].dyn != nil {
+		c.checkDynamicPage(point, page, writers, holders)
 		return
 	}
 
@@ -233,6 +241,99 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 		if _, in := ent.copyset[h]; !in {
 			c.report(point, page, "host %d holds a copy but is neither owner nor in the copyset %v (stale copy — missed invalidation?)",
 				h, copysetList(ent))
+		}
+	}
+}
+
+// checkDynamicPage asserts the dynamic distributed manager's invariants
+// for one page: there is no manager table, so the ownership and copyset
+// invariants are checked against the owner's own records, and the
+// probable-owner graph replaces invariant 2 — from every live host, the
+// hint chain must reach the owner within N hops (Li & Hudak's bound).
+func (c *InvariantChecker) checkDynamicPage(point string, page PageNo, writers, holders []HostID) {
+	var owners []*Module
+	busy := false
+	anyCrashed := false
+	for _, m := range c.mods {
+		if m.crashed {
+			anyCrashed = true
+			continue
+		}
+		dp := m.dyn[page]
+		if dp == nil {
+			continue
+		}
+		if dp.lock.Count() == 0 || dp.recLock.Count() == 0 {
+			busy = true // a transaction or recovery holds the page
+		}
+		if dp.owned {
+			owners = append(owners, m)
+		}
+	}
+	if busy {
+		// A transaction or recovery in flight: the new owner records
+		// itself on redeeming the delivery, the old owner relinquishes
+		// only once the delivery is acknowledged, and the server's page
+		// lock is held across that whole window — so ownership overlap
+		// is legitimate exactly while some lock is taken.
+		return
+	}
+	if len(owners) > 1 {
+		ids := make([]HostID, len(owners))
+		for i, m := range owners {
+			ids[i] = m.id
+		}
+		c.report(point, page, "multiple dynamic owners on hosts %v", ids)
+	}
+	if len(owners) != 1 {
+		// Ownerless (mid-crash, lost, or pre-recovery): only the
+		// structural invariants apply. A quiescent wedged state surfaces
+		// as a timeout or model-checker deadlock, not here.
+		return
+	}
+	own := owners[0]
+	dp := own.dyn[page]
+	if own.Access(page) == NoAccess {
+		c.report(point, page, "dynamic owner %d holds no copy", own.id)
+	}
+	for _, w := range writers {
+		if w != own.id {
+			c.report(point, page, "host %d holds the writable copy but host %d is the recorded dynamic owner",
+				w, own.id)
+		}
+	}
+	for _, h := range holders {
+		if h == own.id {
+			continue
+		}
+		if _, in := dp.copyset[h]; !in {
+			c.report(point, page, "host %d holds a copy but is neither owner nor in owner %d's copyset %v (stale copy — missed invalidation?)",
+				h, own.id, dynCopysetList(dp, own.id))
+		}
+	}
+	if anyCrashed {
+		return // chains through corpses are repaired lazily on demand
+	}
+	for _, m := range c.mods {
+		hops := 0
+		cur := m
+		for cur.id != own.id {
+			hint := HostID(0) // a host that never faulted points at the allocation manager
+			if d := cur.dyn[page]; d != nil {
+				hint = d.probOwner
+			}
+			next := c.byID(hint)
+			if next == nil {
+				c.report(point, page, "host %d's probable-owner hint names unknown host %d", cur.id, hint)
+				break
+			}
+			hops++
+			if hops > len(c.mods) {
+				c.report(point, page, "probable-owner chain from host %d does not reach owner %d within %d hops",
+					m.id, own.id, len(c.mods))
+				break
+			}
+			cur = next
 		}
 	}
 }

@@ -135,8 +135,14 @@ type Config struct {
 	// CentralManager places every page's manager on host 0 (Li's
 	// centralized-manager variant) instead of distributing managers
 	// round-robin; an ablation of the paper's fixed distributed
-	// manager choice (§3.1).
+	// manager choice (§3.1). Retained for compatibility — it is
+	// shorthand for Directory: DirCentral.
 	CentralManager bool
+	// Directory selects the manager-placement scheme (directory.go):
+	// fixed distributed managers (default), centralized, or Li &
+	// Hudak's dynamic distributed manager with probable-owner
+	// forwarding. DirDynamic is only defined for PolicyMRSW.
+	Directory Directory
 	// Policy selects the coherence algorithm (default PolicyMRSW).
 	Policy Policy
 	// UnicastInvalidate sends write invalidations as individual calls
@@ -197,6 +203,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Params == nil {
 		return fmt.Errorf("dsm: no cost model")
+	}
+	if c.Directory == DirDynamic && c.CentralManager {
+		return fmt.Errorf("dsm: CentralManager conflicts with the dynamic directory")
+	}
+	if err := c.validatePolicy(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -274,6 +286,20 @@ type Stats struct {
 	// owner crashed; PagesLost counts pages declared unrecoverable.
 	PagesRecovered int
 	PagesLost      int
+	// Forwards counts dynamic-directory requests this host relayed one
+	// hop down its probable-owner chain (dynamic.go).
+	Forwards int
+	// ChainServes counts dynamic-directory transactions this host
+	// served as owner; ChainHops sums the forwarding hops those
+	// requests travelled before arriving, and ChainMax is the longest
+	// single chain observed. All zero under the fixed schemes.
+	ChainServes int
+	ChainHops   int
+	ChainMax    int
+	// Messages counts protocol messages sent by this host, by kind —
+	// §3.1's raw material for comparing manager schemes. Snapshot
+	// filled by Stats(); nil on the zero value.
+	Messages map[proto.Kind]int
 }
 
 // Module is one host's DSM engine.
@@ -307,6 +333,16 @@ type Module struct {
 	// material of thrashing diagnosis (§3.3's "detailed statistics of
 	// the numbers of page faults and transfers").
 	pageFetches map[PageNo]int
+
+	// engine is the coherence policy's replication strategy; dir is the
+	// manager-placement scheme. Both are fixed at New (engine.go,
+	// directory.go).
+	engine engine
+	dir    directory
+	// dyn holds per-page probable-owner state; non-nil only under the
+	// dynamic directory (dynamic.go), so fixed-scheme runs and their
+	// state hashes are untouched.
+	dyn map[PageNo]*dynPage
 
 	// liveness is the attached failure detector; nil (the default)
 	// means no failure detection: protocol failures panic and the
@@ -342,6 +378,8 @@ func New(k *sim.Kernel, ep *remoteop.Endpoint, cfg *Config, hosts []arch.Arch) (
 		protoCPU:    sim.NewResource(k, 1),
 		pageFetches: make(map[PageNo]int),
 	}
+	m.engine = newEngine(m)
+	m.dir = newDirectory(m)
 	if id == 0 {
 		m.alloc = newAllocator(cfg)
 	}
@@ -358,6 +396,11 @@ func New(k *sim.Kernel, ep *remoteop.Endpoint, cfg *Config, hosts []arch.Arch) (
 	ep.Handle(proto.KindUpdateWrite, m.handleUpdateWrite)
 	ep.Handle(proto.KindApplyUpdate, m.handleApplyUpdate)
 	ep.Handle(proto.KindRecoverPage, m.handleRecoverPage)
+	ep.Handle(proto.KindDynGetPage, m.handleDynGetPage)
+	ep.Handle(proto.KindDynGetPageWrite, m.handleDynGetPage)
+	ep.Handle(proto.KindDynForward, m.handleDynForward)
+	ep.Handle(proto.KindDynRecover, m.handleDynRecover)
+	ep.Handle(proto.KindDynConfirm, m.handleDynConfirm)
 	return m, nil
 }
 
@@ -402,7 +445,11 @@ func (m *Module) ID() HostID { return m.id }
 func (m *Module) Arch() arch.Arch { return m.arch }
 
 // Stats returns a snapshot of the host's DSM counters.
-func (m *Module) Stats() Stats { return m.stats }
+func (m *Module) Stats() Stats {
+	s := m.stats
+	s.Messages = m.ep.MessageCounts()
+	return s
+}
 
 // NumPages returns the number of DSM pages in the space.
 func (m *Module) NumPages() int { return m.cfg.SpaceSize / m.cfg.PageSize }
@@ -411,16 +458,15 @@ func (m *Module) NumPages() int { return m.cfg.SpaceSize / m.cfg.PageSize }
 func (m *Module) PageOf(addr Addr) PageNo { return PageNo(int(addr) / m.cfg.PageSize) }
 
 // Manager returns the fixed manager of a page — useful for tests and
-// fault harnesses that place work relative to a page's manager.
+// fault harnesses that place work relative to a page's manager. It
+// panics under the dynamic directory, which has no managers.
 func (m *Module) Manager(page PageNo) HostID { return m.manager(page) }
 
-// manager returns the fixed manager of a page: distributed round-robin
-// by default, or host 0 under the centralized-manager ablation.
+// manager returns the page's manager host per the directory scheme:
+// distributed round-robin by default, host 0 under the centralized
+// ablation.
 func (m *Module) manager(page PageNo) HostID {
-	if m.cfg.CentralManager {
-		return 0
-	}
-	return HostID(int(page) % len(m.hosts))
+	return m.dir.home(page)
 }
 
 // base returns the DSM virtual base address for a machine kind.

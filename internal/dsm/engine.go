@@ -1,0 +1,253 @@
+package dsm
+
+// The replication-engine layer. Each coherence policy (§2.1's algorithm
+// spectrum) is one engine: an implementation of region reads, region
+// writes and atomic swaps plus a few capability predicates the rest of
+// the module consults instead of branching on cfg.Policy. newEngine is
+// the ONLY policy dispatch point — the policy-branch vet rule flags any
+// cfg.Policy comparison outside this file — so adding an algorithm means
+// adding an engine, not editing every call site.
+//
+// The engines share the directory layer (directory.go: who manages a
+// page) and the transfer/conversion path (protocol.go, conv): an engine
+// decides *when* pages move and replicate; the directory decides *whom*
+// to ask; the transfer path decides *how* bytes travel and convert.
+
+import (
+	"fmt"
+
+	"repro/internal/bufpool"
+	"repro/internal/conv"
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// engine is one coherence policy's replication strategy.
+type engine interface {
+	// readRegion makes [addr, addr+n) readable and hands its byte spans
+	// to fn in order (see Module.readRegion for the full contract).
+	readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error
+	// writeRegion makes [addr, addr+n) writable and lets fill produce
+	// the new bytes span by span.
+	writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error
+	// atomicSwap exchanges the int32 at addr atomically.
+	atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, error)
+	// allocFirstTouch reports whether the allocation manager keeps a
+	// zero-filled writable copy of every fresh page (the page policies'
+	// first-touch ownership). Server-resident policies return false.
+	allocFirstTouch() bool
+	// serverOnly reports whether pages live only at their server and are
+	// never cached elsewhere (the central-server policy).
+	serverOnly() bool
+	// sequencesUpdates reports whether the page's manager sequences and
+	// pushes writes to replicas (the write-update policy).
+	sequencesUpdates() bool
+}
+
+// validatePolicy checks the policy-dependent configuration rules. It
+// lives here because engine.go is the package's one policy-dispatch
+// file (see the policy-branch vet rule).
+func (c *Config) validatePolicy() error {
+	if c.Directory == DirDynamic && c.Policy != PolicyMRSW {
+		return fmt.Errorf("dsm: dynamic directory is only defined for the MRSW policy, not %v", c.Policy)
+	}
+	return nil
+}
+
+// newEngine builds the engine for the configured policy. This switch is
+// the single policy dispatch point of the package.
+func newEngine(m *Module) engine {
+	switch m.cfg.Policy {
+	case PolicyCentral:
+		return &centralEngine{m: m}
+	case PolicyUpdate:
+		return &updateEngine{paged: pagedEngine{m: m}}
+	case PolicyMigration:
+		return &pagedEngine{m: m, writeOnRead: true}
+	default:
+		return &pagedEngine{m: m}
+	}
+}
+
+// readRegion makes [addr, addr+n) readable and hands its byte spans to
+// fn in order, according to the active engine. Under the page engines
+// (MRSW, migration, update reads) residency is ensured one
+// native-VM-page group at a time and the group's bytes are consumed
+// before moving on — the consistency a sequence of hardware accesses
+// would see; a large region is NOT fetched atomically, so concurrent
+// writers interleave exactly as they would against a real application's
+// access stream. Under the central engine the bytes are fetched from
+// each page's server, already converted to this host's representation.
+//
+// Under failure detection the page-engine path returns the fault's
+// typed error (ErrHostDown, ErrPageLost) and stops at the first group
+// that cannot be made resident: a multi-group region access is not
+// atomic, so groups already consumed stay consumed. The central and
+// update engines predate fault tolerance and keep their hard-panic
+// contract.
+func (m *Module) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error {
+	return m.engine.readRegion(p, addr, n, fn)
+}
+
+// writeRegion makes [addr, addr+n) writable and lets fill produce the
+// new bytes span by span, with the same per-group granularity as
+// readRegion.
+func (m *Module) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error {
+	return m.engine.writeRegion(p, addr, n, fill)
+}
+
+// pagedEngine is the page-migration family: Li's MRSW write-invalidate
+// algorithm (writeOnRead=false) and single-copy migration
+// (writeOnRead=true, every read faults for ownership). Residency and
+// coherence run through the directory's fault path; this engine only
+// fixes the access right each operation demands.
+type pagedEngine struct {
+	m *Module
+	// writeOnRead makes read accesses fault for write ownership: the
+	// migration policy's single migrating copy.
+	writeOnRead bool
+}
+
+func (e *pagedEngine) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error {
+	m := e.m
+	off := 0
+	var ferr error
+	m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
+		if ferr != nil {
+			return
+		}
+		t0 := p.Now()
+		if err := m.EnsureAccess(p, chunkAddr, chunkLen, e.writeOnRead); err != nil {
+			ferr = err
+			return
+		}
+		m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
+			fn(seg, off+o)
+			m.recordSC(p, sctrace.Read, t0, chunkAddr+Addr(o), seg)
+		})
+		off += chunkLen
+	})
+	return ferr
+}
+
+func (e *pagedEngine) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error {
+	m := e.m
+	off := 0
+	var ferr error
+	m.forEachGroup(addr, n, func(chunkAddr Addr, chunkLen int) {
+		if ferr != nil {
+			return
+		}
+		t0 := p.Now()
+		if err := m.EnsureAccess(p, chunkAddr, chunkLen, true); err != nil {
+			ferr = err
+			return
+		}
+		m.forEachSpan(chunkAddr, chunkLen, func(seg []byte, o int) {
+			fill(seg, off+o)
+			m.recordSC(p, sctrace.Write, t0, chunkAddr+Addr(o), seg)
+		})
+		off += chunkLen
+	})
+	return ferr
+}
+
+// atomicSwap holds write ownership from the access check to the store
+// without yielding, which is what makes the exchange atomic.
+func (e *pagedEngine) atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, error) {
+	m := e.m
+	t0 := p.Now()
+	if err := m.EnsureAccess(p, addr, 4, true); err != nil {
+		return 0, err
+	}
+	var old int32
+	m.forEachSpan(addr, 4, func(seg []byte, _ int) {
+		old = conv.GetInt32(m.arch, seg)
+		m.recordSC(p, sctrace.Read, t0, addr, seg)
+		conv.PutInt32(m.arch, seg, v)
+		m.recordSC(p, sctrace.Write, t0, addr, seg)
+	})
+	return old, nil
+}
+
+func (e *pagedEngine) allocFirstTouch() bool  { return true }
+func (e *pagedEngine) serverOnly() bool       { return false }
+func (e *pagedEngine) sequencesUpdates() bool { return false }
+
+// centralEngine is the central-server policy: no page ever leaves its
+// server; every access is a remote operation (central.go).
+type centralEngine struct {
+	m *Module
+}
+
+func (e *centralEngine) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error {
+	m := e.m
+	off := 0
+	end := int(addr) + n
+	for pos := int(addr); pos < end; {
+		pg := m.PageOf(Addr(pos))
+		pageStart := int(pg) * m.cfg.PageSize
+		hi := min(end, pageStart+m.cfg.PageSize)
+		t0 := p.Now()
+		seg := m.centralRead(p, pg, pos-pageStart, hi-pos)
+		fn(seg, off)
+		m.recordSC(p, sctrace.Read, t0, Addr(pos), seg)
+		off += hi - pos
+		pos = hi
+	}
+	return nil
+}
+
+func (e *centralEngine) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error {
+	m := e.m
+	off := 0
+	end := int(addr) + n
+	for pos := int(addr); pos < end; {
+		pg := m.PageOf(Addr(pos))
+		pageStart := int(pg) * m.cfg.PageSize
+		hi := min(end, pageStart+m.cfg.PageSize)
+		// Pooled staging: centralWrite blocks until the server has
+		// acknowledged and recordSC copies what it keeps.
+		seg := bufpool.Get(hi - pos)
+		t0 := p.Now()
+		fill(seg, off)
+		m.centralWrite(p, pg, pos-pageStart, seg)
+		m.recordSC(p, sctrace.Write, t0, Addr(pos), seg)
+		bufpool.Put(seg)
+		off += hi - pos
+		pos = hi
+	}
+	return nil
+}
+
+func (e *centralEngine) atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, error) {
+	return e.m.centralSwap(p, addr, v), nil
+}
+
+func (e *centralEngine) allocFirstTouch() bool  { return false }
+func (e *centralEngine) serverOnly() bool       { return true }
+func (e *centralEngine) sequencesUpdates() bool { return false }
+
+// updateEngine is the write-update policy: reads replicate exactly as
+// under MRSW (the embedded paged engine), writes are sequenced by the
+// manager and pushed to every replica (update.go).
+type updateEngine struct {
+	paged pagedEngine
+}
+
+func (e *updateEngine) readRegion(p *sim.Proc, addr Addr, n int, fn func(seg []byte, off int)) error {
+	return e.paged.readRegion(p, addr, n, fn)
+}
+
+func (e *updateEngine) writeRegion(p *sim.Proc, addr Addr, n int, fill func(seg []byte, off int)) error {
+	e.paged.m.updateWriteRegion(p, addr, n, fill)
+	return nil
+}
+
+func (e *updateEngine) atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, error) {
+	panic("dsm: atomic operations are not defined under the write-update policy; use the distributed synchronization facility")
+}
+
+func (e *updateEngine) allocFirstTouch() bool  { return true }
+func (e *updateEngine) serverOnly() bool       { return false }
+func (e *updateEngine) sequencesUpdates() bool { return true }

@@ -85,4 +85,32 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 		put(uint32(mt.typeID))
 		put(uint32(mt.used))
 	}
+
+	if m.dyn == nil {
+		return // fixed directories: the byte stream above is unchanged
+	}
+	put(0xffff_fffc)
+	dpages := make([]PageNo, 0, len(m.dyn))
+	for pg := range m.dyn { // vet:ignore map-order — sorted below
+		dpages = append(dpages, pg)
+	}
+	sort.Slice(dpages, func(i, j int) bool { return dpages[i] < dpages[j] })
+	for _, pg := range dpages {
+		dp := m.dyn[pg]
+		put(uint32(pg))
+		put(uint32(dp.probOwner))
+		if dp.owned {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint32(dp.lock.Count())) // distinguishes in-flight from quiescent
+		if dp.lost {
+			put(0xdead_4c57)
+		}
+		for _, hID := range dynCopysetList(dp, m.id) {
+			put(uint32(hID))
+		}
+		put(0xffff_fffe)
+	}
 }

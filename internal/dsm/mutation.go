@@ -49,6 +49,12 @@ const (
 	// owner crash: the page stays wedged at its dead owner and every
 	// later access times out instead of recovering.
 	MutForgetRecovery
+	// MutStaleProbableOwner makes a dynamic-directory owner skip the
+	// probable-owner update when relinquishing ownership: its hint keeps
+	// pointing at itself, so later requests forwarded through it stop
+	// one hop short of the true owner — forever, as a self-loop the
+	// chain-bound assertion trips (dynamic.go).
+	MutStaleProbableOwner
 
 	numMutations
 )
@@ -85,6 +91,8 @@ func (mu Mutation) String() string {
 		return "skip-conversion"
 	case MutForgetRecovery:
 		return "forget-recovery"
+	case MutStaleProbableOwner:
+		return "stale-probable-owner"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(mu))
 	}

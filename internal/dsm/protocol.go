@@ -21,6 +21,11 @@ const (
 	// flagLost marks a reply for a page whose only copy died with its
 	// crashed owner: the fault fails with ErrPageLost.
 	flagLost
+	// flagRetry tells a dynamic-directory requester its forwarded
+	// request hit a crashed hop: recover a route to the owner and
+	// re-issue the fault (dynamic.go). Never set on fixed-directory
+	// replies.
+	flagRetry
 )
 
 // faultRetries bounds how many times a fault whose transaction aborted
@@ -151,12 +156,7 @@ func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) error {
 		if m.hasAccess(page, write) {
 			return nil // another local thread fetched it meanwhile
 		}
-		var err error
-		if m.manager(page) == m.id {
-			err = m.localManagerFault(p, page, write)
-		} else {
-			err = m.remoteFault(p, page, write)
-		}
+		err := m.dir.fault(p, page, write)
 		if err == nil {
 			return nil
 		}
@@ -626,6 +626,12 @@ func (m *Module) handleServeRequest(p *sim.Proc, req *proto.Message) {
 // installBody on the faulting thread; a stale or duplicate delivery is
 // recycled here.
 func (m *Module) handlePageDeliver(p *sim.Proc, req *proto.Message) {
+	// A delivery in flight when this host crashed must not land: redeeming
+	// it would wake the faulting thread, which would install the page and
+	// let application writes execute on a dead machine — visible to the
+	// trace but unrecoverable by the survivors (the serving owner sees the
+	// failed ack and keeps its copy).
+	m.exitIfCrashed(p)
 	if !m.ep.Redeem(req.Arg(1), req) {
 		bufpool.Put(req.TakeWire())
 	}

@@ -250,6 +250,7 @@ func (m *Module) handleRecoverPage(p *sim.Proc, req *proto.Message) {
 	}
 	page := PageNo(req.Page)
 	probe := req.Arg(0) == 1
+	dynProbe := req.Arg(0) == 2
 	lp := m.local[page]
 	if lp == nil || lp.access == NoAccess {
 		m.ep.Reply(p, req, &proto.Message{
@@ -264,6 +265,20 @@ func (m *Module) handleRecoverPage(p *sim.Proc, req *proto.Message) {
 			Kind: proto.KindRecoverPageReply,
 			Page: req.Page,
 			Args: []uint32{1, uint32(lp.access)},
+		})
+		return
+	}
+	if dynProbe {
+		// Dynamic-directory recovery probe (Arg(0)=2): possession plus
+		// whether this host owns the page, still lock-free and data-free.
+		owned := uint32(0)
+		if dp := m.dyn[page]; dp != nil && dp.owned {
+			owned = 1
+		}
+		m.ep.Reply(p, req, &proto.Message{
+			Kind: proto.KindRecoverPageReply,
+			Page: req.Page,
+			Args: []uint32{1, uint32(lp.access), owned},
 		})
 		return
 	}

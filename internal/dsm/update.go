@@ -80,7 +80,7 @@ func (m *Module) sequenceWrite(p *sim.Proc, page PageNo, offset int, data []byte
 // handleUpdateWrite sequences a remote writer's update at the manager.
 func (m *Module) handleUpdateWrite(p *sim.Proc, req *proto.Message) {
 	page := PageNo(req.Page)
-	if m.cfg.Policy != PolicyUpdate || m.manager(page) != m.id {
+	if !m.engine.sequencesUpdates() || m.manager(page) != m.id {
 		bufpool.Put(req.TakeWire())
 		return // misdirected; the writer times out
 	}

@@ -1,0 +1,45 @@
+package exp
+
+import "testing"
+
+// TestDirectorySchemesInvariants pins the structure of the §3.1
+// manager-scheme ablation: the schemes differ only in how owners are
+// located, never in the page traffic itself, and the dynamic scheme's
+// forwarding stays within Li & Hudak's chain bound.
+func TestDirectorySchemesInvariants(t *testing.T) {
+	rows := DirectorySchemes()
+	if len(rows) != 3 {
+		t.Fatalf("got %d schemes, want 3", len(rows))
+	}
+	byName := map[string]DirectorySchemeRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	fixed, central, dynamic := byName["fixed"], byName["central"], byName["dynamic"]
+
+	// Page traffic is scheme-independent: every scheme moves the same
+	// bodies for the same workload.
+	if fixed.Fetches == 0 || central.Fetches != fixed.Fetches || dynamic.Fetches != fixed.Fetches {
+		t.Errorf("fetches differ across schemes: fixed=%d central=%d dynamic=%d",
+			fixed.Fetches, central.Fetches, dynamic.Fetches)
+	}
+
+	// Forwarding exists only under the dynamic directory, and its
+	// chains respect Li & Hudak's N-1 bound (6 hosts here).
+	if fixed.Forwards != 0 || central.Forwards != 0 {
+		t.Errorf("fixed/central schemes forwarded: fixed=%d central=%d", fixed.Forwards, central.Forwards)
+	}
+	if dynamic.Forwards == 0 {
+		t.Error("dynamic scheme never forwarded; the workload is not migratory enough to exercise hint chains")
+	}
+	if dynamic.MaxChain > 5 {
+		t.Errorf("dynamic chain reached %d hops, above the N-1=5 bound", dynamic.MaxChain)
+	}
+
+	// The owner-location overhead is the ablation's point: the dynamic
+	// scheme spends strictly more directory messages than the fixed
+	// scheme on this migratory pattern.
+	if dynamic.DirMsgs <= fixed.DirMsgs {
+		t.Errorf("dynamic dir msgs %d not above fixed %d", dynamic.DirMsgs, fixed.DirMsgs)
+	}
+}

@@ -27,19 +27,22 @@ import (
 //   - unsequenced-update mutates the write-update policy's sequencer,
 //     so it needs the "update" workload; forget-recovery mutates the
 //     copyset re-own after an owner crash, which only the "crash"
-//     workload (failure detection on, a host actually dying) reaches —
+//     workload (failure detection on, a host actually dying) reaches;
+//     stale-probable-owner corrupts the dynamic directory's hint update
+//     on ownership handoff, which only the "dynamic" workload runs —
 //     every other mutation targets the MRSW invalidate path that
 //     "basic" exercises.
 var killPlan = map[dsm.Mutation]string{
-	dsm.MutSkipInvalidation:  "basic",
-	dsm.MutDropCopyset:       "ring",
-	dsm.MutStaleOwner:        "basic",
-	dsm.MutUnsequencedUpdate: "update",
-	dsm.MutLostAck:           "ring",
-	dsm.MutDoubleWriterGrant: "basic",
-	dsm.MutAllocOverrun:      "basic",
-	dsm.MutSkipConversion:    "basic",
-	dsm.MutForgetRecovery:    "crash",
+	dsm.MutSkipInvalidation:   "basic",
+	dsm.MutDropCopyset:        "ring",
+	dsm.MutStaleOwner:         "basic",
+	dsm.MutUnsequencedUpdate:  "update",
+	dsm.MutLostAck:            "ring",
+	dsm.MutDoubleWriterGrant:  "basic",
+	dsm.MutAllocOverrun:       "basic",
+	dsm.MutSkipConversion:     "basic",
+	dsm.MutForgetRecovery:     "crash",
+	dsm.MutStaleProbableOwner: "dynamic",
 }
 
 // KillResult records one mutation's fate.

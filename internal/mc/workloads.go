@@ -147,6 +147,77 @@ func init() {
 	register(semWorkload())
 	register(barrierWorkload())
 	register(crashWorkload())
+	register(dynamicWorkload())
+}
+
+// buildDynamicCluster is buildCluster under Li & Hudak's dynamic
+// distributed manager instead of the fixed scheme.
+func buildDynamicCluster(kinds []arch.Kind, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	params := mcParams()
+	rec := sctrace.NewRecorder()
+	c, err := cluster.New(cluster.Config{
+		Hosts:           hosts,
+		PageSize:        workloadPageSize,
+		SpaceSize:       workloadSpaceSize,
+		Params:          &params,
+		Seed:            1,
+		Policy:          dsm.PolicyMRSW,
+		Directory:       dsm.DirDynamic,
+		InvariantChecks: true,
+		SCTrace:         rec,
+		Mutation:        mut,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, rec, nil
+}
+
+// dynamicWorkload walks ownership through all three hosts of a dynamic-
+// directory cluster so probable-owner hints go stale and requests must
+// forward: after host 1 takes ownership, host 2's read still aims at
+// host 0 (its initial hint) and travels the chain 0→1; host 2's write
+// then upgrades in place, and host 0's final read chases 1→2. Every
+// value is checked where coherence bugs would surface, and the
+// invariant checker's dynamic branch audits the hint graph at each
+// transition. Under MutStaleProbableOwner the relinquishing owner keeps
+// its self-hint and the next forwarded request trips the self-loop
+// assertion.
+func dynamicWorkload() *Workload {
+	return &Workload{
+		Name: "dynamic",
+		Desc: "3 hosts, dynamic distributed manager: ownership chain + forwarded third-party requests",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildDynamicCluster([]arch.Kind{arch.Sun, arch.Firefly, arch.Sun}, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0, h1, h2 := c.Hosts[0], c.Hosts[1], c.Hosts[2]
+				x, err := h0.DSM.Alloc(p, conv.Int32, pageInts)
+				if err != nil {
+					return err
+				}
+				h1.DSM.WriteInt32(p, x, 1) // ownership 0→1
+				if got := h2.DSM.ReadInt32(p, x); got != 1 {
+					return fmt.Errorf("forwarded read = %d, want 1", got) // chain 0→1
+				}
+				h2.DSM.WriteInt32(p, x, 2) // replica upgrade: 1 invalidates and hands off
+				if got := h1.DSM.ReadInt32(p, x); got != 2 {
+					return fmt.Errorf("read after upgrade = %d, want 2", got)
+				}
+				if got := h0.DSM.ReadInt32(p, x); got != 2 {
+					return fmt.Errorf("chased read = %d, want 2", got) // chain 1→2
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
 }
 
 // buildFaultCluster is buildCluster with the failure detector running on

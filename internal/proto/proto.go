@@ -118,6 +118,36 @@ const (
 	// KindRecoverPageReply carries the survivor's copy in its native
 	// format (Args[0]=1) or reports it holds none (Args[0]=0).
 	KindRecoverPageReply
+	// KindDynGetPage requests a page copy for reading under the dynamic
+	// distributed manager, sent to the requester's probable owner. Never
+	// answered directly: the eventual owner redeems the call with a
+	// KindPageDeliver.
+	KindDynGetPage
+	// KindDynGetPageWrite requests a page with ownership for writing
+	// under the dynamic distributed manager.
+	KindDynGetPageWrite
+	// KindDynForward hands a dynamic-manager request one hop down the
+	// probable-owner chain: "requester Args[0] wants page P (write if
+	// Args[2]), redeem its request Args[1]; Args[3] hops so far". Acked
+	// immediately with KindDynForwardAck so a lost hop is retransmitted.
+	KindDynForward
+	// KindDynForwardAck acknowledges receipt of a forwarded request.
+	KindDynForwardAck
+	// KindDynRecover asks a recovery coordinator to locate (or rebuild
+	// from surviving copies) the owner of a page whose probable-owner
+	// chain broke at a crashed host. Args[0] is the hint the requester
+	// chased last.
+	KindDynRecover
+	// KindDynRecoverReply answers with Args[0]=1 and the live owner in
+	// Args[1], or Args[0]=0 for a page whose every copy died.
+	KindDynRecoverReply
+	// KindDynConfirm reports a served read copy installed on the
+	// requester. The dynamic owner holds the page transaction open until
+	// it arrives, so the next write's invalidation round cannot race the
+	// installation (the dynamic counterpart of KindOwnerUpdate).
+	KindDynConfirm
+	// KindDynConfirmAck acknowledges a KindDynConfirm.
+	KindDynConfirmAck
 )
 
 // String names the message kind.
@@ -135,6 +165,8 @@ func (k Kind) String() string {
 		"remote-read", "remote-read-reply", "remote-write", "remote-write-ack",
 		"echo", "echo-reply",
 		"heartbeat", "recover-page", "recover-page-reply",
+		"dyn-get-page", "dyn-get-page-write", "dyn-forward", "dyn-forward-ack",
+		"dyn-recover", "dyn-recover-reply", "dyn-confirm", "dyn-confirm-ack",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -151,7 +183,7 @@ func (k Kind) IsReply() bool {
 		KindBarrierReply, KindAllocReply, KindPageMetaAck,
 		KindUpdateWriteAck, KindApplyUpdateAck,
 		KindRemoteReadReply, KindRemoteWriteAck, KindEchoReply,
-		KindRecoverPageReply:
+		KindRecoverPageReply, KindDynForwardAck, KindDynRecoverReply, KindDynConfirmAck:
 		return true
 	default:
 		return false

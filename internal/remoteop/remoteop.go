@@ -181,7 +181,11 @@ type Endpoint struct {
 	dedup   map[dedupKey]*dedupEntry
 	dedupQ  []dedupKey
 	stats   Stats
-	started bool
+	// kindSent counts messages sent by protocol kind — the per-scheme
+	// message-count comparison of the paper's §3.1 needs the breakdown,
+	// not just the total.
+	kindSent map[proto.Kind]int
+	started  bool
 
 	// peerDead is the failure detector's liveness predicate; onTimeout
 	// its escalation callback; crashed marks this endpoint's own host as
@@ -199,15 +203,16 @@ const dedupCap = 2048
 func New(k *sim.Kernel, ifc *netsim.Interface, kind arch.Kind, params *model.Params) *Endpoint {
 	registerFaultHooks(ifc.Network())
 	return &Endpoint{
-		k:       k,
-		id:      ifc.ID(),
-		kind:    kind,
-		ifc:     ifc,
-		params:  params,
-		handler: make(map[proto.Kind]Handler),
-		pending: make(map[uint32]*pendingCall),
-		reasm:   make(map[reasmKey]*reasmBuf),
-		dedup:   make(map[dedupKey]*dedupEntry),
+		k:        k,
+		id:       ifc.ID(),
+		kind:     kind,
+		ifc:      ifc,
+		params:   params,
+		handler:  make(map[proto.Kind]Handler),
+		pending:  make(map[uint32]*pendingCall),
+		reasm:    make(map[reasmKey]*reasmBuf),
+		dedup:    make(map[dedupKey]*dedupEntry),
+		kindSent: make(map[proto.Kind]int),
 	}
 }
 
@@ -480,6 +485,16 @@ func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 		e.stats.FragmentsSent++
 	}
 	e.stats.Sent++
+	e.kindSent[m.Kind]++
+}
+
+// MessageCounts returns a copy of the per-kind sent-message counters.
+func (e *Endpoint) MessageCounts() map[proto.Kind]int {
+	out := make(map[proto.Kind]int, len(e.kindSent))
+	for k, n := range e.kindSent { // vet:ignore map-order — copy, order-free
+		out[k] = n
+	}
+	return out
 }
 
 // Call sends a request to dst and blocks until the matching reply

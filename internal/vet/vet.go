@@ -42,6 +42,11 @@
 //     declared constant or have a default clause; silently falling
 //     through on a newly added enum value is how protocol dispatchers
 //     rot.
+//   - policy-branch: the coherence policy is dispatched exactly once,
+//     where newEngine selects a replication engine; a `cfg.Policy`
+//     comparison or switch anywhere else in the DSM package is a
+//     second dispatch point that the engine refactor exists to
+//     eliminate, and it silently misses newly added policies.
 //
 // Findings on a line carrying a `vet:ignore <rule>` comment are
 // suppressed.
@@ -102,6 +107,12 @@ type Config struct {
 	HotAllocPackages []string
 	// ErrDropPackages lists packages subject to the err-drop rule.
 	ErrDropPackages []string
+	// PolicyBranchPackages lists packages subject to the policy-branch
+	// rule.
+	PolicyBranchPackages []string
+	// PolicyBranchAllow lists file basenames (the engine dispatch)
+	// where comparing or switching on the coherence policy is legal.
+	PolicyBranchAllow []string
 }
 
 // DefaultConfig returns the project's rule scoping for the module with
@@ -109,13 +120,15 @@ type Config struct {
 func DefaultConfig(module string) *Config {
 	j := func(p string) string { return path.Join(module, p) }
 	return &Config{
-		PVPackages:          []string{j("internal/dsm"), j("internal/dsync"), j("internal/threads")},
-		DeterminismPackages: []string{j("internal/sim"), j("internal/dsm"), j("internal/netsim")},
-		PageBufferPackages:  []string{j("internal/dsm")},
-		PageBufferAllow:     []string{"access.go", "protocol.go", "central.go", "update.go", "recovery.go"},
-		EnumModulePrefix:    module,
-		HotAllocPackages:    []string{j("internal/dsm"), j("internal/netsim"), j("internal/remoteop"), j("internal/bufpool")},
-		ErrDropPackages:     []string{j("internal/dsm"), j("internal/remoteop")},
+		PVPackages:           []string{j("internal/dsm"), j("internal/dsync"), j("internal/threads")},
+		DeterminismPackages:  []string{j("internal/sim"), j("internal/dsm"), j("internal/netsim")},
+		PageBufferPackages:   []string{j("internal/dsm")},
+		PageBufferAllow:      []string{"access.go", "protocol.go", "central.go", "update.go", "recovery.go"},
+		EnumModulePrefix:     module,
+		HotAllocPackages:     []string{j("internal/dsm"), j("internal/netsim"), j("internal/remoteop"), j("internal/bufpool")},
+		ErrDropPackages:      []string{j("internal/dsm"), j("internal/remoteop")},
+		PolicyBranchPackages: []string{j("internal/dsm")},
+		PolicyBranchAllow:    []string{"engine.go"},
 	}
 }
 
@@ -202,6 +215,9 @@ func Check(pkg *Package, cfg *Config) []Finding {
 		}
 		if slices.Contains(cfg.ErrDropPackages, pkg.Path) {
 			c.checkErrDrop(f)
+		}
+		if slices.Contains(cfg.PolicyBranchPackages, pkg.Path) {
+			c.checkPolicyBranch(f)
 		}
 		c.checkEnumSwitch(f)
 	}
@@ -650,6 +666,54 @@ func (c *checker) checkEnumSwitch(f *ast.File) {
 			c.report(sw.Pos(), "enum-switch",
 				"switch over %s.%s misses %s and has no default clause",
 				obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+		}
+		return true
+	})
+}
+
+// ---- policy-branch -------------------------------------------------
+
+// checkPolicyBranch flags comparisons against and switches over the
+// coherence policy (`cfg.Policy == ...`, `switch m.cfg.Policy`)
+// outside the engine-dispatch files. The replication engines exist so
+// that per-policy behaviour is selected once, in newEngine; a policy
+// branch anywhere else reintroduces scattered dispatch that a new
+// policy would have to hunt down. With type information the rule
+// confirms the selector really denotes a value of a named Policy
+// type; without it, the field name alone decides.
+func (c *checker) checkPolicyBranch(f *ast.File) {
+	base := path.Base(c.pkg.Fset.Position(f.Pos()).Filename)
+	if slices.Contains(c.cfg.PolicyBranchAllow, base) {
+		return
+	}
+	isPolicy := func(x ast.Expr) bool {
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Policy" {
+			return false
+		}
+		if tv, ok := c.pkg.Info.Types[sel]; ok && tv.Type != nil {
+			named, isNamed := tv.Type.(*types.Named)
+			return isNamed && named.Obj().Name() == "Policy"
+		}
+		return true
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			if node.Op != token.EQL && node.Op != token.NEQ {
+				return true
+			}
+			if isPolicy(node.X) || isPolicy(node.Y) {
+				c.report(node.Pos(), "policy-branch",
+					"policy comparison (%s) outside the engine dispatch; per-policy behaviour belongs in a replication engine selected by newEngine",
+					types.ExprString(node))
+			}
+		case *ast.SwitchStmt:
+			if node.Tag != nil && isPolicy(node.Tag) {
+				c.report(node.Pos(), "policy-branch",
+					"switch over %s outside the engine dispatch; per-policy behaviour belongs in a replication engine selected by newEngine",
+					types.ExprString(node.Tag))
+			}
 		}
 		return true
 	})

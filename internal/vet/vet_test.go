@@ -23,12 +23,14 @@ func analyze(t *testing.T, pkgPath string, sources map[string]string) []Finding 
 	}
 	pkg := NewPackage(fset, pkgPath, files, nil)
 	cfg := &Config{
-		PVPackages:          []string{pkgPath},
-		DeterminismPackages: []string{pkgPath},
-		PageBufferPackages:  []string{pkgPath},
-		PageBufferAllow:     []string{"access.go"},
-		HotAllocPackages:    []string{pkgPath},
-		ErrDropPackages:     []string{pkgPath},
+		PVPackages:           []string{pkgPath},
+		DeterminismPackages:  []string{pkgPath},
+		PageBufferPackages:   []string{pkgPath},
+		PageBufferAllow:      []string{"access.go"},
+		HotAllocPackages:     []string{pkgPath},
+		ErrDropPackages:      []string{pkgPath},
+		PolicyBranchPackages: []string{pkgPath},
+		PolicyBranchAllow:    []string{"engine.go"},
 	}
 	return Check(pkg, cfg)
 }
@@ -435,6 +437,102 @@ func fireAndForget(e *ep) {
 	_ = e.Notify() // vet:ignore err-drop — the requester times out and re-faults
 	var err = errors.New("handled")
 	_ = err
+}
+`})
+	wantClean(t, fs)
+}
+
+func TestPolicyBranchFlaggedOutsideEngineDispatch(t *testing.T) {
+	fixture := map[string]string{
+		"state.go": `
+package dsm
+
+type Policy int
+
+const (
+	PolicyMRSW Policy = iota
+	PolicyCentral
+)
+
+type Config struct{ Policy Policy }
+
+type mod struct{ cfg Config }
+`,
+		"proto.go": `
+package dsm
+
+func scattered(m *mod) int {
+	if m.cfg.Policy == PolicyCentral { // second dispatch point
+		return 1
+	}
+	if m.cfg.Policy != PolicyMRSW { // and its negation
+		return 2
+	}
+	switch m.cfg.Policy { // and a switch
+	case PolicyMRSW:
+		return 3
+	default:
+		return 4
+	}
+}
+
+func legal(m *mod) Policy {
+	p := m.cfg.Policy // reading the field is fine; branching on it is not
+	return p
+}
+`,
+		"engine.go": `
+package dsm
+
+func newEngine(m *mod) int {
+	switch m.cfg.Policy { // the one sanctioned dispatch point
+	case PolicyCentral:
+		return 1
+	default:
+		return 0
+	}
+}
+`,
+	}
+	fs := analyze(t, "fixture/dsm", fixture)
+	wantRule(t, fs, "policy-branch", "m.cfg.Policy == PolicyCentral")
+	wantRule(t, fs, "policy-branch", "m.cfg.Policy != PolicyMRSW")
+	wantRule(t, fs, "policy-branch", "switch over m.cfg.Policy")
+	if len(fs) != 3 {
+		t.Fatalf("want the 3 scattered branches only, got %v (%v)", rules(fs), fs)
+	}
+}
+
+func TestPolicyBranchIgnoresOtherPolicyFields(t *testing.T) {
+	wantClean(t, analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+type retryPolicy struct{ Policy string }
+
+func unrelated(r retryPolicy) bool {
+	return r.Policy == "exponential" // a string field that merely shares the name
+}
+`}))
+}
+
+func TestPolicyBranchAnnotatedSitePasses(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+type Policy int
+
+const (
+	PolicyMRSW Policy = iota
+	PolicyCentral
+)
+
+type Config struct{ Policy Policy }
+
+func describe(c Config) string {
+	if c.Policy == PolicyCentral { // vet:ignore policy-branch — diagnostics only
+		return "central"
+	}
+	return "mrsw"
 }
 `})
 	wantClean(t, fs)

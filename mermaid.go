@@ -94,6 +94,18 @@ const (
 	Update = dsm.PolicyUpdate
 )
 
+// Directory schemes (§3.1: how page managers are located).
+const (
+	// DirFixed distributes fixed managers across hosts (the paper's
+	// choice, and the default).
+	DirFixed = dsm.DirFixed
+	// DirCentral places every page's manager on host 0.
+	DirCentral = dsm.DirCentral
+	// DirDynamic is Li & Hudak's dynamic distributed manager: no
+	// managers, probable-owner hint chains with path compression.
+	DirDynamic = dsm.DirDynamic
+)
+
 // Page size algorithm selectors (§2.4 of the paper).
 const (
 	// LargestPageSize uses 8 KB DSM pages (the Sun's VM page size).
@@ -118,6 +130,8 @@ type (
 	Kind = arch.Kind
 	// Policy is a coherence algorithm selector.
 	Policy = dsm.Policy
+	// Directory is a manager-placement scheme selector.
+	Directory = dsm.Directory
 	// Field is one field of a compound shared-memory type.
 	Field = conv.Field
 	// SharedPtr marks a DSM-pointer field in a Go struct registered
@@ -149,8 +163,12 @@ type Config struct {
 	// when possible, avoiding conversions (§2.3's optimization).
 	PreferSameKindSource bool
 	// CentralManager puts every page's manager on host 0 instead of
-	// distributing managers (ablation of the paper's design).
+	// distributing managers (ablation of the paper's design). Kept as
+	// the boolean shorthand for DirectoryScheme: DirCentral.
 	CentralManager bool
+	// DirectoryScheme selects how page owners are located: DirFixed
+	// (default), DirCentral, or DirDynamic (§3.1's ablation axis).
+	DirectoryScheme Directory
 	// Policy selects the coherence algorithm: MRSW (default), Migration
 	// or Central — the "multiple DSM packages" §2.1 argues a user-level
 	// implementation makes easy to provide.
@@ -182,6 +200,7 @@ func New(cfg Config) (*Cluster, error) {
 		DisableConversion:    cfg.DisableConversion,
 		PreferSameKindSource: cfg.PreferSameKindSource,
 		CentralManager:       cfg.CentralManager,
+		Directory:            cfg.DirectoryScheme,
 		Policy:               cfg.Policy,
 		UnicastInvalidate:    cfg.UnicastInvalidate,
 		DropRate:             cfg.DropRate,
