@@ -23,7 +23,7 @@ test:
 	go test ./...
 
 race:
-	go test -race ./internal/sim/... ./internal/dsm/... ./internal/dsync/...
+	go test -race ./internal/sim/... ./internal/dsm/... ./internal/dsync/... ./internal/threads/...
 
 mermaid-vet:
 	go run ./cmd/mermaid-vet ./...

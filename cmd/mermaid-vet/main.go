@@ -1,28 +1,38 @@
 // Command mermaid-vet runs the project's custom static analyzer
 // (internal/vet) over the module's packages:
 //
-//	go run ./cmd/mermaid-vet ./...
+//	go run ./cmd/mermaid-vet [-json] ./...
 //
 // It type-checks every package from source, resolving imports through
 // the gc export data that `go list -export` produces — standard
 // library only, no network, no third-party analysis frameworks — and
-// exits non-zero if any rule fires. See internal/vet for the rules.
+// exits non-zero if any rule fires. Packages are analyzed in parallel
+// across GOMAXPROCS workers (each with its own FileSet and importer —
+// the gc importer is not safe for concurrent use); the module-global
+// kind-dispatch facts are joined after the fan-in. With -json the
+// findings and coverage statistics are printed as a single JSON
+// object. See internal/vet for the rules.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/vet"
 )
@@ -37,6 +47,19 @@ type listedPackage struct {
 	Standard   bool
 }
 
+// report is the -json output shape.
+type report struct {
+	Findings []vet.Finding `json:"findings"`
+	Stats    struct {
+		Packages   int   `json:"packages"`
+		Funcs      int   `json:"funcs_analyzed"`
+		Blocks     int   `json:"cfg_blocks"`
+		Suppressed int   `json:"suppressed"`
+		ElapsedMS  int64 `json:"elapsed_ms"`
+	} `json:"stats"`
+	ByRule map[string]int `json:"findings_by_rule"`
+}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mermaid-vet:", err)
@@ -44,11 +67,25 @@ func main() {
 	}
 }
 
+// pkgResult is one worker's output for one package.
+type pkgResult struct {
+	findings []vet.Finding
+	stats    vet.Stats
+	facts    *vet.KindFacts
+	err      error
+}
+
 func run(args []string) error {
-	patterns := args
+	fs := flag.NewFlagSet("mermaid-vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings and coverage statistics as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now()
 
 	module, err := goModulePath()
 	if err != nil {
@@ -74,41 +111,110 @@ func run(args []string) error {
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
+	cfg := vet.DefaultConfig(module)
+	results := make([]pkgResult, len(targets))
+
+	// Fan the packages out over GOMAXPROCS workers. The exports map is
+	// read-only from here on; each worker builds its own FileSet and gc
+	// importer, which are not safe to share.
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fset := token.NewFileSet()
+			imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+				f, ok := exports[path]
+				if !ok {
+					return nil, fmt.Errorf("no export data for %q", path)
+				}
+				return os.Open(f)
+			})
+			for i := range work {
+				results[i] = checkPackage(fset, imp, targets[i], cfg)
+			}
+		}()
+	}
+	for i := range targets {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var findings []vet.Finding
+	var stats vet.Stats
+	var allFacts []*vet.KindFacts
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
 		}
-		return os.Open(f)
+		findings = append(findings, r.findings...)
+		stats.Add(r.stats)
+		allFacts = append(allFacts, r.facts)
+	}
+	findings = append(findings, vet.CheckKindDispatch(allFacts)...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
 	})
 
-	cfg := vet.DefaultConfig(module)
-	var findings []vet.Finding
-	for _, p := range targets {
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return fmt.Errorf("parsing %s: %w", name, err)
-			}
-			files = append(files, f)
+	if *jsonOut {
+		rep := report{Findings: findings, ByRule: map[string]int{}}
+		if rep.Findings == nil {
+			rep.Findings = []vet.Finding{}
 		}
-		if len(files) == 0 {
-			continue
+		for _, f := range findings {
+			rep.ByRule[f.Rule]++
 		}
-		pkg := vet.NewPackage(fset, p.ImportPath, files, imp)
-		findings = append(findings, vet.Check(pkg, cfg)...)
-	}
-
-	for _, f := range findings {
-		fmt.Println(f)
+		rep.Stats.Packages = len(targets)
+		rep.Stats.Funcs = stats.Funcs
+		rep.Stats.Blocks = stats.Blocks
+		rep.Stats.Suppressed = stats.Suppressed
+		rep.Stats.ElapsedMS = time.Since(start).Milliseconds()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "mermaid-vet: %d finding(s)\n", n)
 		os.Exit(1)
 	}
 	return nil
+}
+
+// checkPackage parses, type-checks, and analyzes one package.
+func checkPackage(fset *token.FileSet, imp types.Importer, p *listedPackage, cfg *vet.Config) pkgResult {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return pkgResult{err: fmt.Errorf("parsing %s: %w", name, err)}
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return pkgResult{}
+	}
+	pkg := vet.NewPackage(fset, p.ImportPath, files, imp)
+	findings, stats := vet.CheckWithStats(pkg, cfg)
+	return pkgResult{
+		findings: findings,
+		stats:    stats,
+		facts:    vet.CollectKindFacts(pkg, cfg),
+	}
 }
 
 // goModulePath reports the main module's path.

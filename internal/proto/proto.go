@@ -19,8 +19,9 @@ type Kind uint8
 // forwarded requests can be answered by a host other than the one the
 // requester contacted.
 const (
-	// KindInvalid is the zero Kind.
-	KindInvalid Kind = iota
+	// KindInvalid is the zero Kind. It is never sent, so it is neither a
+	// reply nor registered with a handler.
+	KindInvalid Kind = iota // vet:ignore kind-dispatch — the zero value is never routed
 	// KindGetPage requests a page copy for reading (to manager/owner).
 	KindGetPage
 	// KindGetPageWrite requests a page with ownership for writing.

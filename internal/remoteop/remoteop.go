@@ -295,7 +295,11 @@ func (e *Endpoint) serve(p *sim.Proc) {
 
 // reassemble copies the fragment's chunk into a pooled, receiver-owned
 // buffer and reports whether the message is now complete. The caller
-// releases the fragment afterwards in every path.
+// releases the fragment afterwards in every path. On done the caller
+// owns the returned buffer and must Put or transfer it; when not done
+// there is no buffer (partial assemblies stay owned by the reasm table).
+//
+// vet:owned
 func (e *Endpoint) reassemble(frag *fragment) ([]byte, bool) {
 	if frag.total == 1 {
 		out := bufpool.Get(len(frag.chunk))
@@ -423,13 +427,19 @@ func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 	}
 	broadcast := dst == Broadcast
 	var (
-		buf []byte
-		err error
+		buf   []byte
+		err   error
+		owner *encOwner
 	)
 	if broadcast {
 		buf, err = m.Encode() // vet:ignore hot-alloc — broadcast fragments share one GC-owned buffer
 	} else {
+		// The owner takes the encode buffer in the same branch that
+		// acquires it; the refcount is armed below once the fragment
+		// count is known.
 		buf, err = m.AppendEncode(bufpool.Get(m.EncodedSize())[:0])
+		owner = ownerPool.Get().(*encOwner)
+		owner.buf = buf
 	}
 	if err != nil {
 		// Encoding errors are programming errors in protocol code.
@@ -437,10 +447,7 @@ func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 	}
 	bulk := len(m.Data) > 0
 	total := e.params.Fragments(len(buf))
-	var owner *encOwner
-	if !broadcast {
-		owner = ownerPool.Get().(*encOwner)
-		owner.buf = buf
+	if owner != nil {
 		owner.remaining.Store(int32(total))
 	}
 	e.nextMsg++

@@ -630,3 +630,58 @@ func TestDedupCacheEviction(t *testing.T) {
 		t.Fatalf("served %d of 2100", served)
 	}
 }
+
+// TestUnicastEncodeOwnerArmsRefcount pins the send-path restructure the
+// buf-own analysis forced: the refcounted owner must take the pooled
+// encode buffer in the same branch that acquires it, and its refcount
+// must be armed to the exact fragment count — an unarmed (zero)
+// refcount would make the first release go negative and strand the
+// buffer forever.
+func TestUnicastEncodeOwnerArmsRefcount(t *testing.T) {
+	r := newRig(t, arch.Sun, arch.Sun)
+	// Endpoint 1 is deliberately not started: its server loop would
+	// consume and release the fragments, so read the raw frames instead
+	// to observe the shared encode owner before any release.
+	payload := make([]byte, 3*r.par.MTUPayload+10)
+	var frags []*fragment
+	r.k.Spawn("sender", func(p *sim.Proc) {
+		r.eps[0].send(p, 1, &proto.Message{Kind: proto.KindEcho, Data: payload})
+	})
+	r.k.Spawn("collector", func(p *sim.Proc) {
+		for {
+			frame := r.eps[1].ifc.Recv(p)
+			fr := frame.Payload.(*fragment)
+			frags = append(frags, fr)
+			if len(frags) == fr.total {
+				return
+			}
+		}
+	})
+	r.k.Run()
+
+	if len(frags) < 4 {
+		t.Fatalf("got %d fragments, want ≥4 for %d bytes", len(frags), len(payload))
+	}
+	owner := frags[0].owner
+	if owner == nil || owner.buf == nil {
+		t.Fatal("unicast fragments must share a pooled, owner-held encode buffer")
+	}
+	for i, fr := range frags {
+		if fr.owner != owner {
+			t.Fatalf("fragment %d has a different owner", i)
+		}
+	}
+	if got := owner.remaining.Load(); got != int32(len(frags)) {
+		t.Fatalf("owner refcount armed to %d, want %d (the fragment count)", got, len(frags))
+	}
+	// Releasing every fragment must return the buffer exactly at zero.
+	for _, fr := range frags {
+		releaseFrag(fr)
+	}
+	if got := owner.remaining.Load(); got != 0 {
+		t.Fatalf("refcount %d after releasing all fragments, want 0", got)
+	}
+	if owner.buf != nil {
+		t.Fatal("encode buffer not returned to the pool after the last release")
+	}
+}

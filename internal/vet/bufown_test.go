@@ -1,0 +1,133 @@
+package vet
+
+import (
+	"bufio"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyzeTestdata parses every .go file of a fixture package under
+// testdata and runs the buf-own analysis over it.
+func analyzeTestdata(t *testing.T, dir, pkgPath string) []Finding {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg := NewPackage(fset, pkgPath, files, nil)
+	return Check(pkg, &Config{
+		BufOwnPackages: []string{pkgPath},
+		BufPoolPackage: "repro/internal/bufpool",
+		ProtoPackage:   "repro/internal/proto",
+	})
+}
+
+// wantLines maps file → the line numbers carrying a `want buf-own`
+// marker.
+func wantLines(t *testing.T, dir string) map[string]map[int]bool {
+	t.Helper()
+	out := map[string]map[int]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if strings.Contains(sc.Text(), "want buf-own") {
+				if out[name] == nil {
+					out[name] = map[int]bool{}
+				}
+				out[name][line] = true
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+// TestBufOwnMutationsKilled is the mutation-kill harness: every
+// injected lifetime bug in testdata/bufownbad must be reported on its
+// marked line, and nothing else may be.
+func TestBufOwnMutationsKilled(t *testing.T) {
+	dir := filepath.Join("testdata", "bufownbad")
+	fs := analyzeTestdata(t, dir, "fixture/bufownbad")
+	want := wantLines(t, dir)
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers")
+	}
+	got := map[string]map[int]bool{}
+	for _, f := range fs {
+		if f.Rule != "buf-own" {
+			t.Errorf("unexpected %s finding in buf-own fixture: %v", f.Rule, f)
+			continue
+		}
+		if got[f.Pos.Filename] == nil {
+			got[f.Pos.Filename] = map[int]bool{}
+		}
+		got[f.Pos.Filename][f.Pos.Line] = true
+	}
+	nwant := 0
+	for file, lines := range want {
+		for line := range lines {
+			nwant++
+			if !got[file][line] {
+				t.Errorf("injected bug at %s:%d not reported (mutation survived)", file, line)
+			}
+		}
+	}
+	if nwant != 8 {
+		t.Fatalf("fixture must carry exactly 8 injected bugs, found %d markers", nwant)
+	}
+	for file, lines := range got {
+		for line := range lines {
+			if !want[file][line] {
+				t.Errorf("false positive at %s:%d", file, line)
+			}
+		}
+	}
+	if t.Failed() {
+		t.Logf("findings:")
+		for _, f := range fs {
+			t.Logf("  %v", f)
+		}
+	}
+}
+
+// TestBufOwnCleanFixtureSilent pins the false-positive budget at zero
+// over every sanctioned lifecycle pattern.
+func TestBufOwnCleanFixtureSilent(t *testing.T) {
+	fs := analyzeTestdata(t, filepath.Join("testdata", "bufownclean"), "fixture/bufownclean")
+	if len(fs) != 0 {
+		t.Fatalf("clean fixture must be silent, got %v", fs)
+	}
+}

@@ -1,0 +1,212 @@
+package vet
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CFG and dataflow engine are exercised end to end through the
+// lock-pairing analysis: each test shapes control flow (branches,
+// loops, switches, defers, crash paths) and checks where a held
+// semaphore is — and is not — reported.
+
+func lockFindings(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == "lock-pairing" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+const lockFixtureHeader = `
+package dsm
+
+type sema struct{}
+
+func (s *sema) P(x int) {}
+func (s *sema) V()      {}
+
+type proc struct{}
+
+func (p *proc) Exit() {}
+`
+
+func TestLockHeldOnEarlyReturnFlagged(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func earlyReturn(l *sema, err error) error {
+	l.P(1)
+	if err != nil {
+		return err // l still held here
+	}
+	l.V()
+	return nil
+}
+`}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "l.P acquired in earlyReturn") {
+		t.Fatalf("want the early-return leak, got %v", fs)
+	}
+}
+
+func TestLockReleasedPerBranchClean(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func perBranch(l *sema, cond bool) int {
+	l.P(1)
+	if cond {
+		l.V()
+		return 1
+	}
+	l.V()
+	return 0
+}
+
+func viaDefer(l *sema, err error) error {
+	l.P(1)
+	defer l.V()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+`}))
+	if len(fs) != 0 {
+		t.Fatalf("balanced branches must be clean, got %v", fs)
+	}
+}
+
+func TestLockSwitchCaseMissingReleaseFlagged(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func switchLeak(l *sema, mode int) int {
+	l.P(1)
+	switch mode {
+	case 0:
+		l.V()
+		return 0
+	case 1:
+		return 1 // held
+	default:
+		l.V()
+		return 2
+	}
+}
+`}))
+	if len(fs) != 1 {
+		t.Fatalf("want exactly the case-1 leak, got %v", fs)
+	}
+}
+
+func TestLockLoopBalancedClean(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func loopBalanced(l *sema, n int) {
+	for i := 0; i < n; i++ {
+		l.P(1)
+		l.V()
+	}
+}
+
+func loopWithContinue(l *sema, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		l.P(1)
+		if x < 0 {
+			l.V()
+			continue
+		}
+		total += x
+		l.V()
+	}
+	return total
+}
+`}))
+	if len(fs) != 0 {
+		t.Fatalf("balanced loops must be clean, got %v", fs)
+	}
+}
+
+func TestLockLoopBreakWhileHeldFlagged(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func breakHeld(l *sema, xs []int) {
+	for _, x := range xs {
+		l.P(1)
+		if x == 0 {
+			break // held past the loop to the return
+		}
+		l.V()
+	}
+}
+`}))
+	if len(fs) != 1 {
+		t.Fatalf("want the break-while-held leak, got %v", fs)
+	}
+}
+
+func TestLockCrashPathsExempt(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func panics(l *sema, err error) {
+	l.P(1)
+	if err != nil {
+		panic("corrupt state") // the process is gone, not deadlocked
+	}
+	l.V()
+}
+
+func exits(l *sema, p *proc, dead bool) {
+	l.P(1)
+	if dead {
+		p.Exit()
+	}
+	l.V()
+}
+`}))
+	if len(fs) != 0 {
+		t.Fatalf("crash paths must not count as leaks, got %v", fs)
+	}
+}
+
+func TestLockClosureReleaseExempt(t *testing.T) {
+	// A V issued from a nested function literal (completion callback)
+	// releases at a time the intraprocedural CFG cannot see; such
+	// receivers must not be reported.
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func callback(l *sema, after func(func())) {
+	l.P(1)
+	after(func() {
+		l.V()
+	})
+}
+`}))
+	if len(fs) != 0 {
+		t.Fatalf("closure-released receivers must be exempt, got %v", fs)
+	}
+}
+
+func TestLockSignallingVWithoutPClean(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func signal(l *sema) {
+	l.V() // the producer half of a rendezvous: legal
+}
+`}))
+	if len(fs) != 0 {
+		t.Fatalf("V without P is signalling, not a leak: %v", fs)
+	}
+}
+
+func TestLockTwoReceiversTrackedIndependently(t *testing.T) {
+	fs := lockFindings(analyze(t, "fixture/dsm", map[string]string{"a.go": lockFixtureHeader + `
+func two(a, b *sema, err error) error {
+	a.P(1)
+	b.P(1)
+	if err != nil {
+		b.V()
+		return err // a still held
+	}
+	a.V()
+	b.V()
+	return nil
+}
+`}))
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "a.P") {
+		t.Fatalf("want only the a leak, got %v", fs)
+	}
+}

@@ -1,0 +1,291 @@
+package vet
+
+// kind-dispatch: proves every proto.Kind constant is handled somewhere.
+//
+// Dispatch in this codebase is registration-based, not switch-based:
+// the remote-operation layer routes an arriving message either to the
+// pending call its ReqID redeems (when Kind.IsReply()) or to the
+// handler registered for its kind with ep.Handle(kind, h). A kind in
+// neither set is silently dropped on arrival — exactly the PR 5 bug
+// class ("a message arrived somewhere that didn't expect it"). The
+// rule is module-global, so facts are collected per package and joined
+// by the driver:
+//
+//   - from the proto package: the declared Kind constants, the case
+//     list of Kind.IsReply, and the length of String()'s names table;
+//   - from every package: ep.Handle(proto.KindX, handler)
+//     registrations.
+//
+// Every constant must then be classified as a reply XOR registered
+// (both means a dead handler; neither means a dropped message), and
+// the names table must have one entry per constant. Deliberately
+// unrouted kinds — KindInvalid, the zero value — carry a
+// `vet:ignore kind-dispatch` on their declaration line.
+//
+// Findings are only produced when the collected facts include both the
+// proto package and at least one registration, so running mermaid-vet
+// on a package subset degrades to silence instead of false positives.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindConst is one declared proto.Kind constant.
+type KindConst struct {
+	Name    string
+	Pos     token.Position
+	Ignored bool // vet:ignore kind-dispatch on the declaration line
+}
+
+// KindReg is one Handle(kind, handler) registration site.
+type KindReg struct {
+	Name string
+	Pos  token.Position
+}
+
+// KindFacts is what one package contributes to the module-global
+// kind-dispatch check.
+type KindFacts struct {
+	// ProtoPkg marks the package that declares the Kind type.
+	ProtoPkg bool
+	// Consts are the declared Kind constants (proto package only).
+	Consts []KindConst
+	// ReplyKinds are the constant names cased in Kind.IsReply.
+	ReplyKinds []string
+	// HasReplyFn records that an IsReply method was found.
+	HasReplyFn bool
+	// NamesLen is the element count of String()'s names table
+	// (-1 when not found).
+	NamesLen int
+	// NamesPos locates the names table.
+	NamesPos token.Position
+	// Registered are the Handle registrations in this package.
+	Registered []KindReg
+}
+
+// CollectKindFacts gathers this package's contribution to the
+// kind-dispatch rule.
+func CollectKindFacts(pkg *Package, cfg *Config) *KindFacts {
+	facts := &KindFacts{NamesLen: -1}
+	isProto := pkg.Path == cfg.ProtoPackage
+	facts.ProtoPkg = isProto
+	for _, f := range pkg.Files {
+		collectRegistrations(pkg, f, facts)
+		if isProto {
+			collectProtoFacts(pkg, f, facts)
+		}
+	}
+	return facts
+}
+
+// collectProtoFacts records Kind constants, IsReply cases, and the
+// String names table from one file of the proto package.
+func collectProtoFacts(pkg *Package, f *ast.File, facts *KindFacts) {
+	ignores := collectIgnores(pkg.Fset, f)
+	ignored := func(pos token.Pos) bool {
+		for _, d := range ignores[pkg.Fset.Position(pos).Line] {
+			if strings.HasPrefix(d, "vet:ignore kind-dispatch") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range d.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok || !isKindType(obj.Type()) {
+						continue
+					}
+					facts.Consts = append(facts.Consts, KindConst{
+						Name:    name.Name,
+						Pos:     pkg.Fset.Position(name.Pos()),
+						Ignored: ignored(name.Pos()),
+					})
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Recv == nil || d.Body == nil {
+				continue
+			}
+			switch d.Name.Name {
+			case "IsReply":
+				facts.HasReplyFn = true
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					cc, ok := n.(*ast.CaseClause)
+					if !ok {
+						return true
+					}
+					for _, e := range cc.List {
+						if name := exprConstName(e); name != "" {
+							facts.ReplyKinds = append(facts.ReplyKinds, name)
+						}
+					}
+					return true
+				})
+			case "String":
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					cl, ok := n.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					at, ok := cl.Type.(*ast.ArrayType)
+					if !ok {
+						return true
+					}
+					if elt, ok := at.Elt.(*ast.Ident); !ok || elt.Name != "string" {
+						return true
+					}
+					facts.NamesLen = len(cl.Elts)
+					facts.NamesPos = pkg.Fset.Position(cl.Pos())
+					return false
+				})
+			}
+		}
+	}
+}
+
+// collectRegistrations records Handle(kind, handler) calls. The first
+// argument must denote a Kind constant — resolved when type
+// information reaches across packages, by the Kind* naming convention
+// otherwise.
+func collectRegistrations(pkg *Package, f *ast.File, facts *KindFacts) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Handle" {
+			return true
+		}
+		name, id := "", (*ast.Ident)(nil)
+		switch arg := call.Args[0].(type) {
+		case *ast.Ident:
+			id = arg
+		case *ast.SelectorExpr:
+			id = arg.Sel
+		default:
+			return true
+		}
+		if obj, ok := pkg.Info.Uses[id].(*types.Const); ok {
+			if !isKindType(obj.Type()) {
+				return true
+			}
+			name = obj.Name()
+		} else if strings.HasPrefix(id.Name, "Kind") {
+			name = id.Name
+		} else {
+			return true
+		}
+		facts.Registered = append(facts.Registered, KindReg{
+			Name: name,
+			Pos:  pkg.Fset.Position(call.Pos()),
+		})
+		return true
+	})
+}
+
+// isKindType reports whether t is a named integer type called Kind.
+func isKindType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Kind" {
+		return false
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func exprConstName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// CheckKindDispatch joins per-package facts and verifies every Kind
+// constant is classified as a reply XOR registered with a handler. It
+// stays silent unless the fact set includes the proto package's
+// constants and at least one registration (a package-subset run cannot
+// prove absence).
+func CheckKindDispatch(all []*KindFacts) []Finding {
+	var proto *KindFacts
+	replies := map[string]bool{}
+	registered := map[string][]KindReg{}
+	nregs := 0
+	for _, f := range all {
+		if f == nil {
+			continue
+		}
+		if f.ProtoPkg && len(f.Consts) > 0 {
+			proto = f
+		}
+		for _, r := range f.ReplyKinds {
+			replies[r] = true
+		}
+		for _, r := range f.Registered {
+			registered[r.Name] = append(registered[r.Name], r)
+			nregs++
+		}
+	}
+	if proto == nil || nregs == 0 || !proto.HasReplyFn {
+		return nil
+	}
+	var findings []Finding
+	for _, kc := range proto.Consts {
+		if kc.Ignored {
+			continue
+		}
+		isReply := replies[kc.Name]
+		regs := registered[kc.Name]
+		switch {
+		case !isReply && len(regs) == 0:
+			findings = append(findings, Finding{
+				Pos:  kc.Pos,
+				Rule: "kind-dispatch",
+				Msg: fmt.Sprintf("%s is neither classified as a reply (IsReply) nor registered with a handler (Handle) anywhere in the module; a message of this kind is silently dropped on arrival",
+					kc.Name),
+			})
+		case isReply && len(regs) > 0:
+			findings = append(findings, Finding{
+				Pos:  regs[0].Pos,
+				Rule: "kind-dispatch",
+				Msg: fmt.Sprintf("%s is classified as a reply (IsReply) — it redeems a pending call by ReqID and never reaches handlers, so this Handle registration is dead code",
+					kc.Name),
+			})
+		}
+	}
+	if proto.NamesLen >= 0 && proto.NamesLen != len(proto.Consts) {
+		findings = append(findings, Finding{
+			Pos:  proto.NamesPos,
+			Rule: "kind-dispatch",
+			Msg: fmt.Sprintf("Kind.String names table has %d entries for %d declared constants; names and constants must stay in lockstep",
+				proto.NamesLen, len(proto.Consts)),
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return findings
+}

@@ -1,0 +1,173 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// mapImporter serves already-checked fixture packages to dependents.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, nil
+}
+
+func parseOne(t *testing.T, fset *token.FileSet, name, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+const kindProtoSrc = `
+package proto
+
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota // vet:ignore kind-dispatch — the zero value is never routed
+	KindGet
+	KindGetReply
+	KindPut
+)
+
+func (k Kind) String() string {
+	names := [...]string{"invalid", "get", "get-reply", "put"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+func (k Kind) IsReply() bool {
+	switch k {
+	case KindGetReply:
+		return true
+	default:
+		return false
+	}
+}
+`
+
+// kindCheck joins the facts of a fixture proto package and a fixture
+// consumer package registering handlers.
+func kindCheck(t *testing.T, protoSrc, consumerSrc string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	cfg := &Config{ProtoPackage: "fixture/proto"}
+	protoPkg := NewPackage(fset, "fixture/proto", []*ast.File{parseOne(t, fset, "proto.go", protoSrc)}, nil)
+	imp := mapImporter{"fixture/proto": protoPkg.Types}
+	consumer := NewPackage(fset, "fixture/dsm", []*ast.File{parseOne(t, fset, "dsm.go", consumerSrc)}, imp)
+	return CheckKindDispatch([]*KindFacts{
+		CollectKindFacts(protoPkg, cfg),
+		CollectKindFacts(consumer, cfg),
+	})
+}
+
+const kindConsumerSrc = `
+package dsm
+
+import proto "fixture/proto"
+
+type ep struct{}
+
+func (e *ep) Handle(k proto.Kind, h func()) {}
+
+func register(e *ep) {
+	e.Handle(proto.KindGet, func() {})
+	e.Handle(proto.KindPut, func() {})
+}
+`
+
+func TestKindDispatchCleanWhenCovered(t *testing.T) {
+	fs := kindCheck(t, kindProtoSrc, kindConsumerSrc)
+	if len(fs) != 0 {
+		t.Fatalf("fully covered kinds must be silent, got %v", fs)
+	}
+}
+
+func TestKindDispatchMissingRegistrationFlagged(t *testing.T) {
+	// Drop the KindPut registration: the kind is neither a reply nor
+	// handled — a silently dropped message.
+	src := strings.Replace(kindConsumerSrc, "\te.Handle(proto.KindPut, func() {})\n", "", 1)
+	fs := kindCheck(t, kindProtoSrc, src)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "KindPut") {
+		t.Fatalf("want the dropped KindPut flagged, got %v", fs)
+	}
+	if fs[0].Rule != "kind-dispatch" {
+		t.Fatalf("rule = %s", fs[0].Rule)
+	}
+}
+
+func TestKindDispatchMissingReplyCaseFlagged(t *testing.T) {
+	// Remove KindGetReply from IsReply: now it is classified neither
+	// way — exactly what deleting a dispatch-switch case looks like.
+	src := strings.Replace(kindProtoSrc, "case KindGetReply:", "case KindInvalid:", 1)
+	fs := kindCheck(t, src, kindConsumerSrc)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "KindGetReply") {
+		t.Fatalf("want the unclassified KindGetReply flagged, got %v", fs)
+	}
+}
+
+func TestKindDispatchReplyWithHandlerFlagged(t *testing.T) {
+	src := strings.Replace(kindConsumerSrc, "e.Handle(proto.KindPut, func() {})",
+		"e.Handle(proto.KindPut, func() {})\n\te.Handle(proto.KindGetReply, func() {})", 1)
+	fs := kindCheck(t, kindProtoSrc, src)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "dead code") {
+		t.Fatalf("want the dead reply handler flagged, got %v", fs)
+	}
+}
+
+func TestKindDispatchNamesTableLockstep(t *testing.T) {
+	src := strings.Replace(kindProtoSrc, `"invalid", "get", "get-reply", "put"`,
+		`"invalid", "get", "get-reply"`, 1)
+	fs := kindCheck(t, src, kindConsumerSrc)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "names table has 3 entries for 4") {
+		t.Fatalf("want the names table mismatch flagged, got %v", fs)
+	}
+}
+
+// TestKindDispatchSubsetRunsSilent pins the package-subset guard:
+// without the proto package's constants or without any registration,
+// the rule cannot prove absence and must stay silent.
+func TestKindDispatchSubsetRunsSilent(t *testing.T) {
+	fset := token.NewFileSet()
+	cfg := &Config{ProtoPackage: "fixture/proto"}
+	protoPkg := NewPackage(fset, "fixture/proto", []*ast.File{parseOne(t, fset, "proto.go", kindProtoSrc)}, nil)
+	protoFacts := CollectKindFacts(protoPkg, cfg)
+	if fs := CheckKindDispatch([]*KindFacts{protoFacts}); len(fs) != 0 {
+		t.Fatalf("proto-only run must be silent (no registrations visible), got %v", fs)
+	}
+	consumer := NewPackage(fset, "fixture/dsm", []*ast.File{parseOne(t, fset, "dsm.go", kindConsumerSrc)}, nil)
+	consumerFacts := CollectKindFacts(consumer, cfg)
+	if fs := CheckKindDispatch([]*KindFacts{consumerFacts}); len(fs) != 0 {
+		t.Fatalf("consumer-only run must be silent (no constants visible), got %v", fs)
+	}
+}
+
+// TestKindDispatchUnresolvedImportsFallBackToNaming exercises the
+// Kind*-prefix fallback used when a registration site's proto import
+// cannot be resolved (degraded type information).
+func TestKindDispatchUnresolvedImportsFallBackToNaming(t *testing.T) {
+	fset := token.NewFileSet()
+	cfg := &Config{ProtoPackage: "fixture/proto"}
+	protoPkg := NewPackage(fset, "fixture/proto", []*ast.File{parseOne(t, fset, "proto.go", kindProtoSrc)}, nil)
+	// nil importer: fixture/proto resolves to an empty placeholder.
+	consumer := NewPackage(fset, "fixture/dsm", []*ast.File{parseOne(t, fset, "dsm.go", kindConsumerSrc)}, nil)
+	fs := CheckKindDispatch([]*KindFacts{
+		CollectKindFacts(protoPkg, cfg),
+		CollectKindFacts(consumer, cfg),
+	})
+	if len(fs) != 0 {
+		t.Fatalf("name-based fallback should still see both registrations, got %v", fs)
+	}
+}

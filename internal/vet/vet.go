@@ -2,10 +2,18 @@
 // analyzer. It enforces invariants the general Go toolchain cannot
 // know about:
 //
-//   - pv-pairing: every semaphore acquisition (`x.P(...)`) in the DSM,
-//     synchronization and thread packages must have a matching release
-//     (`x.V(...)`) in the same function — the simulation deadlocks
-//     silently otherwise.
+//   - lock-pairing: every semaphore acquisition (`x.P(...)`) in the
+//     DSM, synchronization and thread packages must be released on
+//     every control-flow path out of the function (directly, or via
+//     `defer x.V()`) — the simulation deadlocks silently otherwise.
+//     This is the CFG generalization of the original lexical
+//     pv-pairing rule; see lockpair.go.
+//   - buf-own: flow-sensitive ownership checking for pooled buffers —
+//     double-Put, use-after-Put, leaks on early error returns, and
+//     borrowed wire data escaping without TakeWire; see bufown.go.
+//   - kind-dispatch: every proto.Kind constant must be classified as a
+//     reply or registered with a handler somewhere in the module; see
+//     kinddispatch.go (module-global, driven by cmd/mermaid-vet).
 //   - time: wall-clock time (`time.Now` and friends) must not leak
 //     into the simulation packages; all time is the kernel's virtual
 //     clock, and one stray `time.Now` destroys run-to-run determinism.
@@ -113,6 +121,15 @@ type Config struct {
 	// PolicyBranchAllow lists file basenames (the engine dispatch)
 	// where comparing or switching on the coherence policy is legal.
 	PolicyBranchAllow []string
+	// BufOwnPackages lists packages subject to the buf-own ownership
+	// analysis.
+	BufOwnPackages []string
+	// BufPoolPackage is the import path of the buffer pool (its Get and
+	// Put are the acquire/release points).
+	BufPoolPackage string
+	// ProtoPackage is the import path of the wire-format package (Kind
+	// constants, borrow-mode decodes, the IsReply classifier).
+	ProtoPackage string
 }
 
 // DefaultConfig returns the project's rule scoping for the module with
@@ -129,6 +146,9 @@ func DefaultConfig(module string) *Config {
 		ErrDropPackages:      []string{j("internal/dsm"), j("internal/remoteop")},
 		PolicyBranchPackages: []string{j("internal/dsm")},
 		PolicyBranchAllow:    []string{"engine.go"},
+		BufOwnPackages:       []string{j("internal/dsm"), j("internal/remoteop")},
+		BufPoolPackage:       j("internal/bufpool"),
+		ProtoPackage:         j("internal/proto"),
 	}
 }
 
@@ -195,14 +215,44 @@ func NewPackage(fset *token.FileSet, importPath string, files []*ast.File, imp t
 	return &Package{Fset: fset, Path: importPath, Files: files, Info: info, Types: tpkg}
 }
 
+// Stats counts what one Check call covered, for the analyzer-coverage
+// report.
+type Stats struct {
+	// Funcs is the number of function bodies the dataflow analyses
+	// built CFGs for.
+	Funcs int
+	// Blocks is the total number of CFG basic blocks analyzed.
+	Blocks int
+	// Suppressed counts findings silenced by vet:ignore directives.
+	Suppressed int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Funcs += other.Funcs
+	s.Blocks += other.Blocks
+	s.Suppressed += other.Suppressed
+}
+
 // Check runs every applicable rule over the package.
 func Check(pkg *Package, cfg *Config) []Finding {
+	f, _ := CheckWithStats(pkg, cfg)
+	return f
+}
+
+// CheckWithStats runs every applicable rule over the package and
+// reports coverage statistics alongside the findings.
+func CheckWithStats(pkg *Package, cfg *Config) ([]Finding, Stats) {
 	c := &checker{pkg: pkg, cfg: cfg}
+	c.collectOwnedFuncs()
 	for _, f := range pkg.Files {
 		c.file = f
 		c.ignores = collectIgnores(pkg.Fset, f)
 		if slices.Contains(cfg.PVPackages, pkg.Path) {
-			c.checkPV(f)
+			c.checkLockPairing(f)
+		}
+		if slices.Contains(cfg.BufOwnPackages, pkg.Path) {
+			c.checkBufOwn(f)
 		}
 		if slices.Contains(cfg.DeterminismPackages, pkg.Path) {
 			c.checkDeterminism(f)
@@ -231,15 +281,40 @@ func Check(pkg *Package, cfg *Config) []Finding {
 		}
 		return a.Column < b.Column
 	})
-	return c.findings
+	return c.findings, c.stats
 }
 
 type checker struct {
-	pkg      *Package
-	cfg      *Config
-	file     *ast.File
-	ignores  map[int][]string
-	findings []Finding
+	pkg        *Package
+	cfg        *Config
+	file       *ast.File
+	ignores    map[int][]string
+	findings   []Finding
+	stats      Stats
+	ownedFuncs map[types.Object]bool
+}
+
+// collectOwnedFuncs records package functions whose doc comment
+// carries a vet:owned directive: their first result is an owned pooled
+// buffer the caller must release or transfer.
+func (c *checker) collectOwnedFuncs() {
+	c.ownedFuncs = map[types.Object]bool{}
+	for _, f := range c.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, cm := range fd.Doc.List {
+				if strings.Contains(cm.Text, "vet:owned") {
+					if o := c.pkg.Info.Defs[fd.Name]; o != nil {
+						c.ownedFuncs[o] = true
+					}
+					break
+				}
+			}
+		}
+	}
 }
 
 // collectIgnores maps line numbers to the vet:ignore directives found
@@ -265,58 +340,11 @@ func (c *checker) report(pos token.Pos, rule, format string, args ...any) {
 	p := c.pkg.Fset.Position(pos)
 	for _, d := range c.ignores[p.Line] {
 		if strings.HasPrefix(d, "vet:ignore "+rule) {
+			c.stats.Suppressed++
 			return
 		}
 	}
 	c.findings = append(c.findings, Finding{Pos: p, Rule: rule, Msg: fmt.Sprintf(format, args...)})
-}
-
-// ---- pv-pairing ----------------------------------------------------
-
-// checkPV verifies that every `x.P(...)` in a function has a matching
-// `x.V(...)` (possibly deferred) on the same receiver expression in
-// the same function. Functions themselves named P or V — the semaphore
-// implementations — are exempt.
-func (c *checker) checkPV(f *ast.File) {
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Body == nil {
-			continue
-		}
-		if fd.Name.Name == "P" || fd.Name.Name == "V" {
-			continue
-		}
-		type pcall struct {
-			pos  token.Pos
-			recv string
-		}
-		var ps []pcall
-		vs := map[string]bool{}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			switch sel.Sel.Name {
-			case "P":
-				ps = append(ps, pcall{pos: call.Pos(), recv: types.ExprString(sel.X)})
-			case "V":
-				vs[types.ExprString(sel.X)] = true
-			}
-			return true
-		})
-		for _, p := range ps {
-			if !vs[p.recv] {
-				c.report(p.pos, "pv-pairing",
-					"%s.P acquired in %s with no matching %s.V in the same function",
-					p.recv, fd.Name.Name, p.recv)
-			}
-		}
-	}
 }
 
 // ---- determinism: time, rand, map-order ----------------------------

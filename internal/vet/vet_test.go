@@ -31,6 +31,9 @@ func analyze(t *testing.T, pkgPath string, sources map[string]string) []Finding 
 		ErrDropPackages:      []string{pkgPath},
 		PolicyBranchPackages: []string{pkgPath},
 		PolicyBranchAllow:    []string{"engine.go"},
+		BufOwnPackages:       []string{pkgPath},
+		BufPoolPackage:       "repro/internal/bufpool",
+		ProtoPackage:         "repro/internal/proto",
 	}
 	return Check(pkg, cfg)
 }
@@ -88,7 +91,7 @@ func (m *mod) twoLocks(a, b *sema, x int) {
 	b.V()
 }
 `})
-	wantRule(t, fs, "pv-pairing", "m.lock.P")
+	wantRule(t, fs, "lock-pairing", "m.lock.P")
 	if len(fs) != 1 {
 		t.Fatalf("want exactly the one leak, got %v", fs)
 	}
