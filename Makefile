@@ -25,8 +25,13 @@ test:
 race:
 	go test -race ./internal/sim/... ./internal/dsm/... ./internal/dsync/... ./internal/threads/...
 
+# Two runs: the first warms the build cache (and fails fast on
+# findings), the second emits the JSON coverage report CI archives and
+# asserts the analyzer's wall-clock budget — a regression that makes
+# the interprocedural layer super-linear fails check, not just CI.
 mermaid-vet:
 	go run ./cmd/mermaid-vet ./...
+	go run ./cmd/mermaid-vet -json -max-elapsed-ms=5000 ./... > mermaid-vet.json
 
 # Wall-clock benchmark harness: run the Real* micro-benchmarks and
 # freeze the numbers into BENCH_1.json via mermaid-benchjson. The

@@ -1,16 +1,25 @@
 // Command mermaid-vet runs the project's custom static analyzer
 // (internal/vet) over the module's packages:
 //
-//	go run ./cmd/mermaid-vet [-json] ./...
+//	go run ./cmd/mermaid-vet [-json] [-interproc=false] ./...
 //
 // It type-checks every package from source, resolving imports through
 // the gc export data that `go list -export` produces — standard
 // library only, no network, no third-party analysis frameworks — and
-// exits non-zero if any rule fires. Packages are analyzed in parallel
-// across GOMAXPROCS workers (each with its own FileSet and importer —
-// the gc importer is not safe for concurrent use); the module-global
-// kind-dispatch facts are joined after the fan-in. With -json the
-// findings and coverage statistics are printed as a single JSON
+// exits non-zero if any rule fires.
+//
+// The run is three-phased. Phase A parses and type-checks all target
+// packages in parallel (each worker owns a FileSet and gc importer;
+// neither is safe to share). Phase B walks the targets in
+// import-topological order, computing interprocedural function
+// summaries into one shared table — callees before callers, so
+// cross-package call sites see real effect signatures instead of
+// conservative defaults. Phase C runs the per-package rules in
+// parallel against the shared table (per-package summarization is a
+// cache hit by then) and collects the module-global facts; the
+// kind-dispatch and lock-order analyses join those facts after the
+// fan-in. With -json the findings, coverage statistics, per-analysis
+// timings, and summary-cache statistics are printed as a single JSON
 // object. See internal/vet for the rules.
 package main
 
@@ -44,6 +53,7 @@ type listedPackage struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 }
 
@@ -51,13 +61,21 @@ type listedPackage struct {
 type report struct {
 	Findings []vet.Finding `json:"findings"`
 	Stats    struct {
-		Packages   int   `json:"packages"`
-		Funcs      int   `json:"funcs_analyzed"`
-		Blocks     int   `json:"cfg_blocks"`
-		Suppressed int   `json:"suppressed"`
-		ElapsedMS  int64 `json:"elapsed_ms"`
+		Packages       int   `json:"packages"`
+		Funcs          int   `json:"funcs_analyzed"`
+		Blocks         int   `json:"cfg_blocks"`
+		Suppressed     int   `json:"suppressed"`
+		Summarized     int   `json:"funcs_summarized"`
+		Discharged     int   `json:"map_orders_discharged"`
+		SummaryEntries int   `json:"summary_entries"`
+		SummaryLookups int   `json:"summary_lookups"`
+		SummaryHits    int   `json:"summary_hits"`
+		LockClasses    int   `json:"lock_classes"`
+		LockEdges      int   `json:"lock_edges"`
+		ElapsedMS      int64 `json:"elapsed_ms"`
 	} `json:"stats"`
-	ByRule map[string]int `json:"findings_by_rule"`
+	TimingsMS map[string]float64 `json:"timings_ms"`
+	ByRule    map[string]int     `json:"findings_by_rule"`
 }
 
 func main() {
@@ -67,17 +85,19 @@ func main() {
 	}
 }
 
-// pkgResult is one worker's output for one package.
+// pkgResult is one worker's phase-C output for one package.
 type pkgResult struct {
-	findings []vet.Finding
-	stats    vet.Stats
-	facts    *vet.KindFacts
-	err      error
+	findings  []vet.Finding
+	stats     vet.Stats
+	facts     *vet.KindFacts
+	lockFacts *vet.LockFacts
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mermaid-vet", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings and coverage statistics as JSON")
+	interproc := fs.Bool("interproc", true, "share function summaries across packages (phase B); false limits inference to each package")
+	maxElapsed := fs.Int64("max-elapsed-ms", 0, "fail if the run exceeds this wall-time budget (0 = no budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,48 +132,88 @@ func run(args []string) error {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	cfg := vet.DefaultConfig(module)
-	results := make([]pkgResult, len(targets))
 
-	// Fan the packages out over GOMAXPROCS workers. The exports map is
-	// read-only from here on; each worker builds its own FileSet and gc
-	// importer, which are not safe to share.
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			fset := token.NewFileSet()
-			imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-				f, ok := exports[path]
-				if !ok {
-					return nil, fmt.Errorf("no export data for %q", path)
-				}
-				return os.Open(f)
-			})
-			for i := range work {
-				results[i] = checkPackage(fset, imp, targets[i], cfg)
+	// Phase A: parse and type-check every target in parallel. The
+	// exports map is read-only from here on; each worker builds its own
+	// FileSet and gc importer, which are not safe to share. The
+	// resulting vet.Package carries its worker's FileSet, so later
+	// phases can use it from any goroutine.
+	loaded := make([]*vet.Package, len(targets))
+	errs := make([]error, len(targets))
+	fanOut(len(targets), func(worker int, indexes <-chan int) {
+		fset := token.NewFileSet()
+		imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
 			}
-		}()
+			return os.Open(f)
+		})
+		for i := range indexes {
+			loaded[i], errs[i] = loadPackage(fset, imp, targets[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
-	for i := range targets {
-		work <- i
+
+	// Phase B: summarize in import-topological order into one shared
+	// table, so every cross-package call site in phase C finds its
+	// callee's inferred effects. Sequential by design — each package's
+	// summaries depend on its imports' being complete.
+	tbl := vet.NewSummaryTable()
+	summarizeStart := time.Now()
+	summarized := 0
+	if *interproc {
+		for _, i := range topoOrder(targets) {
+			if loaded[i] != nil {
+				summarized += vet.ComputeSummaries(loaded[i], cfg, tbl)
+			}
+		}
 	}
-	close(work)
-	wg.Wait()
+	summarizeMS := float64(time.Since(summarizeStart).Nanoseconds()) / 1e6
+
+	// Phase C: run the per-package rules in parallel. With the shared
+	// table pre-populated, each package's own summarization pass is a
+	// cache hit; with -interproc=false every package gets a fresh table
+	// (intra-package inference only).
+	results := make([]pkgResult, len(targets))
+	fanOut(len(targets), func(worker int, indexes <-chan int) {
+		for i := range indexes {
+			if loaded[i] == nil {
+				continue
+			}
+			t := tbl
+			if !*interproc {
+				t = vet.NewSummaryTable()
+			}
+			findings, stats := vet.CheckWithTable(loaded[i], cfg, t)
+			results[i] = pkgResult{
+				findings:  findings,
+				stats:     stats,
+				facts:     vet.CollectKindFacts(loaded[i], cfg),
+				lockFacts: vet.CollectLockFacts(loaded[i], cfg),
+			}
+		}
+	})
 
 	var findings []vet.Finding
 	var stats vet.Stats
 	var allFacts []*vet.KindFacts
+	var allLockFacts []*vet.LockFacts
 	for _, r := range results {
-		if r.err != nil {
-			return r.err
-		}
 		findings = append(findings, r.findings...)
 		stats.Add(r.stats)
 		allFacts = append(allFacts, r.facts)
+		allLockFacts = append(allLockFacts, r.lockFacts)
 	}
 	findings = append(findings, vet.CheckKindDispatch(allFacts)...)
+	lockStart := time.Now()
+	lockFindings, lockGraph := vet.CheckLockOrder(allLockFacts)
+	lockMS := float64(time.Since(lockStart).Nanoseconds()) / 1e6
+	findings = append(findings, lockFindings...)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {
@@ -165,19 +225,31 @@ func run(args []string) error {
 		return a.Column < b.Column
 	})
 
+	elapsed := time.Since(start)
 	if *jsonOut {
-		rep := report{Findings: findings, ByRule: map[string]int{}}
+		rep := report{Findings: findings, ByRule: map[string]int{}, TimingsMS: map[string]float64{}}
 		if rep.Findings == nil {
 			rep.Findings = []vet.Finding{}
 		}
 		for _, f := range findings {
 			rep.ByRule[f.Rule]++
 		}
+		for rule, ns := range stats.RuleNanos {
+			rep.TimingsMS[rule] += float64(ns) / 1e6
+		}
+		rep.TimingsMS["summaries-shared"] = summarizeMS
+		rep.TimingsMS["lock-order-join"] = lockMS
 		rep.Stats.Packages = len(targets)
 		rep.Stats.Funcs = stats.Funcs
 		rep.Stats.Blocks = stats.Blocks
 		rep.Stats.Suppressed = stats.Suppressed
-		rep.Stats.ElapsedMS = time.Since(start).Milliseconds()
+		rep.Stats.Summarized = summarized + stats.Summarized
+		rep.Stats.Discharged = stats.Discharged
+		rep.Stats.SummaryEntries = tbl.Size()
+		rep.Stats.SummaryLookups, rep.Stats.SummaryHits = tbl.CacheStats()
+		rep.Stats.LockClasses = lockGraph.Classes
+		rep.Stats.LockEdges = lockGraph.Edges
+		rep.Stats.ElapsedMS = elapsed.Milliseconds()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -188,33 +260,83 @@ func run(args []string) error {
 			fmt.Println(f)
 		}
 	}
+	failed := false
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "mermaid-vet: %d finding(s)\n", n)
+		failed = true
+	}
+	if *maxElapsed > 0 && elapsed.Milliseconds() > *maxElapsed {
+		fmt.Fprintf(os.Stderr, "mermaid-vet: run took %dms, over the %dms budget\n",
+			elapsed.Milliseconds(), *maxElapsed)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
 	return nil
 }
 
-// checkPackage parses, type-checks, and analyzes one package.
-func checkPackage(fset *token.FileSet, imp types.Importer, p *listedPackage, cfg *vet.Config) pkgResult {
+// fanOut distributes n indexed work items over GOMAXPROCS workers.
+func fanOut(n int, worker func(worker int, indexes <-chan int)) {
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker(w, work)
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// topoOrder returns target indexes in import-topological order:
+// every target after all targets it imports.
+func topoOrder(targets []*listedPackage) []int {
+	index := map[string]int{}
+	for i, t := range targets {
+		index[t.ImportPath] = i
+	}
+	order := make([]int, 0, len(targets))
+	state := make([]int, len(targets)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return // a cycle cannot occur (Go forbids import cycles)
+		}
+		state[i] = 1
+		for _, imp := range targets[i].Imports {
+			if j, ok := index[imp]; ok {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+	}
+	for i := range targets {
+		visit(i)
+	}
+	return order
+}
+
+// loadPackage parses and type-checks one package.
+func loadPackage(fset *token.FileSet, imp types.Importer, p *listedPackage) (*vet.Package, error) {
 	var files []*ast.File
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return pkgResult{err: fmt.Errorf("parsing %s: %w", name, err)}
+			return nil, fmt.Errorf("parsing %s: %w", name, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return pkgResult{}
+		return nil, nil
 	}
-	pkg := vet.NewPackage(fset, p.ImportPath, files, imp)
-	findings, stats := vet.CheckWithStats(pkg, cfg)
-	return pkgResult{
-		findings: findings,
-		stats:    stats,
-		facts:    vet.CollectKindFacts(pkg, cfg),
-	}
+	return vet.NewPackage(fset, p.ImportPath, files, imp), nil
 }
 
 // goModulePath reports the main module's path.

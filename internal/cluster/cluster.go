@@ -344,7 +344,7 @@ func (c *Cluster) TotalDSMStats() dsm.Stats {
 			if total.Messages == nil {
 				total.Messages = make(map[proto.Kind]int, len(s.Messages))
 			}
-			for k, n := range s.Messages { // vet:ignore map-order — commutative sum
+			for k, n := range s.Messages {
 				total.Messages[k] += n
 			}
 		}

@@ -149,7 +149,7 @@ func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, e
 // iteration — and the network traffic it drives — is deterministic.
 func sortedPages(updates map[PageNo]pageMeta) []PageNo {
 	pages := make([]PageNo, 0, len(updates))
-	for pg := range updates { // vet:ignore map-order — sorted below
+	for pg := range updates {
 		pages = append(pages, pg)
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })

@@ -105,21 +105,21 @@ func (c *InvariantChecker) at(point string, page PageNo) {
 func (c *InvariantChecker) CheckAll(point string) {
 	set := map[PageNo]struct{}{}
 	for _, m := range c.mods {
-		for pg := range m.local { // vet:ignore map-order — set insertion
+		for pg := range m.local {
 			set[pg] = struct{}{}
 		}
-		for pg := range m.mgr { // vet:ignore map-order — set insertion
+		for pg := range m.mgr {
 			set[pg] = struct{}{}
 		}
-		for pg := range m.meta { // vet:ignore map-order — set insertion
+		for pg := range m.meta {
 			set[pg] = struct{}{}
 		}
-		for pg := range m.dyn { // vet:ignore map-order — set insertion
+		for pg := range m.dyn {
 			set[pg] = struct{}{}
 		}
 	}
 	pages := make([]PageNo, 0, len(set))
-	for pg := range set { // vet:ignore map-order — sorted below
+	for pg := range set {
 		pages = append(pages, pg)
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
@@ -341,7 +341,7 @@ func (c *InvariantChecker) checkDynamicPage(point string, page PageNo, writers, 
 // copysetList renders a copyset deterministically for messages.
 func copysetList(ent *mgrEntry) []HostID {
 	out := make([]HostID, 0, len(ent.copyset))
-	for h := range ent.copyset { // vet:ignore map-order — sorted below
+	for h := range ent.copyset {
 		out = append(out, h)
 	}
 	for i := 1; i < len(out); i++ {

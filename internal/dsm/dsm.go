@@ -610,7 +610,7 @@ type HotPage struct {
 // pages repeatedly refetched are the signature of thrashing (§3.3).
 func (m *Module) HotPages(n int) []HotPage {
 	out := make([]HotPage, 0, len(m.pageFetches))
-	for pg, c := range m.pageFetches { // vet:ignore map-order — sorted below
+	for pg, c := range m.pageFetches { // vet:ignore map-order — canonicalized by a field-comparator sort (count, then page) the whole-value prover cannot certify
 		out = append(out, HotPage{Page: pg, Fetches: c})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -160,7 +160,7 @@ func (d *dynamicDirectory) fault(p *sim.Proc, page PageNo, write bool) error {
 		if write {
 			kind = proto.KindDynGetPageWrite
 		}
-		resp, err := m.ep.Call(p, target, &proto.Message{Kind: kind, Page: uint32(page)})
+		resp, err := m.ep.Call(p, target, &proto.Message{Kind: kind, Page: uint32(page)}) // vet:ignore lock-remote — Li transaction: every hop holds only its own host's per-page entry, and the probable-owner chain is acyclic, so the cross-host waits cannot cycle
 		if err != nil {
 			if m.liveness == nil {
 				panic(fmt.Sprintf("dsm: host %d page %d dynamic fault: %v", m.id, page, err))
@@ -283,11 +283,11 @@ func (m *Module) dynServeOrForward(p *sim.Proc, page PageNo, requester HostID, o
 		// the cycle detector: bounce the requester to the recovery
 		// coordinator, which rebuilds a live owner (or declares the page
 		// lost with its last copy).
-		_ = m.deliver(p, requester, &proto.Message{ // vet:ignore err-drop — the requester recovers via its own timeout
+		bestEffort(m.deliver(p, requester, &proto.Message{
 			Kind: proto.KindPageDeliver,
 			Page: uint32(page),
 			Args: []uint32{flagRetry, origReqID},
-		})
+		}))
 		return
 	}
 	dp := m.dynPageFor(page)
@@ -295,11 +295,11 @@ func (m *Module) dynServeOrForward(p *sim.Proc, page PageNo, requester HostID, o
 	defer dp.lock.V()
 	m.exitIfCrashed(p)
 	if dp.lost {
-		_ = m.deliver(p, requester, &proto.Message{ // vet:ignore err-drop — the requester may have died too
+		bestEffort(m.deliver(p, requester, &proto.Message{
 			Kind: proto.KindPageDeliver,
 			Page: uint32(page),
 			Args: []uint32{flagLost, origReqID},
-		})
+		}))
 		return
 	}
 	if !dp.owned {
@@ -318,7 +318,7 @@ func (m *Module) dynServeOrForward(p *sim.Proc, page PageNo, requester HostID, o
 		if write {
 			w = 1
 		}
-		if _, err := m.ep.Call(p, next, &proto.Message{
+		if _, err := m.ep.Call(p, next, &proto.Message{ // vet:ignore lock-remote — Li forward: every hop holds only its own host's per-page entry, and the probable-owner chain is acyclic, so the cross-host waits cannot cycle
 			Kind: proto.KindDynForward,
 			Page: uint32(page),
 			Args: []uint32{uint32(requester), origReqID, w, uint32(hops + 1)},
@@ -330,11 +330,11 @@ func (m *Module) dynServeOrForward(p *sim.Proc, page PageNo, requester HostID, o
 			// (who is about to recover a route to the owner) and tell it
 			// to take the recovery path.
 			dp.probOwner = requester
-			_ = m.deliver(p, requester, &proto.Message{ // vet:ignore err-drop — the requester recovers via its own timeout
+			bestEffort(m.deliver(p, requester, &proto.Message{
 				Kind: proto.KindPageDeliver,
 				Page: uint32(page),
 				Args: []uint32{flagRetry, origReqID},
-			})
+			}))
 		}
 		return
 	}
@@ -663,7 +663,7 @@ func (m *Module) dynCoordinate(p *sim.Proc, page PageNo) (HostID, uint32) {
 // one host (the requester being served, or the owner itself).
 func dynCopysetList(dp *dynPage, except HostID) []HostID {
 	out := make([]HostID, 0, len(dp.copyset))
-	for h := range dp.copyset { // vet:ignore map-order — sorted below
+	for h := range dp.copyset {
 		if h == except {
 			continue
 		}

@@ -31,7 +31,7 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 	}
 
 	pages := make([]PageNo, 0, len(m.local))
-	for pg := range m.local { // vet:ignore map-order — sorted below
+	for pg := range m.local {
 		pages = append(pages, pg)
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
@@ -51,7 +51,7 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 
 	put(0xffff_ffff) // section separator
 	mpages := make([]PageNo, 0, len(m.mgr))
-	for pg := range m.mgr { // vet:ignore map-order — sorted below
+	for pg := range m.mgr {
 		mpages = append(mpages, pg)
 	}
 	sort.Slice(mpages, func(i, j int) bool { return mpages[i] < mpages[j] })
@@ -75,7 +75,7 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 
 	put(0xffff_fffd)
 	metas := make([]PageNo, 0, len(m.meta))
-	for pg := range m.meta { // vet:ignore map-order — sorted below
+	for pg := range m.meta {
 		metas = append(metas, pg)
 	}
 	sort.Slice(metas, func(i, j int) bool { return metas[i] < metas[j] })
@@ -91,7 +91,7 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 	}
 	put(0xffff_fffc)
 	dpages := make([]PageNo, 0, len(m.dyn))
-	for pg := range m.dyn { // vet:ignore map-order — sorted below
+	for pg := range m.dyn {
 		dpages = append(dpages, pg)
 	}
 	sort.Slice(dpages, func(i, j int) bool { return dpages[i] < dpages[j] })

@@ -47,7 +47,7 @@ func (m *Module) onHostDeath(dead HostID) {
 // crash: drop the corpse from copysets, re-own the pages it owned.
 func (m *Module) recoverAfterDeath(p *sim.Proc, dead HostID) {
 	pages := make([]PageNo, 0, len(m.mgr))
-	for pg := range m.mgr { // vet:ignore map-order — sorted below
+	for pg := range m.mgr {
 		pages = append(pages, pg)
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })

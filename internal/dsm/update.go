@@ -104,7 +104,7 @@ func (m *Module) sequenceUpdate(p *sim.Proc, page PageNo, offset int, data []byt
 	ent.copyset[writer] = struct{}{}
 
 	var targets []HostID
-	for h := range ent.copyset { // vet:ignore map-order — sorted below
+	for h := range ent.copyset {
 		if h != writer && h != m.id {
 			targets = append(targets, h)
 		}

@@ -191,7 +191,7 @@ func (s *Service) WriteStateHash(h hash.Hash) {
 // sortedIDs lists a state map's keys in increasing order.
 func sortedIDs[T any](m map[uint32]T) []uint32 {
 	ids := make([]uint32, 0, len(m))
-	for id := range m { // vet:ignore map-order — sorted below
+	for id := range m {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

@@ -137,7 +137,7 @@ func runDirectoryScheme(name string, dir dsm.Directory) DirectorySchemeRow {
 		Forwards: total.Forwards,
 		MaxChain: total.ChainMax,
 	}
-	for _, n := range total.Messages { // vet:ignore map-order — commutative sum
+	for _, n := range total.Messages {
 		row.Messages += n
 	}
 	dirKinds := fixedDirKinds

@@ -123,7 +123,7 @@ func Lookup(name string) (*Workload, error) {
 // WorkloadNames lists registered workloads alphabetically.
 func WorkloadNames() []string {
 	names := make([]string, 0, len(workloads))
-	for n := range workloads { // vet:ignore map-order — sorted below
+	for n := range workloads {
 		names = append(names, n)
 	}
 	sort.Strings(names)

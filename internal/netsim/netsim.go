@@ -171,7 +171,7 @@ func (n *Network) scheduleDelivery(f Frame) {
 	if f.To == Broadcast {
 		if n.bcast == nil {
 			ids := make([]HostID, 0, len(n.ifaces))
-			for id := range n.ifaces { // vet:ignore map-order — sorted below
+			for id := range n.ifaces {
 				ids = append(ids, id)
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

@@ -297,9 +297,9 @@ func (e *Endpoint) serve(p *sim.Proc) {
 // buffer and reports whether the message is now complete. The caller
 // releases the fragment afterwards in every path. On done the caller
 // owns the returned buffer and must Put or transfer it; when not done
-// there is no buffer (partial assemblies stay owned by the reasm table).
-//
-// vet:owned
+// there is no buffer (partial assemblies stay owned by the reasm table);
+// the ownership of the result is inferred interprocedurally, no
+// directive needed.
 func (e *Endpoint) reassemble(frag *fragment) ([]byte, bool) {
 	if frag.total == 1 {
 		out := bufpool.Get(len(frag.chunk))
@@ -498,7 +498,7 @@ func (e *Endpoint) send(p *sim.Proc, dst HostID, m *proto.Message) {
 // MessageCounts returns a copy of the per-kind sent-message counters.
 func (e *Endpoint) MessageCounts() map[proto.Kind]int {
 	out := make(map[proto.Kind]int, len(e.kindSent))
-	for k, n := range e.kindSent { // vet:ignore map-order — copy, order-free
+	for k, n := range e.kindSent {
 		out[k] = n
 	}
 	return out

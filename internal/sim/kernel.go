@@ -400,7 +400,7 @@ func (k *Kernel) Shutdown() {
 	k.events = nil
 	for len(k.procs) > 0 {
 		ids := make([]int, 0, len(k.procs))
-		for id := range k.procs { // vet:ignore map-order — sorted below
+		for id := range k.procs {
 			ids = append(ids, id)
 		}
 		sort.Ints(ids)
@@ -440,7 +440,7 @@ func (k *Kernel) kill(p *proc) {
 // indicates a deadlock in the simulated system.
 func (k *Kernel) Stalled() []string {
 	names := make([]string, 0, len(k.procs))
-	for _, p := range k.procs { // vet:ignore map-order — sorted below
+	for _, p := range k.procs {
 		names = append(names, p.name)
 	}
 	sort.Strings(names)

@@ -26,10 +26,18 @@ package vet
 // Ownership transfer points recognised without annotation: SetWire
 // (the message takes the buffer), stores through a field/global/index
 // lvalue, return operands, and closure capture. Passing a tracked
-// value as a plain call argument or placing it in a composite literal
-// is a loan — the callee may read it but the caller still releases.
-// A same-package helper whose []byte result transfers ownership to the
-// caller is annotated with a `vet:owned` line in its doc comment.
+// value as a plain call argument is a loan by default — but when the
+// callee has an inferred FuncSummary (see summary.go), its effects
+// apply at the call site: may-released params are released (a later
+// Put is a double-release), stored params are transfers (and a
+// borrowed argument is a finding), and an owned result is an acquire
+// the caller must discharge. `vet:owned` remains as an escape hatch
+// for helpers the inference cannot see through (none in-tree today).
+//
+// The same analysis runs in a second role: summary inference. With
+// sum/mute set, []byte parameters are seeded as tracked owned objects,
+// findings are suppressed, and each return harvests the param masks
+// and result object sets into the function's FuncSummary.
 //
 // All findings share the rule name buf-own, so deliberate sites are
 // annotated `vet:ignore buf-own`.
@@ -132,6 +140,21 @@ type bufOwn struct {
 	pos   []token.Pos // object id → acquire position
 	what  []string    // object id → human name of the source
 	rep   map[string]bool
+	// mute suppresses findings (summary-inference mode).
+	mute bool
+	// cur holds the in-flight summaries of the enclosing SCC during
+	// summary inference, consulted before the shared table.
+	cur map[string]*FuncSummary
+	// sum collects the function's own summary when non-nil.
+	sum *sumBuilder
+}
+
+// sumBuilder accumulates one function's summary during inference.
+type sumBuilder struct {
+	// idParam maps a tracked object id back to the parameter index it
+	// was seeded from.
+	idParam map[int]int
+	out     *FuncSummary
 }
 
 // checkBufOwn runs the ownership analysis over every function in the
@@ -154,17 +177,98 @@ func (c *checker) checkBufOwn(f *ast.File) {
 
 func (a *bufOwn) run() {
 	g := buildCFG(a.fd.Body)
-	a.c.stats.Funcs++
-	a.c.stats.Blocks += len(g.blocks)
+	if a.sum == nil {
+		a.c.stats.Funcs++
+		a.c.stats.Blocks += len(g.blocks)
+	}
 	entry := &ownState{env: map[types.Object]uint64{}, msg: map[types.Object]uint64{}, mask: map[int]uint16{}, guard: map[types.Object]uint64{}}
+	if a.sum != nil {
+		a.seedParams(entry)
+	}
 	runFlow(g, entry, func(fs flowState, blk *cfgBlock, idx int, report bool) {
 		a.node(fs.(*ownState), blk.nodes[idx], report)
 	})
 }
 
+// seedParams makes every []byte parameter a tracked owned object so
+// releases and escapes of it surface in the summary's param effects.
+func (a *bufOwn) seedParams(st *ownState) {
+	if a.fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range a.fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, nm := range field.Names {
+			if nm.Name != "_" {
+				if o := a.c.pkg.Info.Defs[nm]; o != nil && isByteSlice(o.Type()) {
+					if id := a.site(nm.Pos(), "param "+nm.Name); id >= 0 {
+						st.env[o] = 1 << uint(id)
+						st.mask[id] = stOwned
+						a.sum.idParam[id] = idx
+					}
+				}
+			}
+			idx++
+		}
+	}
+}
+
+// harvestParams records, at one exit, which seeded params were released
+// or stored on some path reaching it.
+func (a *bufOwn) harvestParams(st *ownState) {
+	for id, pi := range a.sum.idParam {
+		m := st.mask[id]
+		if pi >= a.sum.out.NumParams {
+			continue
+		}
+		if m&(stReleased|stDeferredRel) != 0 {
+			a.sum.out.ParamReleases[pi] = true
+		}
+		if m&stEscaped != 0 {
+			a.sum.out.ParamStores[pi] = true
+		}
+	}
+}
+
+// harvestResults records which return operands carry an owned non-param
+// buffer (params returned to the caller are aliases, not transfers of
+// pool responsibility).
+func (a *bufOwn) harvestResults(st *ownState, sets []uint64) {
+	for i, set := range sets {
+		if i >= len(a.sum.out.ResultOwned) {
+			break
+		}
+		for id := 0; id < len(a.pos); id++ {
+			if set&(1<<uint(id)) == 0 {
+				continue
+			}
+			if _, isParam := a.sum.idParam[id]; isParam {
+				continue
+			}
+			if st.mask[id]&stOwned != 0 {
+				a.sum.out.ResultOwned[i] = true
+			}
+		}
+	}
+}
+
+// isByteSlice reports whether t is a slice of bytes.
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
 // reportOnce files a finding once per deduplication key.
 func (a *bufOwn) reportOnce(key string, pos token.Pos, format string, args ...any) {
-	if a.rep[key] {
+	if a.mute || a.rep[key] {
 		return
 	}
 	a.rep[key] = true
@@ -253,6 +357,30 @@ func (a *bufOwn) isOwnedCall(call *ast.CallExpr) bool {
 	}
 	o := a.c.pkg.Info.Uses[id]
 	return o != nil && a.c.ownedFuncs[o]
+}
+
+// calleeSummary resolves the call's static callee and returns its
+// inferred summary when one changes caller behaviour: the in-flight
+// SCC iterate first (summary mode), then the shared table. Dynamic
+// dispatch and unknown callees return nil — the loan fallback.
+func (a *bufOwn) calleeSummary(call *ast.CallExpr) *FuncSummary {
+	fn := staticCallee(a.c.pkg.Info, call)
+	if fn == nil {
+		return nil
+	}
+	key := funcKey(fn)
+	if a.cur != nil {
+		if s, ok := a.cur[key]; ok {
+			if s.interesting() {
+				return s
+			}
+			return nil
+		}
+	}
+	if s := a.c.summaries.Lookup(key); s != nil && s.interesting() {
+		return s
+	}
+	return nil
 }
 
 // acquire allocates (or revisits) the abstract object for an acquire
@@ -370,12 +498,24 @@ func (a *bufOwn) node(st *ownState, n ast.Node, report bool) {
 			a.assign(st, lhs, vs.Values, report)
 		}
 	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			set := a.eval(st, r, report, true)
-			a.escape(st, set, r.Pos(), false, "returned", report)
+		sets := make([]uint64, len(s.Results))
+		for i, r := range s.Results {
+			sets[i] = a.eval(st, r, report, true)
+		}
+		if a.sum != nil {
+			// Harvest before the return-escape below: a param returned to
+			// the caller is an alias, not a store.
+			a.harvestParams(st)
+			a.harvestResults(st, sets)
+		}
+		for i, r := range s.Results {
+			a.escape(st, sets[i], r.Pos(), false, "returned", report)
 		}
 		a.exitCheck(st, s.Pos(), report)
 	case returnMarker:
+		if a.sum != nil {
+			a.harvestParams(st)
+		}
 		a.exitCheck(st, s.Pos(), report)
 	case *ast.DeferStmt:
 		a.deferStmt(st, s, report)
@@ -409,9 +549,9 @@ func (a *bufOwn) node(st *ownState, n ast.Node, report bool) {
 }
 
 // assume consumes a branch-polarity fact. When the condition is (a
-// negation chain over) a guarded ok-variable and this path observed it
-// false, the acquire it guards reported failure: the objects do not
-// exist here and are un-acquired.
+// negation chain over) a guarded ok-variable — or a nil comparison of
+// a guarded err-variable — and this path observed the acquire to have
+// failed, the objects do not exist here and are un-acquired.
 func (a *bufOwn) assume(st *ownState, c condAssume) {
 	cond, val := c.cond, c.val
 	for {
@@ -424,6 +564,25 @@ func (a *bufOwn) assume(st *ownState, c condAssume) {
 			continue
 		}
 		break
+	}
+	// `err != nil` observed true is the failure branch: normalize the
+	// comparison to the ok-convention (true means the acquire succeeded).
+	if be, ok := cond.(*ast.BinaryExpr); ok && (be.Op == token.EQL || be.Op == token.NEQ) {
+		isNil := func(e ast.Expr) bool {
+			id, ok := unparen(e).(*ast.Ident)
+			return ok && id.Name == "nil"
+		}
+		switch {
+		case isNil(be.Y):
+			cond = unparen(be.X)
+		case isNil(be.X):
+			cond = unparen(be.Y)
+		default:
+			return
+		}
+		if be.Op == token.NEQ {
+			val = !val
+		}
 	}
 	id, ok := cond.(*ast.Ident)
 	if !ok {
@@ -519,6 +678,12 @@ func (a *bufOwn) bind(st *ownState, lhs ast.Expr, set uint64, report bool) {
 		}
 		o := a.objectOf(l)
 		if o == nil {
+			return
+		}
+		if v, ok := o.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			// A package-level variable outlives the frame: storing there
+			// transfers ownership, exactly like a field store.
+			a.escape(st, set, l.Pos(), true, "stored to "+l.Name, report)
 			return
 		}
 		if set == 0 {
@@ -730,6 +895,33 @@ func (a *bufOwn) evalCall(st *ownState, call *ast.CallExpr, report bool) uint64 
 			a.eval(st, sel.X, report, true)
 		}
 		return a.acquire(st, call.Pos(), "vet:owned "+calleeName(call)+" buffer", report)
+	}
+
+	// A callee with an inferred summary applies its effects here: a
+	// may-released param argument is treated as released (a later Put
+	// is a double-release), a stored param is an ownership transfer
+	// (borrowed wire data passed there is a finding), and an owned
+	// first result is an acquire the caller must discharge.
+	if s := a.calleeSummary(call); s != nil {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			a.eval(st, sel.X, report, true)
+		}
+		for i, arg := range call.Args {
+			set := a.eval(st, arg, report, true)
+			if set == 0 || i >= s.NumParams {
+				continue
+			}
+			if s.ParamStores[i] {
+				a.escape(st, set, arg.Pos(), true, "passed to "+calleeName(call)+", which stores it", report)
+			}
+			if s.ParamReleases[i] {
+				a.release(st, set, arg.Pos(), false, report)
+			}
+		}
+		if len(s.ResultOwned) > 0 && s.ResultOwned[0] {
+			return a.acquire(st, call.Pos(), calleeName(call)+" result buffer", report)
+		}
+		return 0
 	}
 
 	// Generic call: every operand is a loan; ownership stays put.

@@ -1,0 +1,233 @@
+package vet
+
+// Call-graph construction for the interprocedural layer. Functions are
+// identified by stable string keys (import path + receiver + name) so
+// summaries computed in one worker's type universe can be consulted
+// from another's — cmd/mermaid-vet gives every worker its own FileSet
+// and importer, and go/types object identity does not survive that
+// boundary.
+//
+// Only statically resolvable callees produce edges: direct calls to
+// package functions and concrete-receiver method calls. Calls through
+// interface methods, stored function values, and function literals are
+// dynamic dispatch the graph does not resolve; analyses treat such
+// callees as unknown and degrade conservatively (no inferred effects,
+// not pure). Go forbids import cycles, so recursion — and therefore
+// SCC condensation — is strictly an intra-package affair: processing
+// packages in import-topological order and each package's SCCs
+// bottom-up visits every statically known callee before its callers.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcKey is the stable cross-package identity of a function:
+// "pkg/path.Name" for package functions, "pkg/path.(Recv).Name" for
+// methods (pointer receivers and value receivers share a key).
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return pkg + ".(" + n.Obj().Name() + ")." + fn.Name()
+		}
+		return pkg + ".(?)." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// interfaceRecv reports whether fn is declared on an interface — a
+// call through it is dynamic dispatch.
+func interfaceRecv(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// staticCallee resolves the one function a call can reach, or nil when
+// dispatch is dynamic (interface methods, func-typed values, literals)
+// or the callee could not be typed.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fn]; ok {
+			// A selection: method value or field access.
+			if s.Kind() != types.MethodVal {
+				return nil // calling a func-typed field
+			}
+			f, _ := s.Obj().(*types.Func)
+			if f == nil || interfaceRecv(f) {
+				return nil
+			}
+			return f
+		}
+		// Package-qualified call (pkg.Fn).
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	if f == nil || interfaceRecv(f) {
+		return nil
+	}
+	return f
+}
+
+// callGraph is the package-local static call graph over declared
+// function bodies.
+type callGraph struct {
+	decls []*ast.FuncDecl
+	objs  []*types.Func
+	index map[*types.Func]int
+	succs [][]int
+}
+
+// buildCallGraph indexes every function declaration in the package and
+// records same-package static call edges.
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{index: map[*types.Func]int{}}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue // type checking degraded past use
+			}
+			g.index[fn] = len(g.decls)
+			g.decls = append(g.decls, fd)
+			g.objs = append(g.objs, fn)
+		}
+	}
+	g.succs = make([][]int, len(g.decls))
+	for i, fd := range g.decls {
+		seen := map[int]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if j, ok := g.index[callee]; ok && !seen[j] {
+				seen[j] = true
+				g.succs[i] = append(g.succs[i], j)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// sccOrder returns the graph's strongly connected components in
+// bottom-up (callees-first) order, via Tarjan's algorithm: a component
+// is emitted only after every component it calls into.
+func (g *callGraph) sccOrder() [][]int {
+	n := len(g.decls)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	// Iterative Tarjan: each frame is (node, position in its succ list).
+	type frame struct{ v, si int }
+	var visit func(root int)
+	visit = func(root int) {
+		frames := []frame{{root, 0}}
+		for len(frames) > 0 {
+			fr := &frames[len(frames)-1]
+			v := fr.v
+			if fr.si == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for fr.si < len(g.succs[v]) {
+				w := g.succs[v][fr.si]
+				fr.si++
+				if index[w] == -1 {
+					frames = append(frames, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if index[i] == -1 {
+			visit(i)
+		}
+	}
+	return sccs
+}
+
+// selfRecursive reports whether the single-member SCC {i} calls itself.
+func (g *callGraph) selfRecursive(i int) bool {
+	for _, j := range g.succs[i] {
+		if j == i {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package vet
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lockFinding(fs []Finding, rule, substr string) bool {
+	for _, f := range fs {
+		if f.Rule == rule && strings.Contains(f.Msg, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLockOrderCycleFromSyntheticFacts feeds the global phase two
+// functions taking classes A and B in opposite orders.
+func TestLockOrderCycleFromSyntheticFacts(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 1}
+	facts := &LockFacts{Pkg: "p", Funcs: []*FuncLockFacts{
+		{Key: "p.ab", Acquires: []LockAcquire{
+			{Class: "A", Pos: pos},
+			{Class: "B", Held: []string{"A"}, Pos: pos},
+		}},
+		{Key: "p.ba", Acquires: []LockAcquire{
+			{Class: "B", Pos: pos},
+			{Class: "A", Held: []string{"B"}, Pos: pos},
+		}},
+	}}
+	fs, g := CheckLockOrder([]*LockFacts{facts})
+	if !lockFinding(fs, "lock-order", "acquiring B while holding A") ||
+		!lockFinding(fs, "lock-order", "acquiring A while holding B") {
+		t.Fatalf("both cycle edges must be reported, got %v", fs)
+	}
+	if g.Classes != 2 || g.Edges != 2 {
+		t.Errorf("graph = %+v, want 2 classes / 2 edges", g)
+	}
+}
+
+// TestLockOrderEdgeThroughCall: holding A while calling a function
+// whose transitive acquires include B contributes the A→B edge.
+func TestLockOrderEdgeThroughCall(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 2}
+	facts := &LockFacts{Pkg: "p", Funcs: []*FuncLockFacts{
+		{Key: "p.caller",
+			Acquires: []LockAcquire{{Class: "A", Pos: pos}},
+			Calls:    []LockCallEdge{{Callee: "p.helper", Held: []string{"A"}, Pos: pos}}},
+		{Key: "p.helper",
+			Calls: []LockCallEdge{{Callee: "p.inner", Pos: pos}}},
+		{Key: "p.inner",
+			Acquires: []LockAcquire{{Class: "B", Pos: pos}}},
+		{Key: "p.inverse", Acquires: []LockAcquire{
+			{Class: "B", Pos: pos},
+			{Class: "A", Held: []string{"B"}, Pos: pos},
+		}},
+	}}
+	fs, _ := CheckLockOrder([]*LockFacts{facts})
+	if !lockFinding(fs, "lock-order", "acquiring B while holding A") {
+		t.Fatalf("edge through two call levels not found: %v", fs)
+	}
+}
+
+// TestLockRemoteHandlerExpansion: a class held across a remote call
+// whose registered handler reacquires it is reported, and the
+// same-class edge never becomes a length-1 cycle.
+func TestLockRemoteHandlerExpansion(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 3}
+	facts := &LockFacts{Pkg: "p",
+		Funcs: []*FuncLockFacts{
+			{Key: "p.request",
+				Acquires: []LockAcquire{{Class: "M", Pos: pos}},
+				Remotes:  []LockRemote{{Kinds: []string{"KindX"}, Held: []string{"M"}, Pos: pos}}},
+			{Key: "p.handle",
+				Acquires: []LockAcquire{{Class: "M", Pos: pos}}},
+		},
+		Regs: []LockHandlerReg{{Kind: "KindX", Handler: "p.handle"}},
+	}
+	fs, _ := CheckLockOrder([]*LockFacts{facts})
+	if !lockFinding(fs, "lock-remote", "M is held across a blocking remote call") {
+		t.Fatalf("lock-remote not reported: %v", fs)
+	}
+	if lockFinding(fs, "lock-order", "") {
+		t.Fatalf("same-class reacquisition must not surface as a cycle: %v", fs)
+	}
+}
+
+// TestLockRemoteIgnoredSiteSilent: a vet:ignore lock-remote site
+// contributes no finding and no edge.
+func TestLockRemoteIgnoredSiteSilent(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 4}
+	facts := &LockFacts{Pkg: "p",
+		Funcs: []*FuncLockFacts{
+			{Key: "p.request",
+				Acquires: []LockAcquire{{Class: "M", Pos: pos}},
+				Remotes:  []LockRemote{{Kinds: []string{"KindX"}, Held: []string{"M"}, Pos: pos, Ignored: true}}},
+			{Key: "p.handle",
+				Acquires: []LockAcquire{{Class: "M", Pos: pos}}},
+		},
+		Regs: []LockHandlerReg{{Kind: "KindX", Handler: "p.handle"}},
+	}
+	fs, _ := CheckLockOrder([]*LockFacts{facts})
+	if len(fs) != 0 {
+		t.Fatalf("ignored remote site must be silent, got %v", fs)
+	}
+}
+
+// TestLockOrderIfaceFallbackResolution: an iface:Name callee resolves
+// to every collected function with that bare name.
+func TestLockOrderIfaceFallbackResolution(t *testing.T) {
+	pos := token.Position{Filename: "x.go", Line: 5}
+	facts := &LockFacts{Pkg: "p", Funcs: []*FuncLockFacts{
+		{Key: "p.caller",
+			Acquires: []LockAcquire{{Class: "A", Pos: pos}},
+			Calls:    []LockCallEdge{{Callee: "iface:Serve", Held: []string{"A"}, Pos: pos}}},
+		{Key: "p.(impl).Serve", Acquires: []LockAcquire{
+			{Class: "B", Pos: pos},
+		}},
+		{Key: "p.inverse", Acquires: []LockAcquire{
+			{Class: "B", Pos: pos},
+			{Class: "A", Held: []string{"B"}, Pos: pos},
+		}},
+	}}
+	fs, _ := CheckLockOrder([]*LockFacts{facts})
+	if !lockFinding(fs, "lock-order", "acquiring B while holding A") {
+		t.Fatalf("interface-dispatch edge not found: %v", fs)
+	}
+}
+
+// TestLockOrderSubsetSilence: handler registrations without any
+// analyzed function bodies must produce nothing — a package-subset run
+// cannot prove absence of deadlock.
+func TestLockOrderSubsetSilence(t *testing.T) {
+	facts := &LockFacts{Pkg: "p", Regs: []LockHandlerReg{{Kind: "KindX", Handler: "p.handle"}}}
+	fs, g := CheckLockOrder([]*LockFacts{facts, nil})
+	if len(fs) != 0 || g.Classes != 0 || g.Edges != 0 {
+		t.Fatalf("subset run must be silent and empty, got %v %+v", fs, g)
+	}
+}

@@ -1,0 +1,672 @@
+package vet
+
+// The map-order prover: discharges `range` over a map when the loop is
+// provably order-insensitive, so the site needs no vet:ignore
+// annotation. The proof obligation is that the loop's observable
+// effect is the same for every iteration order, which holds when every
+// statement in the body is one of a small set of commuting effects and
+// nothing reads an accumulator mid-loop:
+//
+//   - slice accumulation `s = append(s, e)`: the multiset of elements
+//     is order-free, but the slice order is not — so the accumulator
+//     must be canonicalized before any other use. The prover scans
+//     forward from the loop for a laundering sort: a whole-value
+//     stdlib sort (sort.Ints/Strings/Float64s, slices.Sort, or
+//     sort.Slice with a `s[i] < s[j]` comparator), or the hand-rolled
+//     insertion-sort idiom the hot paths use to avoid the sort.Slice
+//     closure allocation. Interleaved statements may append further
+//     (pure) elements but must not otherwise touch the accumulator.
+//     Field-comparator sorts are rejected: ties between distinct
+//     elements would preserve map order, and comparator totality is
+//     not machine-checkable.
+//   - map writes `m[k] = e`, `m[k] op= e`, `m[k]++`, `delete(m, k)`
+//     where k is the loop key: each iteration touches a distinct key,
+//     so the final map is order-free. Writes into the ranged map
+//     itself are rejected (inserting during iteration makes even
+//     visitation nondeterministic); deleting the current key is the
+//     spec-blessed exception.
+//   - commutative scalar accumulation `x op= e`, `x++`, `x--` for
+//     op ∈ {+, -, *, &, |, ^}.
+//   - `if cond { ... }` / `else` with a pure condition, and bare
+//     `continue`.
+//
+// Value and condition expressions must be pure — literals, reads of
+// loop-invariant variables, and calls to conversions, pure builtins,
+// or functions whose FuncSummary proves Pure — and must not mention
+// any accumulator (reading one mid-loop observes iteration order).
+// Everything else fails the proof and the range is reported as before.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// buildParents maps every node in f to its enclosing node.
+func buildParents(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// orderProver carries the proof state for one map range.
+type orderProver struct {
+	c      *checker
+	rs     *ast.RangeStmt
+	keyObj types.Object
+	// rangedStr is the printed form of the ranged map expression.
+	rangedStr string
+	// banned holds the printed forms of accumulator targets (and their
+	// root identifiers); any read of one in a value or condition defeats
+	// the proof.
+	banned map[string]bool
+	// sliceAccs maps a slice accumulator's printed form to whether it
+	// has been registered; each needs a post-loop laundering sort.
+	sliceAccs map[string]bool
+	// vals are the value/condition expressions to validate once the
+	// accumulator set is complete.
+	vals []ast.Expr
+}
+
+// orderInsensitive reports whether the map range is provably
+// order-insensitive.
+func (c *checker) orderInsensitive(rs *ast.RangeStmt) bool {
+	p := &orderProver{
+		c:         c,
+		rs:        rs,
+		rangedStr: types.ExprString(rs.X),
+		banned:    map[string]bool{},
+		sliceAccs: map[string]bool{},
+	}
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		p.keyObj = c.pkg.Info.Defs[id]
+		if p.keyObj == nil {
+			return false
+		}
+	}
+	if rs.Body == nil || !p.stmtsOK(rs.Body.List) {
+		return false
+	}
+	for _, e := range p.vals {
+		if !p.pureValue(e) {
+			return false
+		}
+	}
+	for acc := range p.sliceAccs {
+		if !p.launderedAfterLoop(acc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *orderProver) stmtsOK(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !p.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *orderProver) stmtOK(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.AssignStmt:
+		return p.assignOK(st)
+	case *ast.IncDecStmt:
+		return p.accTarget(st.X)
+	case *ast.ExprStmt:
+		// delete(m, key): removes a distinct key per iteration.
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		id, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "delete" {
+			return false
+		}
+		if obj := p.c.pkg.Info.Uses[id]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				return false
+			}
+		}
+		return p.isKey(call.Args[1]) && p.invariantBase(call.Args[0])
+	case *ast.IfStmt:
+		if st.Init != nil {
+			return false
+		}
+		p.vals = append(p.vals, st.Cond)
+		if !p.stmtsOK(st.Body.List) {
+			return false
+		}
+		return st.Else == nil || p.stmtOK(st.Else)
+	case *ast.BlockStmt:
+		return p.stmtsOK(st.List)
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE && st.Label == nil
+	}
+	return false
+}
+
+// commutativeAssign lists op-assign tokens whose repeated application
+// commutes.
+var commutativeAssign = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.AND_ASSIGN: true, token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+}
+
+func (p *orderProver) assignOK(st *ast.AssignStmt) bool {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := st.Lhs[0], st.Rhs[0]
+	if commutativeAssign[st.Tok] {
+		if !p.accTarget(lhs) {
+			return false
+		}
+		p.vals = append(p.vals, rhs)
+		return true
+	}
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		return false
+	}
+	// `s = append(s, e...)`: slice accumulation, laundered post-loop.
+	if accStr, elems, ok := appendTo(rhs); ok && accStr == types.ExprString(lhs) {
+		if _, isIdent := unparen(lhs).(*ast.Ident); !isIdent {
+			return false
+		}
+		p.registerAcc(accStr)
+		p.sliceAccs[accStr] = true
+		p.vals = append(p.vals, elems...)
+		return true
+	}
+	// `m[key] = e`: one distinct key per iteration.
+	if ix, ok := unparen(lhs).(*ast.IndexExpr); ok {
+		if !p.isKey(ix.Index) || !p.invariantBase(ix.X) {
+			return false
+		}
+		p.registerAcc(types.ExprString(ix.X))
+		p.vals = append(p.vals, rhs)
+		return true
+	}
+	return false
+}
+
+// appendTo matches `append(s, e1, e2, ...)` (non-spread) and returns
+// s's printed form and the appended elements.
+func appendTo(e ast.Expr) (string, []ast.Expr, bool) {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return "", nil, false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return "", nil, false
+	}
+	return types.ExprString(call.Args[0]), call.Args[1:], true
+}
+
+// accTarget validates an accumulation lvalue — a plain variable, a
+// loop-invariant selector chain, or an index at the loop key — and
+// registers it as an accumulator.
+func (p *orderProver) accTarget(lhs ast.Expr) bool {
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" || p.isKey(l) || p.isLoopVar(l) {
+			return false
+		}
+		p.registerAcc(l.Name)
+		return true
+	case *ast.SelectorExpr:
+		if !p.invariantBase(l) {
+			return false
+		}
+		p.registerAcc(types.ExprString(l))
+		return true
+	case *ast.IndexExpr:
+		if !p.isKey(l.Index) || !p.invariantBase(l.X) {
+			return false
+		}
+		p.registerAcc(types.ExprString(l.X))
+		return true
+	}
+	return false
+}
+
+// registerAcc bans reads of the accumulator — and of its root
+// identifier, so it cannot leak wholesale into a call.
+func (p *orderProver) registerAcc(printed string) {
+	p.banned[printed] = true
+	root := printed
+	if i := indexByte(root, '.'); i >= 0 {
+		root = root[:i]
+	}
+	if i := indexByte(root, '['); i >= 0 {
+		root = root[:i]
+	}
+	p.banned[root] = true
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// invariantBase accepts an identifier or selector chain of identifiers
+// that does not involve the loop variables and is not the ranged map
+// itself (writes during iteration make visitation nondeterministic).
+func (p *orderProver) invariantBase(e ast.Expr) bool {
+	if types.ExprString(e) == p.rangedStr {
+		return false
+	}
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name != "_" && !p.isKey(x) && !p.isLoopVar(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isKey reports whether e is exactly the loop key variable.
+func (p *orderProver) isKey(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || p.keyObj == nil {
+		return false
+	}
+	return p.c.pkg.Info.Uses[id] == p.keyObj || p.c.pkg.Info.Defs[id] == p.keyObj
+}
+
+// isLoopVar reports whether e denotes the key or value loop variable.
+func (p *orderProver) isLoopVar(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	for _, lv := range []ast.Expr{p.rs.Key, p.rs.Value} {
+		lvID, ok := lv.(*ast.Ident)
+		if !ok || lvID.Name == "_" {
+			continue
+		}
+		obj := p.c.pkg.Info.Defs[lvID]
+		if obj != nil && (p.c.pkg.Info.Uses[id] == obj || p.c.pkg.Info.Defs[id] == obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// pureValue validates a value or condition expression: pure, and not
+// reading any accumulator.
+func (p *orderProver) pureValue(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return !p.banned[x.Name]
+	case *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		if p.banned[types.ExprString(x)] {
+			return false
+		}
+		return p.pureValue(x.X)
+	case *ast.IndexExpr:
+		if p.banned[types.ExprString(x.X)] {
+			return false
+		}
+		return p.pureValue(x.X) && p.pureValue(x.Index)
+	case *ast.BinaryExpr:
+		return p.pureValue(x.X) && p.pureValue(x.Y)
+	case *ast.UnaryExpr:
+		return x.Op != token.ARROW && p.pureValue(x.X)
+	case *ast.ParenExpr:
+		return p.pureValue(x.X)
+	case *ast.StarExpr:
+		return p.pureValue(x.X)
+	case *ast.TypeAssertExpr:
+		return p.pureValue(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if !p.pureValue(el) {
+				return false
+			}
+		}
+		return true
+	case *ast.KeyValueExpr:
+		return p.pureValue(x.Value)
+	case *ast.SliceExpr:
+		for _, b := range []ast.Expr{x.X, x.Low, x.High, x.Max} {
+			if b != nil && !p.pureValue(b) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		return p.pureCall(x)
+	}
+	return false
+}
+
+// pureCall accepts conversions, pure builtins, and calls to functions
+// whose summary proves Pure; arguments recurse through pureValue.
+func (p *orderProver) pureCall(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if !p.pureValue(a) {
+			return false
+		}
+	}
+	if tv, ok := p.c.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if obj := p.c.pkg.Info.Uses[id]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				return id.Name == "len" || id.Name == "cap" || id.Name == "min" || id.Name == "max"
+			}
+		}
+	}
+	fn := staticCallee(p.c.pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	s := p.c.summaries.Lookup(funcKey(fn))
+	return s != nil && s.Pure
+}
+
+// ---- post-loop laundering -----------------------------------------
+
+// launderedAfterLoop scans the statements following the range for a
+// canonicalizing sort of acc, tolerating interleaved pure appends.
+func (p *orderProver) launderedAfterLoop(acc string) bool {
+	parents := p.c.fileParents()
+	var cur ast.Node = p.rs
+	var list []ast.Stmt
+	for {
+		parent := parents[cur]
+		if parent == nil {
+			return false
+		}
+		switch pp := parent.(type) {
+		case *ast.BlockStmt:
+			list = pp.List
+		case *ast.CaseClause:
+			list = pp.Body
+		case *ast.CommClause:
+			list = pp.Body
+		case *ast.LabeledStmt:
+			cur = pp
+			continue
+		default:
+			return false
+		}
+		break
+	}
+	idx := -1
+	for i, s := range list {
+		if ast.Node(s) == cur {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, s := range list[idx+1:] {
+		if p.isCanonicalSort(s, acc) {
+			return true
+		}
+		if !p.onlyAppendsTo(s, acc) {
+			return false
+		}
+	}
+	return false
+}
+
+// onlyAppendsTo accepts statements between the loop and its laundering
+// sort: anything not mentioning the accumulator, plus guarded pure
+// appends to it.
+func (p *orderProver) onlyAppendsTo(s ast.Stmt, acc string) bool {
+	if !mentionsExpr(s, acc) {
+		return true
+	}
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 || (st.Tok != token.ASSIGN && st.Tok != token.DEFINE) {
+			return false
+		}
+		accStr, elems, ok := appendTo(st.Rhs[0])
+		if !ok || accStr != acc || types.ExprString(st.Lhs[0]) != acc {
+			return false
+		}
+		for _, e := range elems {
+			if mentionsExpr(e, acc) || !p.pureValue(e) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		if st.Init != nil && mentionsExpr(st.Init, acc) {
+			return false
+		}
+		if mentionsExpr(st.Cond, acc) {
+			return false
+		}
+		for _, b := range st.Body.List {
+			if !p.onlyAppendsTo(b, acc) {
+				return false
+			}
+		}
+		return st.Else == nil || p.onlyAppendsTo(st.Else, acc)
+	case *ast.BlockStmt:
+		for _, b := range st.List {
+			if !p.onlyAppendsTo(b, acc) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// mentionsExpr reports whether any subexpression of n prints as s.
+func mentionsExpr(n ast.Node, s string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := x.(ast.Expr); ok && types.ExprString(e) == s {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// wholeValueSorts are stdlib sorts that compare entire elements, so
+// duplicates are identical and the result is canonical regardless of
+// the input order.
+var wholeValueSorts = map[string]bool{
+	"Ints": true, "Strings": true, "Float64s": true, "Sort": true,
+}
+
+// comparatorSorts take an explicit less function; accepted only when
+// the comparator compares whole elements (`s[i] < s[j]`).
+var comparatorSorts = map[string]bool{
+	"Slice": true, "SliceStable": true, "SortFunc": true, "SortStableFunc": true,
+}
+
+// isCanonicalSort matches a statement that canonicalizes acc: a
+// whole-value stdlib sort call or the insertion-sort idiom.
+func (p *orderProver) isCanonicalSort(s ast.Stmt, acc string) bool {
+	if es, ok := s.(*ast.ExprStmt); ok {
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || types.ExprString(call.Args[0]) != acc {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if obj, resolved := p.c.pkg.Info.Uses[pkgID]; resolved {
+			pn, isPkg := obj.(*types.PkgName)
+			if !isPkg {
+				return false
+			}
+			if pth := pn.Imported().Path(); pth != "sort" && pth != "slices" {
+				return false
+			}
+		} else if pkgID.Name != "sort" && pkgID.Name != "slices" {
+			return false
+		}
+		if wholeValueSorts[sel.Sel.Name] {
+			return true
+		}
+		if comparatorSorts[sel.Sel.Name] && len(call.Args) == 2 {
+			return wholeValueComparator(call.Args[1], acc)
+		}
+		return false
+	}
+	if fs, ok := s.(*ast.ForStmt); ok {
+		return insertionSortOn(fs, acc)
+	}
+	return false
+}
+
+// wholeValueComparator matches `func(i, j int) bool { return s[i] < s[j] }`
+// (or >): a total order over whole elements.
+func wholeValueComparator(e ast.Expr, acc string) bool {
+	lit, ok := unparen(e).(*ast.FuncLit)
+	if !ok || lit.Type.Params == nil || len(lit.Body.List) != 1 {
+		return false
+	}
+	var names []string
+	for _, f := range lit.Type.Params.List {
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+	}
+	if len(names) != 2 {
+		return false
+	}
+	ret, ok := lit.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	cmp, ok := unparen(ret.Results[0]).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+		return false
+	}
+	want := func(idx string) string { return acc + "[" + idx + "]" }
+	x, y := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	return (x == want(names[0]) && y == want(names[1])) ||
+		(x == want(names[1]) && y == want(names[0]))
+}
+
+// insertionSortOn matches the allocation-free insertion-sort idiom:
+//
+//	for i := 1; i < len(s); i++ {
+//		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+//			s[j], s[j-1] = s[j-1], s[j]
+//		}
+//	}
+//
+// The comparison is over whole elements, so the result is canonical.
+func insertionSortOn(fs *ast.ForStmt, acc string) bool {
+	iName, ok := forHeader(fs, "1")
+	if !ok || fs.Cond == nil {
+		return false
+	}
+	cond, ok := unparen(fs.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS || types.ExprString(cond.X) != iName ||
+		types.ExprString(cond.Y) != "len("+acc+")" {
+		return false
+	}
+	if len(fs.Body.List) != 1 {
+		return false
+	}
+	inner, ok := fs.Body.List[0].(*ast.ForStmt)
+	if !ok {
+		return false
+	}
+	jName, ok := forHeader(inner, iName)
+	if !ok || inner.Cond == nil {
+		return false
+	}
+	icond, ok := unparen(inner.Cond).(*ast.BinaryExpr)
+	if !ok || icond.Op != token.LAND {
+		return false
+	}
+	guard, ok := unparen(icond.X).(*ast.BinaryExpr)
+	if !ok || guard.Op != token.GTR || types.ExprString(guard.X) != jName ||
+		types.ExprString(guard.Y) != "0" {
+		return false
+	}
+	sj := acc + "[" + jName + "]"
+	sj1 := acc + "[" + jName + " - 1]"
+	cmp, ok := unparen(icond.Y).(*ast.BinaryExpr)
+	if !ok || (cmp.Op != token.LSS && cmp.Op != token.GTR) {
+		return false
+	}
+	cx, cy := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	if !(cx == sj && cy == sj1) && !(cx == sj1 && cy == sj) {
+		return false
+	}
+	if len(inner.Body.List) != 1 {
+		return false
+	}
+	swap, ok := inner.Body.List[0].(*ast.AssignStmt)
+	if !ok || swap.Tok != token.ASSIGN || len(swap.Lhs) != 2 || len(swap.Rhs) != 2 {
+		return false
+	}
+	l0, l1 := types.ExprString(swap.Lhs[0]), types.ExprString(swap.Lhs[1])
+	r0, r1 := types.ExprString(swap.Rhs[0]), types.ExprString(swap.Rhs[1])
+	return l0 == sj && l1 == sj1 && r0 == sj1 && r1 == sj
+}
+
+// forHeader matches `for x := <init>; ...; x++/x--` headers and
+// returns the loop variable's name. init is the printed form the
+// initializer must have.
+func forHeader(fs *ast.ForStmt, init string) (string, bool) {
+	as, ok := fs.Init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || types.ExprString(as.Rhs[0]) != init {
+		return "", false
+	}
+	post, ok := fs.Post.(*ast.IncDecStmt)
+	if !ok {
+		return "", false
+	}
+	pid, ok := post.X.(*ast.Ident)
+	if !ok || pid.Name != id.Name {
+		return "", false
+	}
+	return id.Name, true
+}

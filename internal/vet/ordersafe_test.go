@@ -1,0 +1,194 @@
+package vet
+
+import "testing"
+
+// The order prover discharges map-range loops whose bodies commute;
+// these tests pin both directions: provable shapes stay silent,
+// order-sensitive ones keep their finding.
+
+func TestMapOrderCommutativeFoldDischarged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`})
+	wantClean(t, fs)
+}
+
+func TestMapOrderSortLaunderedDischarged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+import "sort"
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func pages(m map[uint32]bool) []uint32 {
+	var out []uint32
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+`})
+	wantClean(t, fs)
+}
+
+func TestMapOrderInsertionSortDischarged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+func ids(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+`})
+	wantClean(t, fs)
+}
+
+func TestMapOrderAccumulatorReadStillFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+// Running min reads the accumulator in its own guard: the result is
+// order-independent but the shape is beyond the commuting-effects
+// prover, so the finding must survive.
+func minKey(m map[int]bool) int {
+	best := 1 << 30
+	for k := range m {
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+`})
+	wantRule(t, fs, "map-order", "iteration order is randomized")
+}
+
+func TestMapOrderUnsortedCollectStillFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+// Appending without canonicalizing afterwards leaks iteration order.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`})
+	wantRule(t, fs, "map-order", "iteration order is randomized")
+}
+
+func TestMapOrderFieldComparatorNotLaundering(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+import "sort"
+
+type ent struct {
+	page  uint32
+	count int
+}
+
+// Sorting by one field leaves ties in map order: not a canonicalizer.
+func tally(m map[uint32]int) []ent {
+	var out []ent
+	for p, c := range m {
+		out = append(out, ent{page: p, count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].count < out[j].count })
+	return out
+}
+`})
+	wantRule(t, fs, "map-order", "iteration order is randomized")
+}
+
+func TestMapOrderEarlyExitStillFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+// break makes the observed element order-dependent.
+func any(m map[int]bool) int {
+	found := -1
+	for k := range m {
+		found = k
+		break
+	}
+	return found
+}
+`})
+	wantRule(t, fs, "map-order", "iteration order is randomized")
+}
+
+func TestMapOrderImpureCalleeStillFlagged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+var trace []int
+
+func record(x int) int {
+	trace = append(trace, x)
+	return x
+}
+
+// The helper logs in call order, so the fold does not commute.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += record(v)
+	}
+	return total
+}
+`})
+	wantRule(t, fs, "map-order", "iteration order is randomized")
+}
+
+func TestMapOrderPureCalleeDischarged(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{"a.go": `
+package dsm
+
+func double(x int) int { return x * 2 }
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += double(v)
+	}
+	return total
+}
+`})
+	wantClean(t, fs)
+}

@@ -1,0 +1,163 @@
+// Package interbad is the mutation-kill fixture for the
+// interprocedural layer: cross-function buffer-lifetime bugs that only
+// an analysis consulting callee summaries can see, plus a lock-order
+// inversion and a lock held across a self-reacquiring remote call.
+// Every injected bug carries a marker comment on the line where the
+// finding must anchor; the mutation test asserts each marked line is
+// reported with the marked rule and no unmarked line is.
+package interbad
+
+import (
+	"repro/internal/bufpool"
+	"repro/internal/proto"
+)
+
+var kept []byte
+
+// ---- buffer helpers (deliberately unannotated: every effect below
+// must be inferred, not declared) ------------------------------------
+
+// alloc returns a pooled buffer its caller owns.
+func alloc(n int) []byte {
+	return bufpool.Get(n)
+}
+
+// allocDeep returns alloc's buffer — ownership must propagate through
+// two levels of helpers.
+func allocDeep(n int) []byte {
+	return alloc(n)
+}
+
+// consume returns its argument to the pool.
+func consume(b []byte) {
+	bufpool.Put(b)
+}
+
+// keep stores its argument into package-level state that outlives the
+// call.
+func keep(b []byte) {
+	kept = b
+}
+
+// ---- injected buffer bugs ------------------------------------------
+
+// Bug 1: leak through a helper — alloc's result is owned (inferred
+// ResultOwned), and the error path drops it.
+func leakThroughHelper(err error) error {
+	buf := alloc(64) // want buf-own
+	if err != nil {
+		return err
+	}
+	bufpool.Put(buf)
+	return nil
+}
+
+// Bug 2: leak through a two-level helper chain.
+func leakDeepChain(cond bool) {
+	buf := allocDeep(32) // want buf-own
+	if cond {
+		return
+	}
+	bufpool.Put(buf)
+}
+
+// Bug 3: double-Put split across caller and callee — consume already
+// released the buffer.
+func splitDoublePut() {
+	buf := bufpool.Get(64)
+	consume(buf)
+	bufpool.Put(buf) // want buf-own
+}
+
+// Bug 4: read after a release that happens inside the callee.
+func useAfterHelperPut() byte {
+	buf := bufpool.Get(64)
+	consume(buf)
+	return buf[0] // want buf-own
+}
+
+// Bug 5: borrowed wire data passed to a callee that stores it — the
+// pool recycles the backing buffer while kept still aliases it.
+func borrowToStoringCallee(wire []byte) error {
+	m, err := proto.DecodeBorrow(wire)
+	if err != nil {
+		return err
+	}
+	keep(m.Data) // want buf-own
+	return nil
+}
+
+// ---- lock fixtures -------------------------------------------------
+
+type sema struct{}
+
+func (s *sema) P() {}
+func (s *sema) V() {}
+
+type locks struct {
+	a sema
+	b sema
+}
+
+// lockB takes b alone — innocent in isolation.
+func (l *locks) lockB() {
+	l.b.P()
+	l.b.V()
+}
+
+// Bug 6: lock-order inversion. abPath holds a and takes b through a
+// helper; baPath holds b and takes a directly. Both edges of the
+// resulting cycle must be reported.
+func (l *locks) abPath() {
+	l.a.P()
+	l.lockB() // want lock-order
+	l.a.V()
+}
+
+func (l *locks) baPath() {
+	l.b.P()
+	l.a.P() // want lock-order
+	l.a.V()
+	l.b.V()
+}
+
+// ---- remote fixtures -----------------------------------------------
+
+// Endpoint mimics the remote-op endpoint by name and shape; the
+// analysis recognizes it by its type name.
+type Endpoint struct{}
+
+// Message mimics the wire message: the Kind field names the handler.
+type Message struct {
+	Kind int
+	Page uint32
+}
+
+const KindServe = 1
+
+func (e *Endpoint) Call(target int, m *Message) {}
+
+func (e *Endpoint) Handle(kind int, h func(*Message)) {}
+
+type node struct {
+	mu sema
+	ep *Endpoint
+}
+
+func (n *node) register() {
+	n.ep.Handle(KindServe, n.handleServe)
+}
+
+// handleServe reacquires the same per-node lock the requester holds.
+func (n *node) handleServe(m *Message) {
+	n.mu.P()
+	n.mu.V()
+}
+
+// Bug 7: lock held across a blocking remote call whose registered
+// handler transitively reacquires the same class.
+func (n *node) requestWithLock() {
+	n.mu.P()
+	n.ep.Call(1, &Message{Kind: KindServe}) // want lock-remote
+	n.mu.V()
+}

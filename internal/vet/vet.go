@@ -77,6 +77,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Finding is one rule violation.
@@ -121,6 +122,15 @@ type Config struct {
 	// PolicyBranchAllow lists file basenames (the engine dispatch)
 	// where comparing or switching on the coherence policy is legal.
 	PolicyBranchAllow []string
+	// MapOrderPackages lists packages subject to only the map-order
+	// rule (beyond DeterminismPackages, which get the full determinism
+	// set). Protocol-adjacent packages live here: their map walks feed
+	// message traffic and reported tables, but they host deliberate
+	// channel use the other determinism rules would drown in.
+	MapOrderPackages []string
+	// LockOrderPackages lists packages participating in the
+	// module-global lock-order analysis (see lockorder.go).
+	LockOrderPackages []string
 	// BufOwnPackages lists packages subject to the buf-own ownership
 	// analysis.
 	BufOwnPackages []string
@@ -146,9 +156,16 @@ func DefaultConfig(module string) *Config {
 		ErrDropPackages:      []string{j("internal/dsm"), j("internal/remoteop")},
 		PolicyBranchPackages: []string{j("internal/dsm")},
 		PolicyBranchAllow:    []string{"engine.go"},
-		BufOwnPackages:       []string{j("internal/dsm"), j("internal/remoteop")},
-		BufPoolPackage:       j("internal/bufpool"),
-		ProtoPackage:         j("internal/proto"),
+		MapOrderPackages: []string{
+			j("internal/dsync"), j("internal/remoteop"), j("internal/mc"),
+			j("internal/chaos"), j("internal/cluster"), j("internal/exp"),
+		},
+		LockOrderPackages: []string{
+			j("internal/dsm"), j("internal/dsync"), j("internal/sim"), j("internal/remoteop"),
+		},
+		BufOwnPackages: []string{j("internal/dsm"), j("internal/remoteop")},
+		BufPoolPackage: j("internal/bufpool"),
+		ProtoPackage:   j("internal/proto"),
 	}
 }
 
@@ -225,6 +242,13 @@ type Stats struct {
 	Blocks int
 	// Suppressed counts findings silenced by vet:ignore directives.
 	Suppressed int
+	// Summarized counts function summaries computed (not cache hits).
+	Summarized int
+	// Discharged counts map ranges the order-insensitivity prover
+	// verified — sites that would otherwise need vet:ignore map-order.
+	Discharged int
+	// RuleNanos accumulates per-analysis wall time.
+	RuleNanos map[string]int64
 }
 
 // Add accumulates other into s.
@@ -232,6 +256,14 @@ func (s *Stats) Add(other Stats) {
 	s.Funcs += other.Funcs
 	s.Blocks += other.Blocks
 	s.Suppressed += other.Suppressed
+	s.Summarized += other.Summarized
+	s.Discharged += other.Discharged
+	for k, v := range other.RuleNanos {
+		if s.RuleNanos == nil {
+			s.RuleNanos = map[string]int64{}
+		}
+		s.RuleNanos[k] += v
+	}
 }
 
 // Check runs every applicable rule over the package.
@@ -240,36 +272,56 @@ func Check(pkg *Package, cfg *Config) []Finding {
 	return f
 }
 
-// CheckWithStats runs every applicable rule over the package and
-// reports coverage statistics alongside the findings.
+// CheckWithStats runs every applicable rule over the package with a
+// fresh summary table: intra-package interprocedural inference only.
+// The driver uses CheckWithTable with a shared, topologically
+// pre-populated table instead.
 func CheckWithStats(pkg *Package, cfg *Config) ([]Finding, Stats) {
-	c := &checker{pkg: pkg, cfg: cfg}
+	return CheckWithTable(pkg, cfg, NewSummaryTable())
+}
+
+// CheckWithTable runs every applicable rule over the package,
+// consulting (and, for this package's own functions, populating) the
+// shared summary table.
+func CheckWithTable(pkg *Package, cfg *Config, tbl *SummaryTable) ([]Finding, Stats) {
+	c := &checker{pkg: pkg, cfg: cfg, summaries: tbl}
+	c.stats.RuleNanos = map[string]int64{}
+	timed := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		c.stats.RuleNanos[name] += time.Since(t0).Nanoseconds()
+	}
+	timed("summaries", func() {
+		c.stats.Summarized = ComputeSummaries(pkg, cfg, tbl)
+	})
 	c.collectOwnedFuncs()
 	for _, f := range pkg.Files {
 		c.file = f
+		c.parents = nil
 		c.ignores = collectIgnores(pkg.Fset, f)
 		if slices.Contains(cfg.PVPackages, pkg.Path) {
-			c.checkLockPairing(f)
+			timed("lock-pairing", func() { c.checkLockPairing(f) })
 		}
 		if slices.Contains(cfg.BufOwnPackages, pkg.Path) {
-			c.checkBufOwn(f)
+			timed("buf-own", func() { c.checkBufOwn(f) })
 		}
-		if slices.Contains(cfg.DeterminismPackages, pkg.Path) {
-			c.checkDeterminism(f)
+		full := slices.Contains(cfg.DeterminismPackages, pkg.Path)
+		if full || slices.Contains(cfg.MapOrderPackages, pkg.Path) {
+			timed("determinism", func() { c.checkDeterminism(f, full) })
 		}
 		if slices.Contains(cfg.PageBufferPackages, pkg.Path) {
-			c.checkPageBuffer(f)
+			timed("page-buffer", func() { c.checkPageBuffer(f) })
 		}
 		if slices.Contains(cfg.HotAllocPackages, pkg.Path) {
-			c.checkHotAlloc(f)
+			timed("hot-alloc", func() { c.checkHotAlloc(f) })
 		}
 		if slices.Contains(cfg.ErrDropPackages, pkg.Path) {
-			c.checkErrDrop(f)
+			timed("err-drop", func() { c.checkErrDrop(f) })
 		}
 		if slices.Contains(cfg.PolicyBranchPackages, pkg.Path) {
-			c.checkPolicyBranch(f)
+			timed("policy-branch", func() { c.checkPolicyBranch(f) })
 		}
-		c.checkEnumSwitch(f)
+		timed("enum-switch", func() { c.checkEnumSwitch(f) })
 	}
 	sort.Slice(c.findings, func(i, j int) bool {
 		a, b := c.findings[i].Pos, c.findings[j].Pos
@@ -292,6 +344,21 @@ type checker struct {
 	findings   []Finding
 	stats      Stats
 	ownedFuncs map[types.Object]bool
+	// summaries is the interprocedural function-summary table (may be
+	// nil in degraded or unit-test contexts; lookups then miss).
+	summaries *SummaryTable
+	// parents lazily maps each node of the current file to its parent,
+	// for analyses that need the enclosing statement context.
+	parents map[ast.Node]ast.Node
+}
+
+// fileParents returns (building on first use) the parent map for the
+// current file.
+func (c *checker) fileParents() map[ast.Node]ast.Node {
+	if c.parents == nil {
+		c.parents = buildParents(c.file)
+	}
+	return c.parents
 }
 
 // collectOwnedFuncs records package functions whose doc comment
@@ -361,7 +428,9 @@ var forbiddenTime = map[string]bool{
 // seeded generators (the only deterministic way in).
 var allowedRand = map[string]bool{"New": true, "NewSource": true}
 
-func (c *checker) checkDeterminism(f *ast.File) {
+// checkDeterminism runs the determinism rules; with full false only the
+// map-order rule applies (MapOrderPackages scoping).
+func (c *checker) checkDeterminism(f *ast.File, full bool) {
 	// Resolve the local names of the time and math/rand imports.
 	timeNames := map[string]bool{}
 	randNames := map[string]bool{}
@@ -384,6 +453,9 @@ func (c *checker) checkDeterminism(f *ast.File) {
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch node := n.(type) {
 		case *ast.CallExpr:
+			if !full {
+				return true
+			}
 			// Only calls matter: referencing types like rand.Rand or
 			// constants like time.Millisecond is deterministic.
 			sel, ok := node.Fun.(*ast.SelectorExpr)
@@ -416,15 +488,25 @@ func (c *checker) checkDeterminism(f *ast.File) {
 				return true
 			}
 			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				if c.orderInsensitive(node) {
+					c.stats.Discharged++
+					return true
+				}
 				c.report(node.Pos(), "map-order",
 					"range over map %s: iteration order is randomized and leaks into simulation behaviour (sort keys, or annotate a provably order-insensitive walk with vet:ignore map-order)",
 					types.ExprString(node.X))
 			}
 		case *ast.SendStmt:
+			if !full {
+				return true
+			}
 			c.report(node.Pos(), "chan-send",
 				"bare channel send %s <- … in a simulation package: goroutine handoff order is the Go scheduler's, not the kernel's (route through kernel events, or annotate a kernel-controlled rendezvous with vet:ignore chan-send)",
 				types.ExprString(node.Chan))
 		case *ast.SelectStmt:
+			if !full {
+				return true
+			}
 			for _, clause := range node.Body.List {
 				cc, ok := clause.(*ast.CommClause)
 				if !ok {
