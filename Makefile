@@ -1,9 +1,9 @@
 # The check target runs exactly what CI runs (.github/workflows/ci.yml);
 # keep the two in lockstep.
 
-.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep chaos-smoke chaos-deep bench bench-smoke
+.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep chaos-smoke chaos-deep bench bench-smoke scale-smoke scale-deep
 
-check: build vet fmt test race mermaid-vet mc-smoke chaos-smoke
+check: build vet fmt test race mermaid-vet mc-smoke chaos-smoke scale-smoke
 
 build:
 	go build ./...
@@ -42,6 +42,10 @@ bench:
 	go run ./cmd/mermaid-benchjson -o BENCH_1.json < bench_real.txt
 	go run ./cmd/mermaid-benchjson -validate BENCH_1.json
 	@rm -f bench_real.txt
+	go test -run '^$$' -bench 'SimKernel1024Hosts|BusInvalidation|SwitchedInvalidation' -benchmem . > bench_scale.txt
+	go run ./cmd/mermaid-benchjson -o BENCH_2.json < bench_scale.txt
+	go run ./cmd/mermaid-benchjson -validate BENCH_2.json
+	@rm -f bench_scale.txt
 
 # CI variant: a handful of iterations only — proves the harness and the
 # JSON pipeline work without burning minutes on stable numbers.
@@ -83,6 +87,10 @@ chaos-smoke:
 	go run ./cmd/mermaid-chaos -workload=forward -class=partition -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=forward -class=crash -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=forward -class=mix -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=switched -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=switched -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=switched -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=switched -class=mix -seed=1 -runs=1
 
 # Nightly-depth chaos: 25 seeds per workload × class with a
 # determinism double-run (-verify) on every campaign.
@@ -103,6 +111,10 @@ chaos-deep:
 	go run ./cmd/mermaid-chaos -workload=forward -class=partition -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=forward -class=crash -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=forward -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=switched -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=switched -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=switched -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=switched -class=mix -seed=1 -runs=25 -verify
 
 # Full mutation-kill suite plus a deeper clean sweep of every workload —
 # the nightly-depth run.
@@ -117,3 +129,13 @@ mc-deep:
 	go run ./cmd/mermaid-mc -workload=dynamic -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=basic -strategy=random -runs=2000
 	go run ./cmd/mermaid-mc -workload=matmul -strategy=delay -delays=3 -max-schedules=5000
+
+# Directory-scaling smoke: the N∈{16,64,256} bus+switched ablation
+# (single-digit seconds). The full 1024-host sweep is scale-deep.
+scale-smoke:
+	go run ./cmd/mermaid-bench -only scale
+
+# Nightly-depth scaling: the 1024-host cluster ablation on both the
+# one-segment bus and the 32×32 switched fabric.
+scale-deep:
+	go run ./cmd/mermaid-bench -only scale1k

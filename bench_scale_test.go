@@ -1,0 +1,100 @@
+package mermaid
+
+// Scaling benchmarks for the simulation substrate itself: how fast the
+// kernel dispatches events and the network delivers frames when the
+// cluster is two orders of magnitude bigger than the paper's (1024
+// hosts instead of 5). These are wall-clock benchmarks of the
+// simulator; the events/s and frames/s metrics feed the before/after
+// table in EXPERIMENTS.md ("Wall-clock performance") via BENCH_2.json.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// BenchmarkSimKernel1024Hosts stresses the event heap: 1024 processes
+// sleeping staggered intervals keep ~1k timer events queued at every
+// instant, which is the kernel-side shape of a 1024-host cluster run.
+func BenchmarkSimKernel1024Hosts(b *testing.B) {
+	const hosts = 1024
+	const rounds = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		for h := 0; h < hosts; h++ {
+			h := h
+			k.Spawn("host", func(p *sim.Proc) {
+				d := time.Duration(h%37+1) * time.Microsecond
+				for r := 0; r < rounds; r++ {
+					p.Sleep(d)
+				}
+			})
+		}
+		k.Run()
+		k.Shutdown()
+	}
+	b.StopTimer()
+	events := float64(hosts * rounds * b.N)
+	b.ReportMetric(events/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkBusInvalidation measures the broadcast-invalidation
+// delivery path at 1024 hosts on the one-segment bus: one sender
+// broadcasts frames, every other interface drains them — the netsim
+// shape of a full-copyset write invalidation.
+func BenchmarkBusInvalidation(b *testing.B) {
+	benchBroadcastStorm(b, nil)
+}
+
+// BenchmarkSwitchedInvalidation is the same storm on the switched
+// topology (32 segments of 32 hosts): broadcasts expand along the
+// multicast tree, so the cross-segment cost is one frame per segment
+// instead of one per receiver.
+func BenchmarkSwitchedInvalidation(b *testing.B) {
+	benchBroadcastStorm(b, netsim.SwitchedStar(32, 32))
+}
+
+func benchBroadcastStorm(b *testing.B, topo *netsim.Topology) {
+	const hosts = 1024
+	const frames = 8
+	params := model.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := sim.NewKernel(1)
+		n := netsim.NewWithTopology(k, &params, topo)
+		ifaces := make([]*netsim.Interface, hosts)
+		for h := 0; h < hosts; h++ {
+			ifc, err := n.Attach(netsim.HostID(h))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ifaces[h] = ifc
+		}
+		for h := 1; h < hosts; h++ {
+			ifc := ifaces[h]
+			k.Spawn("rx", func(p *sim.Proc) {
+				for f := 0; f < frames; f++ {
+					ifc.Recv(p)
+				}
+			})
+		}
+		k.Spawn("tx", func(p *sim.Proc) {
+			for f := 0; f < frames; f++ {
+				if err := ifaces[0].Send(p, netsim.Frame{From: 0, To: netsim.Broadcast, Size: 64}); err != nil {
+					panic(err)
+				}
+			}
+		})
+		k.Run()
+		k.Shutdown()
+	}
+	b.StopTimer()
+	deliveries := float64((hosts - 1) * frames * b.N)
+	b.ReportMetric(deliveries/b.Elapsed().Seconds(), "frames/s")
+}

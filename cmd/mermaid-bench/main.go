@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs")
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs,scale,scale1k")
 	flag.Parse()
 	if err := run(*only); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,11 +97,21 @@ func run(only string) error {
 		show(exp.AlgorithmChoiceTable(exp.AlgorithmChoice()))
 		show(exp.InvalidationTable(exp.InvalidationScaling([]int{1, 3, 5, 10, 14})))
 	}
-	// The manager-scheme comparison runs only when asked for by name:
-	// the default output is a bit-identity regression gate against
-	// pre-dynamic-directory builds and must not grow new sections.
+	// The manager-scheme comparison and the scaling sweeps run only
+	// when asked for by name: the default output is a bit-identity
+	// regression gate against earlier builds and must not grow new
+	// sections.
 	if only != "" && want("dirs") {
 		show(exp.DirectorySchemesTable(exp.DirectorySchemes()))
+	}
+	// scale is the CI smoke sweep (up to 256 hosts, under the check
+	// target's time budget); scale1k is the nightly full sweep with the
+	// 1024-host runs.
+	if only != "" && want("scale") {
+		show(exp.DirectoryScalingTable(exp.DirectoryScaling([]int{16, 64, 256})))
+	}
+	if only != "" && want("scale1k") {
+		show(exp.DirectoryScalingTable(exp.DirectoryScaling([]int{16, 64, 256, 1024})))
 	}
 	return nil
 }

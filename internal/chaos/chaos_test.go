@@ -301,3 +301,35 @@ func TestDynamicForwardCrashRegression(t *testing.T) {
 		}
 	}
 }
+
+// TestSwitchedStaleRestoreRegression pins the chaos-found coherence bug
+// surfaced by the switched workload's cross-segment timing
+// (chaos1:switched:mix:12): a write transfer's PageDeliver landed and
+// the requester went on writing, but the acknowledgement was lost and
+// the requester was partitioned, then crashed, before a retry could
+// get through. When the deliver call finally failed (requester
+// declared dead) the serving manager "restored" its pre-transfer
+// WriteAccess frame — stale zero bytes the SC oracle caught being read
+// as current. The fixed-directory path now mirrors the dynamic
+// directory's rule: a dead write-requester whose installation was
+// never confirmed means never resurrect — the local frame is dropped,
+// the handoff is committed to the corpse, and recovery re-owns from a
+// surviving copy or declares the page lost. The same sweep also caught
+// the allocator re-granting host 0 first-touch WriteAccess when a
+// later allocation packed objects onto a page already owned remotely
+// (mix:5's packing pattern); the grant is now gated to genuinely fresh
+// pages.
+func TestSwitchedStaleRestoreRegression(t *testing.T) {
+	for _, tok := range []string{
+		EncodeToken("switched", ClassMix, 12),
+		EncodeToken("switched", ClassMix, 5),
+	} {
+		r, err := Replay(tok, Opts{})
+		if err != nil {
+			t.Fatalf("%s: %v", tok, err)
+		}
+		if r.Outcome != OK {
+			t.Errorf("%s: %s — %s", tok, r.Outcome, r.Detail)
+		}
+	}
+}

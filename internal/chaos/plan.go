@@ -148,6 +148,9 @@ func renderPlan(fp *netsim.FaultPlan) []string {
 	for _, pt := range fp.Partitions {
 		lines = append(lines, fmt.Sprintf("partition [%v, %v) cuts %v", pt.From, pt.Until, pt.Group))
 	}
+	for _, lc := range fp.LinkCuts {
+		lines = append(lines, fmt.Sprintf("link-cut  [%v, %v) severs segments %d-%d", lc.From, lc.Until, lc.A, lc.B))
+	}
 	for _, ce := range fp.Crashes {
 		lines = append(lines, fmt.Sprintf("crash     t=%v host %d", ce.At, ce.Host))
 	}

@@ -116,6 +116,37 @@ func buildChaosCluster(seed int64, kinds []arch.Kind, plan *netsim.FaultPlan, mu
 	return c, rec, tl, nil
 }
 
+// buildSwitchedChaosCluster is buildChaosCluster on a switched
+// multi-segment topology instead of the shared bus, so fault windows
+// land on cross-segment protocol exchanges and broadcasts expand along
+// the multicast tree.
+func buildSwitchedChaosCluster(seed int64, kinds []arch.Kind, topo *netsim.Topology, plan *netsim.FaultPlan, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, *traceLog, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	rec := sctrace.NewRecorder()
+	tl := &traceLog{}
+	c, err := cluster.New(cluster.Config{
+		Hosts:            hosts,
+		PageSize:         chaosPageSize,
+		SpaceSize:        chaosSpaceSize,
+		Seed:             seed,
+		Topology:         topo,
+		CentralManager:   true,
+		FailureDetection: true,
+		InvariantChecks:  true,
+		SCTrace:          rec,
+		FaultPlan:        plan,
+		Trace:            tl.observe,
+		Mutation:         mut,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, rec, tl, nil
+}
+
 // buildDynChaosCluster is buildChaosCluster under the dynamic
 // distributed directory (Li & Hudak probable-owner forwarding) instead
 // of the central manager: ownership requests chase hint chains, so
@@ -201,6 +232,130 @@ func init() {
 	register(counterWorkload())
 	register(handoffWorkload())
 	register(forwardWorkload())
+	register(switchedWorkload())
+}
+
+// switchedWorkload is the slots pattern stretched across a switched
+// 3-segment star (two hosts per segment): the writers live on three
+// different segments, so every coordinator poll and every recovery
+// exchange crosses inter-segment links. On top of the class's fault
+// plan, Build severs one of the star's uplinks for a fixed window —
+// the switched fabric's native partition, with no host list to
+// enumerate — kept shorter than the failure detector's death
+// threshold, so the protocol must ride the cut out with retries.
+func switchedWorkload() *Workload {
+	const rounds = 12
+	// One writer per segment (host h lives on segment h/2).
+	writers := [3]int{1, 3, 5}
+	return &Workload{
+		Name:  "switched",
+		Desc:  "6 hosts on 3 switched segments, cross-segment writers + polling coordinator (inter-segment link cut)",
+		Hosts: 6,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			topo := netsim.SwitchedStar(3, 2)
+			// Sever the uplink to leaf segment 1 or 2, by seed. The
+			// 900 ms window stays under the 1200 ms partition bound.
+			// Mix plans already layer loss, a partition and a crash;
+			// stacking the cut on top pushes a live host's total
+			// unreachability past what the failure detector and the
+			// retry budget are calibrated for, so those runs keep the
+			// class's own faults only.
+			if len(plan.Partitions) == 0 || len(plan.Crashes) == 0 {
+				plan.LinkCuts = append(plan.LinkCuts, netsim.LinkCut{
+					Window: netsim.Window{
+						From:  sim.Time(400 * time.Millisecond),
+						Until: sim.Time(1300 * time.Millisecond),
+					},
+					A: 0,
+					B: 1 + int(seed&1),
+				})
+			}
+			kinds := []arch.Kind{arch.Sun, arch.Firefly, arch.Firefly, arch.Firefly, arch.Firefly, arch.Firefly}
+			c, rec, tl, err := buildSwitchedChaosCluster(seed, kinds, topo, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				var pages [3]dsm.Addr
+				for i := range pages {
+					if pages[i], err = h0.DSM.Alloc(p, conv.Int32, chaosPageInts); err != nil {
+						return err
+					}
+				}
+				var last [3]int32
+				var stopped [3]error
+				for w := 0; w < 3; w++ {
+					w := w
+					host := c.Hosts[writers[w]]
+					c.K.Spawn(fmt.Sprintf("seg-writer%d", w), func(wp *sim.Proc) {
+						for i := int32(1); i <= rounds; i++ {
+							if err := host.DSM.WriteInt32sE(wp, pages[w], []int32{i, i}); err != nil {
+								stopped[w] = err
+								return
+							}
+							last[w] = i
+							wp.Sleep(2*workPeriod + time.Duration(w)*17*time.Millisecond)
+						}
+					})
+				}
+				// Poll across the segments while the writers run; every
+				// successful read leaves a replica on segment 0 that
+				// recovery can run on.
+				for c.K.Now() < sim.Time(activePhase) {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						if err := h0.DSM.ReadInt32sE(p, pages[w], pair[:]); err == nil && pair[0] != pair[1] {
+							return fmt.Errorf("poll saw torn slot %d: %v", w, pair)
+						}
+					}
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				died := anyDead(c)
+				strict := !died
+				for w := 0; w < 3; w++ {
+					if stopped[w] != nil {
+						strict = false
+					}
+				}
+				// A witness on a surviving non-coordinator host forces the
+				// final reads back across the star.
+				witness := h0
+				for h := 1; h < len(c.Hosts); h++ {
+					if !h0.Detect.Dead(cluster.HostID(h)) {
+						witness = c.Hosts[h]
+						break
+					}
+				}
+				for _, reader := range []*cluster.Host{h0, witness} {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						err := reader.DSM.ReadInt32sE(p, pages[w], pair[:])
+						switch {
+						case err == nil:
+							if pair[0] != pair[1] {
+								return fmt.Errorf("host %d: slot %d torn after settle: %v", reader.ID, w, pair)
+							}
+							if pair[0] < 0 || pair[0] > last[w] {
+								return fmt.Errorf("host %d: slot %d = %d, never written (writer completed %d)", reader.ID, w, pair[0], last[w])
+							}
+							if strict && pair[0] != rounds {
+								return fmt.Errorf("host %d: slot %d = %d, want %d with every host alive", reader.ID, w, pair[0], rounds)
+							}
+						case tolerableLost(err, died):
+							// Sole owner died holding the only copy.
+						default:
+							return fmt.Errorf("host %d: slot %d unreadable after settle: %w", reader.ID, w, err)
+						}
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
 }
 
 // slotsWorkload gives each host a private page it stamps with a

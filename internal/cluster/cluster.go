@@ -72,6 +72,11 @@ type Config struct {
 	UnicastInvalidate bool
 	// DropRate injects frame loss for fault-tolerance experiments.
 	DropRate float64
+	// Topology selects the network shape: nil is the paper's single
+	// shared bus; a multi-segment topology places hosts on switched
+	// segments (see netsim.Topology). A one-segment topology is
+	// bit-identical to the bus.
+	Topology *netsim.Topology
 	// FaultPlan scripts deterministic faults (loss bursts, corruption,
 	// duplication, partitions, host crashes) against virtual time. Crash
 	// events are applied by the cluster: the NIC goes down and every
@@ -160,7 +165,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	k := sim.NewKernel(cfg.Seed)
-	net := netsim.New(k, &params)
+	net := netsim.NewWithTopology(k, &params, cfg.Topology)
 	net.DropRate = cfg.DropRate
 	if !cfg.FaultPlan.Empty() {
 		net.SetFaultPlan(cfg.FaultPlan)

@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/conv"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// TestBitmapInvalidationLargeCopyset grows one page's copyset past the
+// message Args capacity (15 targets), so the write-fault invalidation
+// must go out as a single broadcast carrying the target bitmap in Data.
+// Every copyset member must discard its copy and refetch the new
+// value; the hosts that never read the page must ignore the broadcast
+// (their bitmap bit is clear) and still read correctly afterwards.
+func TestBitmapInvalidationLargeCopyset(t *testing.T) {
+	const n = 20
+	hosts := []HostSpec{{Kind: arch.Sun}}
+	for i := 1; i < n; i++ {
+		hosts = append(hosts, HostSpec{Kind: arch.Firefly})
+	}
+	c, err := New(Config{Hosts: hosts, Seed: 1, InvariantChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(0, func(p *sim.Proc, h0 *Host) {
+		addr, err := h0.DSM.Alloc(p, conv.Int32, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Hosts 1..17 read the page: with the allocating owner that is
+		// an 18-member copyset, so the writer's invalidation has 17
+		// remote targets — two past the Args limit.
+		for i := 1; i <= 17; i++ {
+			if got := c.Hosts[i].DSM.ReadInt32(p, addr); got != 0 {
+				t.Errorf("host %d read %d before write, want 0", i, got)
+			}
+		}
+		c.Hosts[1].DSM.WriteInt32(p, addr, 42)
+		// Former readers refetch (their copies were killed by the
+		// bitmap broadcast); hosts 18 and 19 were bystanders to it.
+		for i := 0; i < n; i++ {
+			if got := c.Hosts[i].DSM.ReadInt32(p, addr); got != 42 {
+				t.Errorf("host %d read %d after invalidation, want 42", i, got)
+			}
+		}
+	})
+	// The whole 17-copy kill must have cost exactly one invalidation
+	// message — the broadcast — not one unicast per copy.
+	total := c.TotalDSMStats()
+	if got := total.Messages[proto.KindInvalidate]; got != 1 {
+		t.Fatalf("KindInvalidate messages = %d, want 1 (bitmap broadcast)", got)
+	}
+}

@@ -123,12 +123,19 @@ func (m *Module) allocLocal(p *sim.Proc, typeID conv.TypeID, count int) (Addr, e
 			// reach past the page end.
 			mt.used++
 		}
+		_, existed := m.meta[page]
 		m.meta[page] = mt
 		// First-touch ownership (page policies): the allocation manager
 		// holds every fresh page as a zero-filled writable copy until
 		// someone faults it away. Under the central policy pages live
-		// at their servers instead.
-		if m.engine.allocFirstTouch() {
+		// at their servers instead. Strictly the FIRST touch: a later
+		// allocation packing more objects onto a partially-used page must
+		// leave the page's coherence state alone — by then the page may
+		// have been faulted away, and re-granting the manager access here
+		// would resurrect its stale frame outside the copyset, which a
+		// subsequent local fault would happily read instead of fetching
+		// the owner's current data.
+		if m.engine.allocFirstTouch() && !existed {
 			lp := m.localPageFor(page)
 			if lp.access == NoAccess {
 				lp.access = WriteAccess
@@ -172,13 +179,25 @@ func (m *Module) distributeMeta(p *sim.Proc, pages []PageNo, updates map[PageNo]
 	}
 	for _, page := range pages {
 		mt := updates[page]
-		_, err := m.ep.CallAll(p, others, func(HostID) *proto.Message {
+		msg := func() *proto.Message {
 			return &proto.Message{
 				Kind: proto.KindPageMeta,
 				Page: uint32(page),
 				Args: []uint32{uint32(mt.typeID), uint32(mt.used)},
 			}
-		})
+		}
+		var err error
+		if len(others) > proto.MaxArgs {
+			// Large clusters announce metadata as one physical broadcast
+			// (every host needs it, so no target filter is required) —
+			// on a switched topology that is one frame per segment along
+			// the multicast tree instead of a per-host unicast storm.
+			// Small clusters keep the original per-host calls so
+			// existing runs stay bit-identical.
+			_, err = m.ep.CallMulticast(p, others, msg())
+		} else {
+			_, err = m.ep.CallAll(p, others, func(HostID) *proto.Message { return msg() })
+		}
 		if err != nil {
 			return fmt.Errorf("dsm: distributing metadata for page %d: %w", page, err)
 		}

@@ -402,6 +402,20 @@ func (m *Module) writeTransaction(p *sim.Proc, req *proto.Message, page PageNo, 
 		}
 	case ent.owner == m.id:
 		if err := m.serveCopy(p, page, true, requester, req.ReqID); err != nil {
+			if m.deadHost(requester) {
+				// The dead requester may have installed the transfer before
+				// its acknowledgement was lost (see serveCopy, which drops
+				// the possibly-stale local frame in this case). Commit the
+				// handoff so the entry names the corpse and the recovery
+				// sweep re-owns or declares the page lost, instead of
+				// leaving this host as the recorded owner of a frame it no
+				// longer holds — or worse, of stale bytes.
+				if m.cfg.Mutation != MutStaleOwner {
+					ent.owner = requester
+				}
+				clear(ent.copyset)
+				ent.copyset[requester] = struct{}{}
+			}
 			return err
 		}
 	default:
@@ -484,11 +498,12 @@ func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) e
 		}
 		m.stats.InvalidationsSent += len(remote)
 		var err error
-		if m.cfg.UnicastInvalidate || len(remote) > proto.MaxArgs {
+		switch {
+		case m.cfg.UnicastInvalidate:
 			_, err = m.ep.CallAll(p, remote, func(HostID) *proto.Message {
 				return &proto.Message{Kind: proto.KindInvalidate, Page: uint32(page)}
 			})
-		} else {
+		case len(remote) <= proto.MaxArgs:
 			args := make([]uint32, len(remote))
 			for i, h := range remote {
 				args[i] = uint32(h)
@@ -498,6 +513,26 @@ func (m *Module) sendInvalidations(p *sim.Proc, page PageNo, targets []HostID) e
 				Page: uint32(page),
 				Args: args,
 			})
+		default:
+			// Copysets too wide for the argument list travel as a host
+			// bitmap in the bulk payload: still one physical broadcast
+			// (one frame per network segment touched) instead of the
+			// per-member unicast storm this case used to fall back to —
+			// the multicast-tree path that makes 1024-host copysets
+			// affordable.
+			// Pooled staging: CallMulticast re-encodes from Data on every
+			// retransmission but is done with it once acknowledged.
+			bitmap := bufpool.Get((len(m.hosts) + 7) / 8)
+			clear(bitmap)
+			for _, h := range remote {
+				bitmap[int(h)/8] |= 1 << (uint(h) % 8)
+			}
+			_, err = m.ep.CallMulticast(p, remote, &proto.Message{
+				Kind: proto.KindInvalidate,
+				Page: uint32(page),
+				Data: bitmap,
+			})
+			bufpool.Put(bitmap)
 		}
 		if err == nil {
 			return nil
@@ -595,6 +630,17 @@ func (m *Module) serveCopy(p *sim.Proc, page PageNo, write bool, requester HostI
 	})
 	bufpool.Put(data)
 	if err != nil {
+		if write && m.cfg.Mutation != MutDoubleWriterGrant && m.deadHost(requester) {
+			// A failed WRITE delivery to a requester now declared dead is
+			// ambiguous: only the final acknowledgement may have been lost,
+			// in which case the requester installed the page and wrote to
+			// it before dying. This frame may therefore be stale —
+			// restoring it would let later local reads serve old bytes as
+			// current. Drop it and let recovery re-own from a surviving
+			// copy or declare the page lost.
+			lp.access = NoAccess
+			return err
+		}
 		lp.access = prev // the transfer never completed; keep the copy
 		return err
 	}
@@ -757,8 +803,10 @@ func (m *Module) handleOwnerUpdate(p *sim.Proc, req *proto.Message) {
 }
 
 // handleInvalidate discards the local copy of a page (write-invalidate).
-// A broadcast invalidation carries its target list; hosts not on it are
-// bystanders who heard the frame on the shared medium and stay silent.
+// A broadcast invalidation carries its target list — as scalar args for
+// small copysets, as a host bitmap in the payload for wide ones; hosts
+// not on it are bystanders who heard the frame on the shared medium and
+// stay silent.
 func (m *Module) handleInvalidate(p *sim.Proc, req *proto.Message) {
 	if len(req.Args) > 0 {
 		member := false
@@ -769,6 +817,11 @@ func (m *Module) handleInvalidate(p *sim.Proc, req *proto.Message) {
 			}
 		}
 		if !member {
+			return
+		}
+	} else if len(req.Data) > 0 {
+		h := int(m.id)
+		if h/8 >= len(req.Data) || req.Data[h/8]&(1<<(uint(h)%8)) == 0 {
 			return
 		}
 	}

@@ -71,6 +71,15 @@ type CrashEvent struct {
 	Host HostID
 }
 
+// LinkCut severs the inter-segment link between segments A and B (in
+// both directions) while the window is open — a switched topology's
+// native partition: every host behind the cut loses every host beyond
+// it, with no host list to enumerate.
+type LinkCut struct {
+	Window
+	A, B int
+}
+
 // FaultPlan scripts every fault for one run. The zero value (and a nil
 // plan) injects nothing.
 type FaultPlan struct {
@@ -86,6 +95,9 @@ type FaultPlan struct {
 	Duplicate []Burst
 	// Partitions cut host groups off for their windows.
 	Partitions []Partition
+	// LinkCuts sever inter-segment links for their windows (switched
+	// topologies only; ignored on a one-segment bus).
+	LinkCuts []LinkCut
 	// Crashes scripts host crash times for the cluster layer.
 	Crashes []CrashEvent
 }
@@ -118,7 +130,7 @@ func (fp *FaultPlan) cutAt(t sim.Time, a, b HostID) bool {
 func (fp *FaultPlan) Empty() bool {
 	return fp == nil ||
 		(len(fp.Loss) == 0 && len(fp.Corrupt) == 0 && len(fp.Duplicate) == 0 &&
-			len(fp.Partitions) == 0 && len(fp.Crashes) == 0)
+			len(fp.Partitions) == 0 && len(fp.LinkCuts) == 0 && len(fp.Crashes) == 0)
 }
 
 // SetFaultPlan installs (or, with nil, removes) the fault plan. It must
@@ -142,14 +154,37 @@ func (n *Network) SetPayloadHooks(clone func(payload any) any, corrupt func(payl
 // A down host transmits nothing and frames addressed or broadcast to it
 // vanish at delivery time, like frames to a powered-off machine.
 func (n *Network) SetHostDown(h HostID, down bool) {
-	if n.down == nil {
-		n.down = make(map[HostID]bool)
+	for int(h) >= len(n.down) {
+		n.down = append(n.down, false)
 	}
 	n.down[h] = down
 }
 
 // HostDown reports whether the host's NIC is currently down.
-func (n *Network) HostDown(h HostID) bool { return n.down[h] }
+func (n *Network) HostDown(h HostID) bool { return n.hostDown(h) }
+
+// hostDown is the internal bounds-checked form of HostDown.
+func (n *Network) hostDown(h HostID) bool {
+	return int(h) < len(n.down) && n.down[h]
+}
+
+// linkCutNow reports whether the fault plan currently severs link l.
+func (n *Network) linkCutNow(l *netlink) bool {
+	if n.plan == nil || len(n.plan.LinkCuts) == 0 {
+		return false
+	}
+	now := n.k.Now()
+	for i := range n.plan.LinkCuts {
+		c := &n.plan.LinkCuts[i]
+		if !c.Contains(now) {
+			continue
+		}
+		if (c.A == l.a && c.B == l.b) || (c.A == l.b && c.B == l.a) {
+			return true
+		}
+	}
+	return false
+}
 
 // sendFaults applies send-time plan faults to a frame that already paid
 // its wire time. It reports whether the frame was lost; it may mutate

@@ -1,7 +1,11 @@
-// Package netsim models the cluster's 10 Mb/s shared-bus Ethernet in
-// virtual time. The cable is a single resource: one frame transmits at a
-// time, occupying the medium for its wire time; delivery to the
-// destination's interface queue happens after a fixed latency.
+// Package netsim models the cluster's Ethernet in virtual time. The
+// default shape is the paper's single 10 Mb/s shared bus: one frame
+// transmits at a time, occupying the medium for its wire time, and
+// delivery to the destination's interface queue happens after a fixed
+// latency. A Topology generalizes this to a switched multi-segment
+// network — per-segment media, profiled inter-segment links, spanning-
+// tree broadcast — with the one-segment case staying bit-identical to
+// the original bus (see topology.go).
 //
 // The model enforces the MTU — larger messages must be fragmented above
 // this layer, exactly as Mermaid had to fragment at user level because
@@ -12,7 +16,6 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -48,12 +51,12 @@ type Stats struct {
 	FramesDropped int
 	// BytesSent counts payload bytes transmitted.
 	BytesSent int
-	// BusyTime is the total time the medium was occupied.
+	// BusyTime is the total time the sender-side medium was occupied.
 	BusyTime sim.Duration
 	// FramesBurstLost counts frames lost to fault-plan loss windows
 	// (also included in FramesDropped).
 	FramesBurstLost int
-	// FramesCut counts frames lost to an open partition.
+	// FramesCut counts frames lost to an open partition or link cut.
 	FramesCut int
 	// FramesCorrupted counts frames whose payload was damaged in flight.
 	FramesCorrupted int
@@ -61,29 +64,46 @@ type Stats struct {
 	FramesDuplicated int
 	// FramesToDead counts frames that arrived at a down host's NIC.
 	FramesToDead int
+	// CrossSegmentFrames counts inter-segment link traversals — one per
+	// link a frame (or a broadcast's tree copy) crosses. Always 0 on a
+	// one-segment network.
+	CrossSegmentFrames int
 }
 
-// Network is a simulated shared Ethernet segment.
+// Network is a simulated Ethernet: one shared segment by default, or a
+// switched multi-segment topology.
 type Network struct {
 	k      *sim.Kernel
 	params *model.Params
-	cable  *sim.Resource
-	ifaces map[HostID]*Interface
+	topo   *Topology
+	cable  *sim.Resource // pre-freeze handle for the degenerate bus
+	ifaces []*Interface  // dense by HostID
 	// DropRate is the probability a frame is lost after transmission.
 	// It must only be changed before traffic starts.
 	DropRate float64
 	stats    Stats
 
-	// bcast caches the sorted receiver list for broadcast expansion
-	// (invalidated by Attach); labels caches delivery-event names. Both
-	// keep the per-frame delivery path allocation-free.
-	bcast  []HostID
+	// Frozen topology tables (built by freeze on first transmission).
+	frozen     bool
+	segs       []*segment
+	links      []*netlink
+	hostSeg    []int16
+	nextLink   [][]int16 // [src][dst] → first link on the path
+	btree      [][]treeEdge
+	segArrival []sim.Time // broadcast scratch, one slot per segment
+
+	// labels caches delivery-event names for the model checker's
+	// schedule diagnostics; without a chooser installed no label is
+	// formatted at all.
 	labels map[labelKey]string
+	// freeDeliv pools delivery records so steady-state delivery
+	// scheduling allocates nothing.
+	freeDeliv []*delivery
 
 	// plan scripts injected faults (see fault.go); nil injects nothing.
 	plan *FaultPlan
-	// down marks crashed hosts' NICs.
-	down map[HostID]bool
+	// down marks crashed hosts' NICs, dense by HostID.
+	down []bool
 	// clone and corruptFn are the payload hooks for the duplicate and
 	// corrupt faults (see SetPayloadHooks).
 	clone     func(payload any) any
@@ -97,28 +117,82 @@ type labelKey struct{ to, from HostID }
 type Interface struct {
 	id  HostID
 	net *Network
-	rx  *sim.Queue
+	rx  *sim.TypedQueue[Frame]
 }
 
-// New creates a network using the kernel's clock and randomness.
+// delivery is a pooled pending-delivery record: the argument of the
+// shared delivery callback, so scheduling a delivery builds no closure.
+type delivery struct {
+	n   *Network
+	ifc *Interface
+	f   Frame
+}
+
+// deliverPooled is the single delivery callback all delivery events
+// share (a top-level function value costs nothing to schedule).
+func deliverPooled(a any) {
+	d := a.(*delivery)
+	n, ifc, f := d.n, d.ifc, d.f
+	d.ifc = nil
+	d.f = Frame{}
+	n.freeDeliv = append(n.freeDeliv, d)
+	n.deliver(ifc, f)
+}
+
+// New creates a single-segment (shared bus) network using the kernel's
+// clock and randomness.
 func New(k *sim.Kernel, params *model.Params) *Network {
+	return NewWithTopology(k, params, nil)
+}
+
+// NewWithTopology creates a network with the given switched topology.
+// A nil topology (or one with zero or one segments) is the classic
+// shared bus.
+func NewWithTopology(k *sim.Kernel, params *model.Params, topo *Topology) *Network {
 	return &Network{
 		k:      k,
 		params: params,
+		topo:   topo,
 		cable:  sim.NewResource(k, 1),
-		ifaces: make(map[HostID]*Interface),
 	}
 }
+
+// Topology returns the installed topology (nil for the default bus).
+func (n *Network) Topology() *Topology { return n.topo }
 
 // Attach creates the interface for a host. Attaching the same ID twice
 // is a configuration error.
 func (n *Network) Attach(id HostID) (*Interface, error) {
-	if _, dup := n.ifaces[id]; dup {
+	if id < 0 {
+		return nil, fmt.Errorf("netsim: invalid host id %d", id)
+	}
+	for int(id) >= len(n.ifaces) {
+		n.ifaces = append(n.ifaces, nil)
+	}
+	if n.ifaces[id] != nil {
 		return nil, fmt.Errorf("netsim: host %d already attached", id)
 	}
-	ifc := &Interface{id: id, net: n, rx: sim.NewQueue(n.k)}
+	ifc := &Interface{id: id, net: n, rx: sim.NewTypedQueue[Frame](n.k)}
 	n.ifaces[id] = ifc
-	n.bcast = nil // rebuild the broadcast expansion on next use
+	if n.frozen {
+		// Late attach: extend the frozen member tables in place.
+		for int(id) >= len(n.hostSeg) {
+			n.hostSeg = append(n.hostSeg, 0)
+		}
+		s := n.topo.segmentOf(id)
+		n.hostSeg[id] = int16(s)
+		seg := n.segs[s]
+		at := len(seg.members)
+		for i, m := range seg.members {
+			if m > id {
+				at = i
+				break
+			}
+		}
+		seg.members = append(seg.members, 0)
+		copy(seg.members[at+1:], seg.members[at:])
+		seg.members[at] = id
+	}
 	return ifc, nil
 }
 
@@ -126,9 +200,11 @@ func (n *Network) Attach(id HostID) (*Interface, error) {
 func (n *Network) Stats() Stats { return n.stats }
 
 // Send transmits one frame, blocking the calling process for medium
-// acquisition plus wire time. Delivery (or loss) happens asynchronously
-// after the packet latency. Frames above the MTU are rejected: the
-// caller must fragment.
+// acquisition plus wire time on its own segment. Delivery (or loss)
+// happens asynchronously: after the segment latency for local
+// destinations, plus the link path's queuing, wire and propagation
+// times for remote ones. Frames above the MTU are rejected: the caller
+// must fragment.
 func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 	n := ifc.net
 	if f.Size > n.params.MTUPayload {
@@ -137,15 +213,17 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 	if f.From != ifc.id {
 		return fmt.Errorf("netsim: frame From %d sent via interface %d", f.From, ifc.id)
 	}
-	if n.down[f.From] {
+	if n.hostDown(f.From) {
 		// A crashed host's NIC transmits nothing: the frame vanishes
 		// without touching the cable.
 		return nil
 	}
-	tx := n.params.WireTime(f.Size)
-	n.cable.Acquire(p)
+	n.freeze()
+	seg := n.segs[n.segOf(f.From)]
+	tx := n.wireTime(f.Size, seg.bps)
+	seg.medium.Acquire(p)
 	p.Sleep(tx)
-	n.cable.Release()
+	seg.medium.Release()
 	n.stats.FramesSent++
 	n.stats.BytesSent += f.Size
 	n.stats.BusyTime += tx
@@ -160,48 +238,76 @@ func (ifc *Interface) Send(p *sim.Proc, f Frame) error {
 	return nil
 }
 
-// scheduleDelivery queues one named delivery event per destination,
-// packet latency from now. Broadcast expands here, at send time, into
-// one event per receiver — in host order, so without a chooser the
-// dispatch (seq) order matches the previous single-callback behavior
-// (a map-ordered walk here once made multicast invalidation runs
+// scheduleDelivery queues one named delivery event per destination.
+// Broadcast expands here, at send time, into one event per receiver —
+// segment by segment along the spanning tree, in host order within each
+// segment, so without a chooser the dispatch (seq) order is fixed (a
+// map-ordered walk here once made multicast invalidation runs
 // nondeterministic). With a chooser each receiver's delivery is an
 // independent alternative the model checker can reorder.
 func (n *Network) scheduleDelivery(f Frame) {
+	src := n.segOf(f.From)
 	if f.To == Broadcast {
-		if n.bcast == nil {
-			ids := make([]HostID, 0, len(n.ifaces))
-			for id := range n.ifaces {
-				ids = append(ids, id)
-			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			n.bcast = ids
+		if len(n.segs) == 1 {
+			n.deliverSegment(n.segs[0], f, n.segs[0].lat)
+			return
 		}
-		for _, id := range n.bcast {
-			if id == f.From {
-				continue
-			}
-			if n.cut(f.From, id) {
-				continue
-			}
-			ifc := n.ifaces[id]
-			n.k.AfterNamed(n.deliveryLabel(id, f.From), n.params.PacketLatency, func() { n.deliver(ifc, f) })
-		}
+		n.broadcastTree(src, f)
 		return
 	}
 	if n.cut(f.From, f.To) {
 		return
 	}
-	if ifc, ok := n.ifaces[f.To]; ok {
-		n.k.AfterNamed(n.deliveryLabel(f.To, f.From), n.params.PacketLatency, func() { n.deliver(ifc, f) })
+	if int(f.To) >= len(n.ifaces) || n.ifaces[f.To] == nil {
+		// Frames to unknown hosts vanish, like on a real wire.
+		return
 	}
-	// Frames to unknown hosts vanish, like on a real wire.
+	dst := n.segOf(f.To)
+	if dst == src {
+		n.scheduleOne(f.To, f, n.segs[dst].lat)
+		return
+	}
+	extra, ok := n.routeDelay(src, dst, f.Size)
+	if !ok {
+		return
+	}
+	n.scheduleOne(f.To, f, extra+n.segs[dst].lat)
+}
+
+// deliverSegment schedules delivery to every member of a segment (in
+// host order) after the given delay, skipping the sender and partition-
+// cut receivers.
+func (n *Network) deliverSegment(seg *segment, f Frame, delay sim.Duration) {
+	for _, id := range seg.members {
+		if id == f.From {
+			continue
+		}
+		if n.cut(f.From, id) {
+			continue
+		}
+		n.scheduleOne(id, f, delay)
+	}
+}
+
+// scheduleOne queues one delivery event from a pooled record.
+func (n *Network) scheduleOne(to HostID, f Frame, delay sim.Duration) {
+	var d *delivery
+	if last := len(n.freeDeliv) - 1; last >= 0 {
+		d = n.freeDeliv[last]
+		n.freeDeliv[last] = nil
+		n.freeDeliv = n.freeDeliv[:last]
+	} else {
+		d = &delivery{n: n}
+	}
+	d.ifc = n.ifaces[to]
+	d.f = f
+	n.k.AfterNamedArg(n.deliveryLabel(to, f.From), delay, deliverPooled, d)
 }
 
 // deliver puts a frame on the destination's receive queue unless the
 // host's NIC went down while the frame was in flight.
 func (n *Network) deliver(ifc *Interface, f Frame) {
-	if n.down[ifc.id] {
+	if n.hostDown(ifc.id) {
 		n.stats.FramesToDead++
 		return
 	}
@@ -209,9 +315,14 @@ func (n *Network) deliver(ifc *Interface, f Frame) {
 }
 
 // deliveryLabel names a delivery event for schedule diagnostics. Labels
-// are interned per (to, from) pair so steady-state delivery does not
+// only matter to an installed chooser (the model checker's choice-point
+// display); plain runs skip the formatting entirely. Labels are
+// interned per (to, from) pair so steady-state delivery does not
 // re-format them.
 func (n *Network) deliveryLabel(to, from HostID) string {
+	if !n.k.HasChooser() {
+		return ""
+	}
 	key := labelKey{to: to, from: from}
 	if s, ok := n.labels[key]; ok {
 		return s
@@ -226,16 +337,12 @@ func (n *Network) deliveryLabel(to, from HostID) string {
 
 // Recv blocks until a frame arrives and returns it.
 func (ifc *Interface) Recv(p *sim.Proc) Frame {
-	return ifc.rx.Get(p).(Frame)
+	return ifc.rx.Get(p)
 }
 
 // RecvTimeout is Recv with a deadline.
 func (ifc *Interface) RecvTimeout(p *sim.Proc, d sim.Duration) (Frame, bool) {
-	v, ok := ifc.rx.GetTimeout(p, d)
-	if !ok {
-		return Frame{}, false
-	}
-	return v.(Frame), true
+	return ifc.rx.GetTimeout(p, d)
 }
 
 // Pending returns the number of frames queued for this interface.

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -58,7 +57,9 @@ type event struct {
 	proc     *proc  // process to wake, or nil for a callback event
 	epoch    uint64 // park epoch the wake targets (ignored for callbacks)
 	reason   WakeReason
-	fn       func() // callback; must not block
+	fn       func()    // callback; must not block
+	fnArg    func(any) // callback taking arg; the closure-free hot-path form
+	arg      any
 	name     string // label for callback events (scheduling diagnostics)
 	canceled bool
 }
@@ -70,7 +71,7 @@ func (e *event) live() bool {
 	if e.canceled {
 		return false
 	}
-	if e.fn != nil {
+	if e.fn != nil || e.fnArg != nil {
 		return true
 	}
 	return !e.proc.done && e.proc.epoch == e.epoch
@@ -79,7 +80,7 @@ func (e *event) live() bool {
 // label renders the event for schedule diagnostics: the callback's name,
 // or the woken process prefixed by why it wakes.
 func (e *event) label() string {
-	if e.fn != nil {
+	if e.fn != nil || e.fnArg != nil {
 		if e.name != "" {
 			return e.name
 		}
@@ -91,18 +92,63 @@ func (e *event) label() string {
 	return "wake:" + e.proc.name
 }
 
+// eventHeap is a 4-ary min-heap ordered by (at, seq). The wider fan-out
+// roughly halves the tree depth of the binary container/heap it
+// replaces, and inlined sift loops avoid the interface-dispatch cost of
+// heap.Push/heap.Pop — the kernel's hottest operations at 1024 hosts.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = nil
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		min := i
+		c := 4*i + 1
+		end := c + 4
+		if end > len(s) {
+			end = len(s)
+		}
+		for ; c < end; c++ {
+			if s.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
 func (h eventHeap) Peek() *event  { return h[0] }
 func (h eventHeap) isEmpty() bool { return len(h) == 0 }
 
@@ -135,6 +181,7 @@ type Kernel struct {
 	rng     *rand.Rand
 	chooser Chooser
 	elig    []*event // scratch buffer for same-instant alternatives
+	free    []*event // dispatched event records, recycled by newEvent
 }
 
 type yieldKind int
@@ -176,8 +223,29 @@ func (k *Kernel) schedule(at Time, e *event) *event {
 	e.at = at
 	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 	return e
+}
+
+// newEvent returns a zeroed event record, recycling dispatched ones.
+// Steady-state scheduling (timers, deliveries, wakes) allocates nothing:
+// the pool reaches the simulation's high-water event count and stays
+// there. Safe because nothing outside the kernel retains an *event past
+// its dispatch.
+func (k *Kernel) newEvent() *event {
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// releaseEvent recycles a dispatched (or discarded) event record.
+func (k *Kernel) releaseEvent(e *event) {
+	*e = event{}
+	k.free = append(k.free, e)
 }
 
 // SetChooser installs (or, with nil, removes) the scheduling chooser.
@@ -185,16 +253,38 @@ func (k *Kernel) schedule(at Time, e *event) *event {
 // recorded schedules meaningless.
 func (k *Kernel) SetChooser(c Chooser) { k.chooser = c }
 
+// HasChooser reports whether a scheduling chooser is installed. Hot
+// paths use it to skip work that only feeds choice-point diagnostics —
+// formatting event labels, most prominently.
+func (k *Kernel) HasChooser() bool { return k.chooser != nil }
+
 // After schedules fn to run at the current time plus d. fn runs in kernel
 // context and must not block; use Spawn for blocking work.
 func (k *Kernel) After(d Duration, fn func()) {
-	k.schedule(k.now.Add(d), &event{fn: fn})
+	e := k.newEvent()
+	e.fn = fn
+	k.schedule(k.now.Add(d), e)
 }
 
 // AfterNamed is After with a label naming the callback in schedule
 // diagnostics (the model checker's choice-point labels).
 func (k *Kernel) AfterNamed(name string, d Duration, fn func()) {
-	k.schedule(k.now.Add(d), &event{fn: fn, name: name})
+	e := k.newEvent()
+	e.fn = fn
+	e.name = name
+	k.schedule(k.now.Add(d), e)
+}
+
+// AfterNamedArg schedules fn(arg) at the current time plus d — the
+// allocation-free form of AfterNamed for hot paths: fn is a long-lived
+// function value and arg a caller-pooled record, so scheduling builds
+// no per-event closure.
+func (k *Kernel) AfterNamedArg(name string, d Duration, fn func(any), arg any) {
+	e := k.newEvent()
+	e.fnArg = fn
+	e.arg = arg
+	e.name = name
+	k.schedule(k.now.Add(d), e)
 }
 
 // Spawn creates a new process named name running fn. The process starts
@@ -232,7 +322,7 @@ func (k *Kernel) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
 		fn(public)
 	}()
 	pr.wakePending = true
-	k.schedule(at, &event{proc: pr, epoch: pr.epoch, reason: WakeSignal})
+	k.scheduleWake(at, pr, pr.epoch, WakeSignal)
 	return public
 }
 
@@ -287,11 +377,20 @@ func (k *Kernel) Step() bool {
 	return true
 }
 
+// scheduleWake schedules a process-wake event at time at.
+func (k *Kernel) scheduleWake(at Time, p *proc, epoch uint64, reason WakeReason) {
+	e := k.newEvent()
+	e.proc = p
+	e.epoch = epoch
+	e.reason = reason
+	k.schedule(at, e)
+}
+
 // discardDead drops canceled and stale events from the head of the
 // queue so the chooser never sees a no-op as an alternative.
 func (k *Kernel) discardDead() {
 	for !k.events.isEmpty() && !k.events.Peek().live() {
-		heap.Pop(&k.events)
+		k.releaseEvent(k.events.pop())
 	}
 }
 
@@ -306,7 +405,7 @@ func (k *Kernel) nextEvent() *event {
 		if k.events.isEmpty() {
 			return nil
 		}
-		return heap.Pop(&k.events).(*event)
+		return k.events.pop()
 	}
 	k.discardDead()
 	if k.events.isEmpty() {
@@ -315,9 +414,11 @@ func (k *Kernel) nextEvent() *event {
 	t := k.events.Peek().at
 	elig := k.elig[:0]
 	for !k.events.isEmpty() && k.events.Peek().at == t {
-		e := heap.Pop(&k.events).(*event)
+		e := k.events.pop()
 		if e.live() {
 			elig = append(elig, e)
+		} else {
+			k.releaseEvent(e)
 		}
 	}
 	k.elig = elig[:0] // keep the grown buffer for the next call
@@ -330,7 +431,7 @@ func (k *Kernel) nextEvent() *event {
 	}
 	for i, e := range elig {
 		if i != idx {
-			heap.Push(&k.events, e)
+			k.events.push(e)
 		}
 	}
 	return elig[idx]
@@ -348,15 +449,25 @@ func (k *Kernel) LivePending() int {
 	return n
 }
 
-// step dispatches one event: run its callback, or resume its process and
-// wait for the process to park again or finish.
+// step dispatches one event — run its callback, or resume its process
+// and wait for the process to park again or finish — then recycles the
+// event record.
 func (k *Kernel) step(e *event) {
+	k.dispatch(e)
+	k.releaseEvent(e)
+}
+
+func (k *Kernel) dispatch(e *event) {
 	if e.canceled {
 		return
 	}
 	k.now = e.at
 	if e.fn != nil {
 		e.fn()
+		return
+	}
+	if e.fnArg != nil {
+		e.fnArg(e.arg)
 		return
 	}
 	p := e.proc
@@ -538,7 +649,7 @@ func (k *Kernel) wake(t wakeToken, reason WakeReason) {
 		return
 	}
 	p.wakePending = true
-	k.schedule(k.now, &event{proc: p, epoch: t.epoch, reason: reason})
+	k.scheduleWake(k.now, p, t.epoch, reason)
 }
 
 // Sleep suspends the process for virtual duration d.
@@ -549,7 +660,7 @@ func (pp *Proc) Sleep(d Duration) {
 	k := pp.p.k
 	t := pp.token()
 	pp.p.wakePending = true
-	k.schedule(k.now.Add(d), &event{proc: t.p, epoch: t.epoch, reason: WakeTimeout})
+	k.scheduleWake(k.now.Add(d), t.p, t.epoch, WakeTimeout)
 	pp.park()
 }
 
@@ -559,6 +670,6 @@ func (pp *Proc) Yield() {
 	k := pp.p.k
 	t := pp.token()
 	pp.p.wakePending = true
-	k.schedule(k.now, &event{proc: t.p, epoch: t.epoch, reason: WakeSignal})
+	k.scheduleWake(k.now, t.p, t.epoch, WakeSignal)
 	pp.park()
 }

@@ -24,13 +24,28 @@ func (pp *Proc) Park() WakeReason { return pp.park() }
 func (pp *Proc) ParkTimeout(d Duration) WakeReason {
 	k := pp.p.k
 	t := pp.token()
-	k.schedule(k.now.Add(d), &event{proc: t.p, epoch: t.epoch, reason: WakeTimeout})
+	k.scheduleWake(k.now.Add(d), t.p, t.epoch, WakeTimeout)
 	return pp.park()
 }
 
 // Wake resumes the parked episode identified by w. Waking an episode that
 // already resumed (or was woken before) has no effect.
 func (k *Kernel) Wake(w Waiter, reason WakeReason) { k.wake(w.t, reason) }
+
+// popWaiter removes and returns the oldest waiter, shifting the rest
+// down in place. Reslicing the head away (ws = ws[1:]) would shrink the
+// backing array one slot per wakeup until every park re-allocates it;
+// hot paths (frame delivery at 1024 hosts) park and wake every cycle,
+// so the dequeue must keep the array.
+func popWaiter(ws *[]wakeToken) wakeToken {
+	w := *ws
+	t := w[0]
+	last := len(w) - 1
+	copy(w, w[1:])
+	w[last] = wakeToken{}
+	*ws = w[:last]
+	return t
+}
 
 // Semaphore is a counting semaphore with FIFO wakeup order, providing the
 // P and V operations of the paper's distributed synchronization facility
@@ -72,8 +87,7 @@ func (s *Semaphore) TryP() bool {
 // token is handed directly to the woken process.
 func (s *Semaphore) V() {
 	for len(s.waiters) > 0 {
-		t := s.waiters[0]
-		s.waiters = s.waiters[1:]
+		t := popWaiter(&s.waiters)
 		if t.p.done || t.p.epoch != t.epoch {
 			continue // waiter vanished (timeout or kill); drop it
 		}
@@ -102,8 +116,7 @@ func (q *Queue) Len() int { return len(q.items) }
 func (q *Queue) Put(v any) {
 	q.items = append(q.items, v)
 	for len(q.waiters) > 0 {
-		t := q.waiters[0]
-		q.waiters = q.waiters[1:]
+		t := popWaiter(&q.waiters)
 		if t.p.done || t.p.epoch != t.epoch {
 			continue
 		}
@@ -146,6 +159,90 @@ func (q *Queue) GetTimeout(p *Proc, d Duration) (v any, ok bool) {
 }
 
 func (q *Queue) removeWaiter(p *Proc) {
+	for i, t := range q.waiters {
+		if t.p == p.p {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// TypedQueue is Queue for a concrete element type — the delivery
+// surface for hot paths (netsim frames) where storing items as any
+// would box every element. It also reuses its buffer as a sliding
+// window instead of reslicing it away, so steady-state Put/Get cycles
+// allocate nothing.
+type TypedQueue[T any] struct {
+	k       *Kernel
+	items   []T
+	head    int
+	waiters []wakeToken
+}
+
+// NewTypedQueue creates an empty typed queue.
+func NewTypedQueue[T any](k *Kernel) *TypedQueue[T] { return &TypedQueue[T]{k: k} }
+
+// Len returns the number of queued items.
+func (q *TypedQueue[T]) Len() int { return len(q.items) - q.head }
+
+// Put appends an item and wakes one waiting getter. It never blocks and
+// is safe to call from kernel callbacks (for example delivery events).
+func (q *TypedQueue[T]) Put(v T) {
+	if q.head == len(q.items) && q.head > 0 {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, v)
+	for len(q.waiters) > 0 {
+		t := popWaiter(&q.waiters)
+		if t.p.done || t.p.epoch != t.epoch {
+			continue
+		}
+		q.k.wake(t, WakeSignal)
+		return
+	}
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *TypedQueue[T]) Get(p *Proc) T {
+	for q.Len() == 0 {
+		q.waiters = append(q.waiters, p.token())
+		p.park()
+	}
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	return v
+}
+
+// GetTimeout is Get with a deadline; ok is false if d elapsed first.
+func (q *TypedQueue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	deadline := p.Now().Add(d)
+	for q.Len() == 0 {
+		remaining := deadline.Sub(p.Now())
+		if remaining <= 0 {
+			var zero T
+			return zero, false
+		}
+		q.waiters = append(q.waiters, p.token())
+		if p.ParkTimeout(remaining) == WakeTimeout {
+			q.removeWaiter(p)
+			if q.Len() == 0 {
+				var zero T
+				return zero, false
+			}
+		}
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	return v, true
+}
+
+func (q *TypedQueue[T]) removeWaiter(p *Proc) {
 	for i, t := range q.waiters {
 		if t.p == p.p {
 			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)

@@ -141,6 +141,13 @@ type (
 	DSMStats = dsm.Stats
 	// NetStats are network-level counters.
 	NetStats = netsim.Stats
+	// Topology is a switched multi-segment network shape; nil (the
+	// default) is the paper's single shared bus.
+	Topology = netsim.Topology
+	// SegmentSpec describes one shared-medium segment of a Topology.
+	SegmentSpec = netsim.SegmentSpec
+	// LinkSpec describes one inter-segment link of a Topology.
+	LinkSpec = netsim.LinkSpec
 	// CostModel is the calibrated virtual-time cost model.
 	CostModel = model.Params
 )
@@ -178,6 +185,11 @@ type Config struct {
 	UnicastInvalidate bool
 	// DropRate injects network frame loss (0 gives a reliable wire).
 	DropRate float64
+	// Net selects the network shape: nil is the paper's single shared
+	// bus; a multi-segment Topology places hosts on switched segments
+	// joined by profiled links (netsim.SwitchedStar builds the common
+	// star shape). A one-segment Topology is bit-identical to the bus.
+	Net *Topology
 	// Model overrides the calibrated cost model (nil uses the default
 	// fitted to the paper's Tables 1–3).
 	Model *CostModel
@@ -187,6 +199,13 @@ type Config struct {
 type Cluster struct {
 	c      *cluster.Cluster
 	nextFn FuncID
+}
+
+// SwitchedStar builds the standard scaled topology: `segments` leaf
+// segments of `hostsPerSegment` hosts each, star-linked through
+// segment 0, every profile inheriting the cost model.
+func SwitchedStar(segments, hostsPerSegment int) *Topology {
+	return netsim.SwitchedStar(segments, hostsPerSegment)
 }
 
 // New builds a cluster. Register thread functions, compound types, and
@@ -204,6 +223,7 @@ func New(cfg Config) (*Cluster, error) {
 		Policy:               cfg.Policy,
 		UnicastInvalidate:    cfg.UnicastInvalidate,
 		DropRate:             cfg.DropRate,
+		Topology:             cfg.Net,
 		Params:               cfg.Model,
 	})
 	if err != nil {
