@@ -46,6 +46,10 @@ bench:
 	go run ./cmd/mermaid-benchjson -o BENCH_2.json < bench_scale.txt
 	go run ./cmd/mermaid-benchjson -validate BENCH_2.json
 	@rm -f bench_scale.txt
+	go test -run '^$$' -bench QuorumFanout -benchmem . > bench_quorum.txt
+	go run ./cmd/mermaid-benchjson -o BENCH_3.json < bench_quorum.txt
+	go run ./cmd/mermaid-benchjson -validate BENCH_3.json
+	@rm -f bench_quorum.txt
 
 # CI variant: a handful of iterations only — proves the harness and the
 # JSON pipeline work without burning minutes on stable numbers.
@@ -65,8 +69,11 @@ mc-smoke:
 	go run ./cmd/mermaid-mc -workload=basic -mutation=skip-conversion -max-schedules=100
 	go run ./cmd/mermaid-mc -workload=dynamic -strategy=dfs -max-schedules=1200
 	go run ./cmd/mermaid-mc -workload=dynamic -mutation=stale-probable-owner -max-schedules=100
+	go run ./cmd/mermaid-mc -workload=quorum -strategy=dfs -max-schedules=1200
+	go run ./cmd/mermaid-mc -workload=quorum -mutation=stale-quorum-read -max-schedules=100
+	go run ./cmd/mermaid-mc -workload=quorum -mutation=split-brain-write -max-schedules=100
 
-# Chaos smoke: one seed per workload × fault class (12 campaigns).
+# Chaos smoke: one seed per workload × fault class (24 campaigns).
 # Every run must survive its fault schedule — a violation prints a
 # replay token and fails the build. Budgeted for CI; chaos-deep widens
 # the seed range and double-runs everything for determinism.
@@ -91,6 +98,10 @@ chaos-smoke:
 	go run ./cmd/mermaid-chaos -workload=switched -class=partition -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=switched -class=crash -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=switched -class=mix -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=quorum -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=quorum -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=quorum -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=1
 
 # Nightly-depth chaos: 25 seeds per workload × class with a
 # determinism double-run (-verify) on every campaign.
@@ -115,6 +126,12 @@ chaos-deep:
 	go run ./cmd/mermaid-chaos -workload=switched -class=partition -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=switched -class=crash -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=switched -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=quorum -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=quorum -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=quorum -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=5 -mutation=stale-quorum-read
+	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=5 -mutation=split-brain-write
 
 # Full mutation-kill suite plus a deeper clean sweep of every workload —
 # the nightly-depth run.
@@ -127,6 +144,7 @@ mc-deep:
 	go run ./cmd/mermaid-mc -workload=barrier -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=update -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=dynamic -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=quorum -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=basic -strategy=random -runs=2000
 	go run ./cmd/mermaid-mc -workload=matmul -strategy=delay -delays=3 -max-schedules=5000
 

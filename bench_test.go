@@ -239,6 +239,47 @@ func BenchmarkRealOwnerForwarding(b *testing.B) {
 	b.ReportMetric(float64(r.MaxChain), "max_chain")
 }
 
+// benchQuorumFanout is the body of the BenchmarkQuorumFanout* pair:
+// wall-clock cost of a full SC-ABD simulation — every read and write a
+// two-phase majority fan-out — on an n-host heterogeneous cluster, with
+// the quorum round counters as custom metrics.
+func benchQuorumFanout(b *testing.B, n int) {
+	const rounds = 50
+	var stats DSMStats
+	for i := 0; i < b.N; i++ {
+		hosts := make([]HostSpec, n)
+		for h := range hosts {
+			if h%2 == 1 {
+				hosts[h] = HostSpec{Kind: Firefly}
+			} else {
+				hosts[h] = HostSpec{Kind: Sun}
+			}
+		}
+		c, err := New(Config{Hosts: hosts, Policy: Quorum, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Run(0, func(e *Env) {
+			addr := e.MustAlloc(Int32, 8)
+			for r := 0; r < rounds; r++ {
+				e.WriteInt32(addr, int32(r))
+				if got := e.ReadInt32(addr); got != int32(r) {
+					b.Fatalf("round %d read %d", r, got)
+				}
+			}
+		})
+		stats = c.TotalStats()
+	}
+	b.ReportMetric(float64(stats.QuorumReads)/rounds, "qreads/op")
+	b.ReportMetric(float64(stats.QuorumWrites)/rounds, "qwrites/op")
+	b.ReportMetric(float64(stats.QuorumWriteBacks), "writebacks")
+	b.ReportMetric(float64(stats.QuorumRetries), "retries")
+}
+
+func BenchmarkQuorumFanout3Hosts(b *testing.B) { benchQuorumFanout(b, 3) }
+
+func BenchmarkQuorumFanout5Hosts(b *testing.B) { benchQuorumFanout(b, 5) }
+
 func BenchmarkAblationSyncStyles(b *testing.B) {
 	var r exp.SyncStyleResult
 	for i := 0; i < b.N; i++ {

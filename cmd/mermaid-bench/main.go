@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs,scale,scale1k")
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs,avail,scale,scale1k")
 	flag.Parse()
 	if err := run(*only); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,6 +103,9 @@ func run(only string) error {
 	// sections.
 	if only != "" && want("dirs") {
 		show(exp.DirectorySchemesTable(exp.DirectorySchemes()))
+	}
+	if only != "" && want("avail") {
+		show(exp.PartitionAvailabilityTable(exp.PartitionAvailability()))
 	}
 	// scale is the CI smoke sweep (up to 256 hosts, under the check
 	// target's time budget); scale1k is the nightly full sweep with the

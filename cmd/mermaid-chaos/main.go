@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/chaos"
+	"repro/internal/dsm"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func run() int {
 		verify   = flag.Bool("verify", false, "run each seed twice and require bit-identical outcomes")
 		replay   = flag.String("replay", "", "replay a chaos1:... token and print its fault plan and outcome")
 		maxSteps = flag.Int("max-steps", 0, "per-run event budget (0 = default; exceeding it is reported as hung)")
+		mutation = flag.String("mutation", "", "inject a named DSM protocol bug and require the campaign to catch it (exit 2 if it survives every run)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,24 @@ func run() int {
 	}
 
 	opts := chaos.Opts{MaxSteps: *maxSteps}
+	if *mutation != "" {
+		if *verify || *replay != "" {
+			fmt.Fprintln(os.Stderr, "mermaid-chaos: -mutation cannot be combined with -verify or -replay")
+			return 1
+		}
+		found := false
+		for _, m := range dsm.Mutations() {
+			if m != dsm.MutNone && m.String() == *mutation {
+				opts.Mut = m
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "mermaid-chaos: unknown mutation %q\n", *mutation)
+			return 1
+		}
+	}
 
 	if *replay != "" {
 		res, err := chaos.Replay(*replay, opts)
@@ -108,6 +128,18 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mermaid-chaos:", err)
 		return 1
+	}
+	if opts.Mut != dsm.MutNone {
+		// Kill semantics: the campaign hunts an injected bug, so at
+		// least one run must catch it — a clean sweep means the oracles
+		// have a blind spot.
+		if len(series.Violations) > 0 {
+			fmt.Printf("mutation %s KILLED: caught in %d/%d run(s), first by %s\n",
+				opts.Mut, len(series.Violations), *runs, series.Violations[0])
+			return 0
+		}
+		fmt.Printf("mutation %s SURVIVED %d run(s)\n", opts.Mut, *runs)
+		return 2
 	}
 	for _, res := range series.Results {
 		fmt.Printf("%s %s", res.Token, res.Outcome)

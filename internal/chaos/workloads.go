@@ -233,6 +233,205 @@ func init() {
 	register(handoffWorkload())
 	register(forwardWorkload())
 	register(switchedWorkload())
+	register(quorumWorkload())
+}
+
+// buildQuorumChaosCluster is buildChaosCluster under the SC-ABD quorum
+// policy: every page is replicated at every host and every operation
+// completes at a majority, so this is the one cluster whose workload
+// can demand *progress during* a partition, not just after it heals.
+func buildQuorumChaosCluster(seed int64, kinds []arch.Kind, plan *netsim.FaultPlan, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, *traceLog, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	rec := sctrace.NewRecorder()
+	tl := &traceLog{}
+	c, err := cluster.New(cluster.Config{
+		Hosts:            hosts,
+		PageSize:         chaosPageSize,
+		SpaceSize:        chaosSpaceSize,
+		Seed:             seed,
+		Policy:           dsm.PolicyQuorum,
+		CentralManager:   true,
+		FailureDetection: true,
+		InvariantChecks:  true,
+		SCTrace:          rec,
+		FaultPlan:        plan,
+		Trace:            tl.observe,
+		Mutation:         mut,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, rec, tl, nil
+}
+
+// quorumWorkload runs the slots pattern under SC-ABD majority quorum on
+// five hosts, with the availability oracle the quorum engine exists
+// for: the coordinator records the completion time of every successful
+// poll, and for each sufficiently long partition window the run FAILS
+// unless some poll completed *while the partition was open* — the
+// majority side must keep computing, not merely recover after the
+// heal. Five hosts make every generated plan majority-preserving once
+// the partitions are re-aimed at a single victim (below): one host cut
+// plus one host crashed still leaves host 0 in a three-host component,
+// and a majority of three is a quorum of five. Quorum replication has
+// no sole-owner data loss, so unlike the MRSW workloads the final reads
+// must succeed even after a crash — ErrPageLost is never tolerable.
+func quorumWorkload() *Workload {
+	const rounds = 12
+	// livenessWindow is the shortest partition the progress oracle
+	// judges: the coordinator polls every pollPeriod, so a window this
+	// long sees several whole poll rounds even if frame loss costs a
+	// round a retransmission timeout or two.
+	const livenessWindow = 500 * time.Millisecond
+	return &Workload{
+		Name:  "quorum",
+		Desc:  "5 hosts, SC-ABD majority quorum: per-host writers + polling coordinator (progress during partitions)",
+		Hosts: 5,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			// The generator cuts one host per partition window, but two
+			// windows may overlap on different victims; together with the
+			// mix class's crash that could strand host 0 in a two-host
+			// component — below any quorum. Re-aim every window at the
+			// first victim: the same windows in time, never more than one
+			// host cut at once, majority component guaranteed.
+			for i := 1; i < len(plan.Partitions); i++ {
+				plan.Partitions[i].Group = plan.Partitions[0].Group
+			}
+			kinds := []arch.Kind{arch.Sun, arch.Firefly, arch.Sun, arch.Firefly, arch.Sun}
+			c, rec, tl, err := buildQuorumChaosCluster(seed, kinds, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				var pages [3]dsm.Addr
+				for i := range pages {
+					if pages[i], err = h0.DSM.Alloc(p, conv.Int32, chaosPageInts); err != nil {
+						return err
+					}
+				}
+				var last [3]int32
+				var stopped [3]error
+				for w := 0; w < 3; w++ {
+					w := w
+					host := c.Hosts[w+1]
+					c.K.Spawn(fmt.Sprintf("quorum-writer%d", w), func(wp *sim.Proc) {
+						for i := int32(1); i <= rounds; i++ {
+							if err := host.DSM.WriteInt32sE(wp, pages[w], []int32{i, i}); err != nil {
+								stopped[w] = err
+								return
+							}
+							last[w] = i
+							wp.Sleep(2*workPeriod + time.Duration(w)*17*time.Millisecond)
+						}
+					})
+				}
+				// Poll while the writers run, recording when each success
+				// completed — the raw material for the partition-progress
+				// oracle. Host 0 is never cut, so it is always in the
+				// majority component and its reads must keep completing.
+				var completions []sim.Time
+				for c.K.Now() < sim.Time(activePhase) {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						if err := h0.DSM.ReadInt32sE(p, pages[w], pair[:]); err == nil {
+							if pair[0] != pair[1] {
+								return fmt.Errorf("poll saw torn slot %d: %v", w, pair)
+							}
+							completions = append(completions, c.K.Now())
+						}
+					}
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				// Liveness under partition: for every long-enough window,
+				// some coordinator poll must have completed while the cut
+				// was open. The guarantee is partition-tolerance — prompt
+				// delivery among the majority — so windows overlapped by a
+				// loss or corruption burst are exempt: with the quorum cut
+				// to the bare majority, every dropped frame costs a full
+				// request timeout, and that stall is the burst's doing,
+				// not the partition's.
+				for _, pt := range plan.Partitions {
+					if pt.Until-pt.From < sim.Time(livenessWindow) {
+						continue
+					}
+					lossy := false
+					for _, b := range append(append([]netsim.Burst{}, plan.Loss...), plan.Corrupt...) {
+						until := b.Until
+						if until == 0 {
+							until = sim.Time(activePhase + settlePhase)
+						}
+						if b.From < pt.Until && until > pt.From {
+							lossy = true
+							break
+						}
+					}
+					if lossy {
+						continue
+					}
+					progressed := false
+					for _, t := range completions {
+						if t >= pt.From && t < pt.Until {
+							progressed = true
+							break
+						}
+					}
+					if !progressed {
+						return fmt.Errorf("no coordinator op completed during partition [%v, %v): the majority component stalled",
+							time.Duration(pt.From), time.Duration(pt.Until))
+					}
+				}
+
+				died := anyDead(c)
+				strict := !died
+				for w := 0; w < 3; w++ {
+					if stopped[w] != nil {
+						strict = false
+					}
+				}
+				// A witness on a surviving non-coordinator host forces a
+				// second quorum assembly for each page.
+				witness := h0
+				for h := 1; h < len(c.Hosts); h++ {
+					if !h0.Detect.Dead(cluster.HostID(h)) {
+						witness = c.Hosts[h]
+						break
+					}
+				}
+				for _, reader := range []*cluster.Host{h0, witness} {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						if err := reader.DSM.ReadInt32sE(p, pages[w], pair[:]); err != nil {
+							// Majority replication tolerates every fault the
+							// plans inject: a final read may never fail.
+							return fmt.Errorf("host %d: slot %d unreadable after settle: %w", reader.ID, w, err)
+						}
+						if pair[0] != pair[1] {
+							return fmt.Errorf("host %d: slot %d torn after settle: %v", reader.ID, w, pair)
+						}
+						// +1: a writer killed mid-operation records nothing,
+						// but its in-flight write may still have reached
+						// enough replicas for a later read to adopt and
+						// write back — ABD's interrupted writes linearize,
+						// they do not roll back like an MRSW owner's.
+						if pair[0] < 0 || pair[0] > last[w]+1 {
+							return fmt.Errorf("host %d: slot %d = %d, never written (writer completed %d)", reader.ID, w, pair[0], last[w])
+						}
+						if strict && pair[0] != rounds {
+							return fmt.Errorf("host %d: slot %d = %d, want %d with every host alive", reader.ID, w, pair[0], rounds)
+						}
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
 }
 
 // switchedWorkload is the slots pattern stretched across a switched

@@ -339,6 +339,10 @@ func (c *Cluster) TotalDSMStats() dsm.Stats {
 		total.RemoteWrites += s.RemoteWrites
 		total.PagesRecovered += s.PagesRecovered
 		total.PagesLost += s.PagesLost
+		total.QuorumReads += s.QuorumReads
+		total.QuorumWrites += s.QuorumWrites
+		total.QuorumWriteBacks += s.QuorumWriteBacks
+		total.QuorumRetries += s.QuorumRetries
 		total.Forwards += s.Forwards
 		total.ChainServes += s.ChainServes
 		total.ChainHops += s.ChainHops

@@ -117,6 +117,9 @@ func (c *InvariantChecker) CheckAll(point string) {
 		for pg := range m.dyn {
 			set[pg] = struct{}{}
 		}
+		for pg := range m.qrm {
+			set[pg] = struct{}{}
+		}
 	}
 	pages := make([]PageNo, 0, len(set))
 	for pg := range set {
@@ -170,6 +173,11 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 	}
 	if len(writers) > 1 {
 		c.report(point, page, "multiple writable copies on hosts %v", writers)
+	}
+
+	if c.mods[0].engine.quorumReplicated() {
+		c.checkQuorumPage(point, page)
+		return
 	}
 
 	if c.mods[0].engine.serverOnly() {
@@ -241,6 +249,44 @@ func (c *InvariantChecker) checkPage(point string, page PageNo) {
 		if _, in := ent.copyset[h]; !in {
 			c.report(point, page, "host %d holds a copy but is neither owner nor in the copyset %v (stale copy — missed invalidation?)",
 				h, copysetList(ent))
+		}
+	}
+}
+
+// checkQuorumPage asserts the SC-ABD engine's structural invariants for
+// one page: every replica buffer is page-sized, every version tag names
+// a known writer, and the replicated allocation metadata is sane.
+// Version agreement is deliberately NOT asserted — replicas legitimately
+// diverge between quorum rounds (only a majority need hold the newest
+// version); the SC trace checker is what audits the values reads
+// actually return.
+func (c *InvariantChecker) checkQuorumPage(point string, page PageNo) {
+	cfg := c.mods[0].cfg
+	for _, m := range c.mods {
+		if m.crashed {
+			continue
+		}
+		qp := m.qrm[page]
+		if qp == nil {
+			continue
+		}
+		if len(qp.data) != cfg.PageSize {
+			c.report(point, page, "host %d holds a %d-byte replica of a %d-byte page",
+				m.id, len(qp.data), cfg.PageSize)
+		}
+		if qp.tag != (quorumTag{}) && c.byID(qp.tag.host) == nil {
+			c.report(point, page, "host %d's replica tag names unknown writer %d",
+				m.id, qp.tag.host)
+		}
+		if mt, ok := m.meta[page]; ok {
+			if mt.used < 0 || mt.used > cfg.PageSize {
+				c.report(point, page, "host %d records %d allocated bytes in a %d-byte page",
+					m.id, mt.used, cfg.PageSize)
+			}
+			if t, ok := cfg.Registry.Get(mt.typeID); ok && t.Size > 0 && mt.used%t.Size != 0 {
+				c.report(point, page, "host %d: allocated prefix %d is not whole %s elements (size %d)",
+					m.id, mt.used, t.Name, t.Size)
+			}
 		}
 	}
 }

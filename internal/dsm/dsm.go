@@ -96,6 +96,14 @@ const (
 	// (write-update, full replication). Reads stay local forever; each
 	// write pays a sequencing round trip.
 	PolicyUpdate
+	// PolicyQuorum is the SC-ABD algorithm (Ekström & Haridi): every
+	// host keeps a tag-ordered replica of every page, reads query a
+	// majority for the highest tag and write the winner back before
+	// returning, writes install value+tag at a majority. Each access
+	// pays a quorum round trip, but reads and writes stay sequentially
+	// consistent *and live* in any majority component of a partition —
+	// the only engine that makes progress while the fabric is split.
+	PolicyQuorum
 )
 
 // String names the policy.
@@ -109,6 +117,8 @@ func (p Policy) String() string {
 		return "central"
 	case PolicyUpdate:
 		return "update"
+	case PolicyQuorum:
+		return "quorum"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -286,6 +296,15 @@ type Stats struct {
 	// owner crashed; PagesLost counts pages declared unrecoverable.
 	PagesRecovered int
 	PagesLost      int
+	// QuorumReads and QuorumWrites count SC-ABD quorum operations this
+	// host initiated; QuorumWriteBacks counts read-side write-back
+	// rounds (the second phase that makes interrupted writes atomic);
+	// QuorumRetries counts fan-out rounds re-run because a majority was
+	// unreachable (partition riding). All zero outside PolicyQuorum.
+	QuorumReads      int
+	QuorumWrites     int
+	QuorumWriteBacks int
+	QuorumRetries    int
 	// Forwards counts dynamic-directory requests this host relayed one
 	// hop down its probable-owner chain (dynamic.go).
 	Forwards int
@@ -343,6 +362,11 @@ type Module struct {
 	// dynamic directory (dynamic.go), so fixed-scheme runs and their
 	// state hashes are untouched.
 	dyn map[PageNo]*dynPage
+	// qrm holds per-page SC-ABD replica state; non-nil only under
+	// PolicyQuorum (quorum.go). Replicas live here, not in m.local:
+	// tag-ordered versions are not MRSW residency and must stay
+	// invisible to the MRSW invariant checker and state hash sections.
+	qrm map[PageNo]*quorumPage
 
 	// liveness is the attached failure detector; nil (the default)
 	// means no failure detection: protocol failures panic and the
@@ -401,6 +425,8 @@ func New(k *sim.Kernel, ep *remoteop.Endpoint, cfg *Config, hosts []arch.Arch) (
 	ep.Handle(proto.KindDynForward, m.handleDynForward)
 	ep.Handle(proto.KindDynRecover, m.handleDynRecover)
 	ep.Handle(proto.KindDynConfirm, m.handleDynConfirm)
+	ep.Handle(proto.KindQuorumRead, m.handleQuorumRead)
+	ep.Handle(proto.KindQuorumWrite, m.handleQuorumWrite)
 	return m, nil
 }
 

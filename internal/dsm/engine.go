@@ -42,6 +42,10 @@ type engine interface {
 	// sequencesUpdates reports whether the page's manager sequences and
 	// pushes writes to replicas (the write-update policy).
 	sequencesUpdates() bool
+	// quorumReplicated reports whether pages live as tag-ordered replica
+	// sets accessed by majority quorum (the SC-ABD policy): no owner, no
+	// copyset, no MRSW residency invariants.
+	quorumReplicated() bool
 }
 
 // validatePolicy checks the policy-dependent configuration rules. It
@@ -64,6 +68,9 @@ func newEngine(m *Module) engine {
 		return &updateEngine{paged: pagedEngine{m: m}}
 	case PolicyMigration:
 		return &pagedEngine{m: m, writeOnRead: true}
+	case PolicyQuorum:
+		m.qrm = make(map[PageNo]*quorumPage)
+		return &quorumEngine{m: m}
 	default:
 		return &pagedEngine{m: m}
 	}
@@ -173,6 +180,7 @@ func (e *pagedEngine) atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, error)
 func (e *pagedEngine) allocFirstTouch() bool  { return true }
 func (e *pagedEngine) serverOnly() bool       { return false }
 func (e *pagedEngine) sequencesUpdates() bool { return false }
+func (e *pagedEngine) quorumReplicated() bool { return false }
 
 // centralEngine is the central-server policy: no page ever leaves its
 // server; every access is a remote operation (central.go).
@@ -227,6 +235,7 @@ func (e *centralEngine) atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, erro
 func (e *centralEngine) allocFirstTouch() bool  { return false }
 func (e *centralEngine) serverOnly() bool       { return true }
 func (e *centralEngine) sequencesUpdates() bool { return false }
+func (e *centralEngine) quorumReplicated() bool { return false }
 
 // updateEngine is the write-update policy: reads replicate exactly as
 // under MRSW (the embedded paged engine), writes are sequenced by the
@@ -251,3 +260,4 @@ func (e *updateEngine) atomicSwap(p *sim.Proc, addr Addr, v int32) (int32, error
 func (e *updateEngine) allocFirstTouch() bool  { return true }
 func (e *updateEngine) serverOnly() bool       { return false }
 func (e *updateEngine) sequencesUpdates() bool { return true }
+func (e *updateEngine) quorumReplicated() bool { return false }

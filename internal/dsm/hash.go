@@ -86,31 +86,54 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 		put(uint32(mt.used))
 	}
 
-	if m.dyn == nil {
-		return // fixed directories: the byte stream above is unchanged
+	if m.dyn != nil {
+		put(0xffff_fffc)
+		dpages := make([]PageNo, 0, len(m.dyn))
+		for pg := range m.dyn {
+			dpages = append(dpages, pg)
+		}
+		sort.Slice(dpages, func(i, j int) bool { return dpages[i] < dpages[j] })
+		for _, pg := range dpages {
+			dp := m.dyn[pg]
+			put(uint32(pg))
+			put(uint32(dp.probOwner))
+			if dp.owned {
+				put(1)
+			} else {
+				put(0)
+			}
+			put(uint32(dp.lock.Count())) // distinguishes in-flight from quiescent
+			if dp.lost {
+				put(0xdead_4c57)
+			}
+			for _, hID := range dynCopysetList(dp, m.id) {
+				put(uint32(hID))
+			}
+			put(0xffff_fffe)
+		}
 	}
-	put(0xffff_fffc)
-	dpages := make([]PageNo, 0, len(m.dyn))
-	for pg := range m.dyn {
-		dpages = append(dpages, pg)
-	}
-	sort.Slice(dpages, func(i, j int) bool { return dpages[i] < dpages[j] })
-	for _, pg := range dpages {
-		dp := m.dyn[pg]
-		put(uint32(pg))
-		put(uint32(dp.probOwner))
-		if dp.owned {
-			put(1)
-		} else {
-			put(0)
+
+	if m.qrm != nil {
+		// Quorum replicas: tag plus the allocated prefix of the image.
+		// The section is emitted only under PolicyQuorum, so every other
+		// policy's byte stream is unchanged.
+		put(0xffff_fffb)
+		qpages := make([]PageNo, 0, len(m.qrm))
+		for pg := range m.qrm {
+			qpages = append(qpages, pg)
 		}
-		put(uint32(dp.lock.Count())) // distinguishes in-flight from quiescent
-		if dp.lost {
-			put(0xdead_4c57)
+		sort.Slice(qpages, func(i, j int) bool { return qpages[i] < qpages[j] })
+		for _, pg := range qpages {
+			qp := m.qrm[pg]
+			put(uint32(pg))
+			put(qp.tag.ts)
+			put(uint32(qp.tag.host))
+			used := m.cfg.PageSize
+			if mt, ok := m.meta[pg]; ok && mt.used <= len(qp.data) {
+				used = mt.used
+			}
+			body := qp.data[:used] // vet:ignore page-buffer — read-only fingerprint of the raw bytes
+			h.Write(body)          // vet:ignore err-drop — hash.Hash.Write never returns an error
 		}
-		for _, hID := range dynCopysetList(dp, m.id) {
-			put(uint32(hID))
-		}
-		put(0xffff_fffe)
 	}
 }

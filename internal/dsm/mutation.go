@@ -55,6 +55,16 @@ const (
 	// one hop short of the true owner — forever, as a self-loop the
 	// chain-bound assertion trips (dynamic.go).
 	MutStaleProbableOwner
+	// MutStaleQuorumRead makes a quorum read trust its local replica
+	// alone — no majority query, no write-back. A read can then return a
+	// value older than one a completed write installed at a majority
+	// (the new/old inversion SC-ABD's phase-1 quorum exists to prevent).
+	MutStaleQuorumRead
+	// MutSplitBrainWrite makes a quorum write declare success after
+	// installing only its own local replica, without waiting for a
+	// majority of acks — the split-brain bug: two components (or two
+	// racing writers) both accept writes no quorum ever orders.
+	MutSplitBrainWrite
 
 	numMutations
 )
@@ -93,6 +103,10 @@ func (mu Mutation) String() string {
 		return "forget-recovery"
 	case MutStaleProbableOwner:
 		return "stale-probable-owner"
+	case MutStaleQuorumRead:
+		return "stale-quorum-read"
+	case MutSplitBrainWrite:
+		return "split-brain-write"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(mu))
 	}

@@ -143,8 +143,15 @@ func (m *Module) callFailed(err error, format string, args ...any) error {
 // threads on the same host faulting on the same page are serialized so
 // the protocol runs once. Under failure detection, transient failures
 // (a transaction aborted by a mid-transfer crash) are retried a bounded
-// number of times — giving detection and recovery one request timeout
-// to converge per attempt — before the page is reported down.
+// number of times before the page is reported down, with capped
+// exponential backoff between attempts: the first retry waits one
+// request timeout (detection and recovery need at least that long to
+// converge), later ones double it up to the blocking retry interval, so
+// a recovery that takes several suspicion periods is met with patience
+// rather than a premature ErrHostDown. The jitter desynchronizes hosts
+// that faulted on the same page in the same instant; it comes from the
+// seeded RNG and is drawn only on this path, so fault-free runs stay
+// bit-identical.
 func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) error {
 	l := m.faultLockFor(page)
 	l.P(p)
@@ -152,6 +159,7 @@ func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) error {
 	// checker sees the page with the fault fully serviced.
 	defer m.checkpoint("fault-serviced", page)
 	defer l.V()
+	backoff := sim.Duration(m.cfg.Params.RequestTimeout)
 	for attempt := 0; ; attempt++ {
 		if m.hasAccess(page, write) {
 			return nil // another local thread fetched it meanwhile
@@ -166,7 +174,14 @@ func (m *Module) faultPage(p *sim.Proc, page PageNo, write bool) error {
 		if attempt >= faultRetries {
 			return fmt.Errorf("%w: page %d fault kept failing: %v", ErrHostDown, page, err)
 		}
-		p.Sleep(m.cfg.Params.RequestTimeout)
+		p.Sleep(backoff + sim.Duration(m.k.Rand().Int63n(int64(backoff/4)+1)))
+		m.exitIfCrashed(p)
+		if backoff < sim.Duration(m.cfg.Params.BlockingRetryInterval) {
+			backoff *= 2
+			if backoff > sim.Duration(m.cfg.Params.BlockingRetryInterval) {
+				backoff = sim.Duration(m.cfg.Params.BlockingRetryInterval)
+			}
+		}
 	}
 }
 

@@ -19,11 +19,19 @@ import (
 // start is the virtual time the enclosing access began (before any
 // fault it triggered); the end time is the current clock.
 func (m *Module) recordSC(p *sim.Proc, kind sctrace.OpKind, start sim.Time, addr Addr, data []byte) {
+	m.recordSCAt(p, kind, start, p.Now(), addr, data)
+}
+
+// recordSCAt is recordSC with an explicit end time, for synthetic
+// records whose witness position is a protocol-defined instant rather
+// than the current clock (quorum reads commit the value they return at
+// their own start; see quorumEngine.readRegion).
+func (m *Module) recordSCAt(p *sim.Proc, kind sctrace.OpKind, start, end sim.Time, addr Addr, data []byte) {
 	rec := m.cfg.SCRecorder
 	if rec == nil {
 		return
 	}
-	rec.Record(kind, int(m.id), p.Name(), int64(start), int64(p.Now()), uint32(addr), m.canonicalBytes(addr, data))
+	rec.Record(kind, int(m.id), p.Name(), int64(start), int64(end), uint32(addr), m.canonicalBytes(addr, data))
 }
 
 // canonicalBytes converts one page span's native bytes to the canonical

@@ -72,6 +72,8 @@ func AlgorithmChoice() []AlgorithmChoiceRow {
 				row.CentralS = secs
 			case dsm.PolicyUpdate:
 				row.UpdateS = secs
+			default:
+				panic("unhandled policy in algorithm-choice study")
 			}
 		}
 		rows = append(rows, row)

@@ -1,0 +1,39 @@
+package exp
+
+import "testing"
+
+// TestPartitionAvailability pins the §3.4 availability contrast: while
+// a replica-holding host is partitioned away, the quorum engine keeps
+// completing both reads and writes in the majority component, the
+// invalidate/update engines stall their writes on the unreachable
+// copy-holder, and migration — whose only copy is stranded on the cut
+// host — fails outright.
+func TestPartitionAvailability(t *testing.T) {
+	rows := PartitionAvailability()
+	byName := map[string]PartitionAvailabilityRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+
+	q := byName["quorum"]
+	// ~50 poll rounds fit in the 5 s window at the 100 ms period; demand
+	// most of them rather than exact counts so calibration tweaks don't
+	// churn this test.
+	if q.CoordReads < 40 || q.Writes < 40 || q.Errors != 0 {
+		t.Fatalf("quorum should stay available through the cut: %+v", q)
+	}
+	for _, name := range []string{"mrsw", "update"} {
+		r := byName[name]
+		if r.Writes > q.Writes/4 {
+			t.Fatalf("%s writes should stall on the unreachable copy-holder: %+v (quorum %+v)", name, r, q)
+		}
+	}
+	m := byName["migration"]
+	if m.CoordReads+m.Writes > 0 || m.Errors == 0 {
+		t.Fatalf("migration's only copy is stranded on the cut host, ops should fail: %+v", m)
+	}
+	c := byName["central"]
+	if c.CoordReads < 40 || c.Writes < 40 {
+		t.Fatalf("central's home host is in the majority, ops should complete: %+v", c)
+	}
+}

@@ -32,6 +32,13 @@ import (
 //     on ownership handoff, which only the "dynamic" workload runs —
 //     every other mutation targets the MRSW invalidate path that
 //     "basic" exercises.
+//   - stale-quorum-read and split-brain-write corrupt the SC-ABD
+//     engine, so they need the "quorum" workload. Both are killable
+//     only because quorum operations complete at the FIRST majority:
+//     the third replica legitimately lags, and the explorer picks the
+//     schedule where the lagging replica is the one a mutated read
+//     trusts (stale-quorum-read) or where the read's majority excludes
+//     the writer whose mutated write never left home (split-brain-write).
 var killPlan = map[dsm.Mutation]string{
 	dsm.MutSkipInvalidation:   "basic",
 	dsm.MutDropCopyset:        "ring",
@@ -43,6 +50,8 @@ var killPlan = map[dsm.Mutation]string{
 	dsm.MutSkipConversion:     "basic",
 	dsm.MutForgetRecovery:     "crash",
 	dsm.MutStaleProbableOwner: "dynamic",
+	dsm.MutStaleQuorumRead:    "quorum",
+	dsm.MutSplitBrainWrite:    "quorum",
 }
 
 // KillResult records one mutation's fate.

@@ -188,7 +188,7 @@ func TestKillSuite(t *testing.T) {
 	}
 	if !testing.Short() {
 		txt := FormatKillResults(rs)
-		if !strings.Contains(txt, "10/10 mutations killed") {
+		if !strings.Contains(txt, "12/12 mutations killed") {
 			t.Errorf("kill summary:\n%s", txt)
 		}
 	}

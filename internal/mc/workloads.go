@@ -148,6 +148,52 @@ func init() {
 	register(barrierWorkload())
 	register(crashWorkload())
 	register(dynamicWorkload())
+	register(quorumWorkload())
+}
+
+// quorumWorkload runs the SC-ABD quorum policy across three hosts. Each
+// operation completes at a majority (self plus one peer, first reply
+// wins), so the third replica is legitimately left behind — the explorer
+// branches over which peer answers first and over whether a reader runs
+// before or after a straggling install lands. Correctness rests on
+// quorum intersection alone: whichever majority a read assembles must
+// overlap whichever majority the preceding write stored at, so the exact
+// assertions hold on every schedule of the unmutated protocol. Under
+// MutStaleQuorumRead a read trusts its (possibly stale) local replica
+// and a schedule that parked the install exposes the old value; under
+// MutSplitBrainWrite a write never leaves its host and any majority read
+// that excludes the writer misses it.
+func quorumWorkload() *Workload {
+	return &Workload{
+		Name: "quorum",
+		Desc: "3 hosts, SC-ABD majority quorum: cross-host read/write visibility",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly, arch.Sun}, dsm.PolicyQuorum, mut)
+			if err != nil {
+				return nil, err
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0, h1, h2 := c.Hosts[0], c.Hosts[1], c.Hosts[2]
+				x, err := h0.DSM.Alloc(p, conv.Int32, pageInts)
+				if err != nil {
+					return err
+				}
+				if got := h1.DSM.ReadInt32(p, x); got != 0 {
+					return fmt.Errorf("initial read = %d, want 0", got)
+				}
+				h1.DSM.WriteInt32(p, x, 7)
+				if got := h2.DSM.ReadInt32(p, x); got != 7 {
+					return fmt.Errorf("read after quorum write = %d, want 7", got)
+				}
+				h2.DSM.WriteInt32(p, x, 9)
+				if got := h0.DSM.ReadInt32(p, x); got != 9 {
+					return fmt.Errorf("read after second quorum write = %d, want 9", got)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
 }
 
 // buildDynamicCluster is buildCluster under Li & Hudak's dynamic

@@ -91,6 +91,7 @@ type Network struct {
 	nextLink   [][]int16 // [src][dst] → first link on the path
 	btree      [][]treeEdge
 	segArrival []sim.Time // broadcast scratch, one slot per segment
+	segPayload []any      // broadcast scratch: payload per segment (corruption forks)
 
 	// labels caches delivery-event names for the model checker's
 	// schedule diagnostics; without a chooser installed no label is
@@ -267,7 +268,7 @@ func (n *Network) scheduleDelivery(f Frame) {
 		n.scheduleOne(f.To, f, n.segs[dst].lat)
 		return
 	}
-	extra, ok := n.routeDelay(src, dst, f.Size)
+	extra, ok := n.routeDelay(src, dst, &f)
 	if !ok {
 		return
 	}

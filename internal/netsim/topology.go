@@ -47,6 +47,14 @@ type LinkSpec struct {
 	Latency sim.Duration
 	// DropRate is the per-traversal loss probability on this link.
 	DropRate float64
+	// CorruptRate is the per-traversal probability that a frame's
+	// payload is damaged in flight on this link (delivered, but with
+	// wire bytes flipped — the receiver's checksum is what catches it).
+	// Takes effect only when payload hooks are registered (see
+	// SetPayloadHooks). Both rates draw from the kernel's seeded RNG
+	// and only when non-zero, so an all-zero topology stays
+	// bit-identical to the default bus.
+	CorruptRate float64
 }
 
 // Topology is a switched multi-segment network shape. The zero value
@@ -142,11 +150,12 @@ type segment struct {
 // scheduling per-hop events — keeps cross-segment forwarding
 // allocation-free and deterministic.
 type netlink struct {
-	a, b int
-	bps  int64
-	lat  sim.Duration
-	drop float64
-	busy [2]sim.Time // [0]: a→b, [1]: b→a
+	a, b    int
+	bps     int64
+	lat     sim.Duration
+	drop    float64
+	corrupt float64
+	busy    [2]sim.Time // [0]: a→b, [1]: b→a
 }
 
 // treeEdge is one edge of a precomputed broadcast spanning tree, in BFS
@@ -200,7 +209,7 @@ func (n *Network) freeze() {
 	if n.topo != nil {
 		n.links = make([]*netlink, len(n.topo.Links))
 		for i, spec := range n.topo.Links {
-			l := &netlink{a: spec.A, b: spec.B, bps: n.params.BandwidthBps, lat: n.params.PacketLatency, drop: spec.DropRate}
+			l := &netlink{a: spec.A, b: spec.B, bps: n.params.BandwidthBps, lat: n.params.PacketLatency, drop: spec.DropRate, corrupt: spec.CorruptRate}
 			if spec.BandwidthBps != 0 {
 				l.bps = spec.BandwidthBps
 			}
@@ -233,6 +242,7 @@ func (n *Network) freeze() {
 	n.nextLink = make([][]int16, nseg)
 	n.btree = make([][]treeEdge, nseg)
 	n.segArrival = make([]sim.Time, nseg)
+	n.segPayload = make([]any, nseg)
 	for src := 0; src < nseg; src++ {
 		next := make([]int16, nseg)
 		for i := range next {
@@ -293,10 +303,10 @@ func (n *Network) wireTime(payloadBytes int, bps int64) sim.Duration {
 
 // routeDelay walks the link path from segment src to dst at send time,
 // reserving each link cut-through style, and returns the extra delay
-// (beyond the destination segment's own latency) a frame of the given
-// size incurs. ok is false if the frame was lost to a link cut or
-// per-link drop along the way.
-func (n *Network) routeDelay(src, dst, size int) (delay sim.Duration, ok bool) {
+// (beyond the destination segment's own latency) the frame incurs. ok
+// is false if the frame was lost to a link cut or per-link drop along
+// the way; a link's corruption profile may damage the payload in place.
+func (n *Network) routeDelay(src, dst int, f *Frame) (delay sim.Duration, ok bool) {
 	now := n.k.Now()
 	arrival := now
 	s := src
@@ -311,6 +321,10 @@ func (n *Network) routeDelay(src, dst, size int) (delay sim.Duration, ok bool) {
 			n.stats.FramesDropped++
 			return 0, false
 		}
+		if l.corrupt > 0 && n.corruptFn != nil && n.k.Rand().Float64() < l.corrupt {
+			f.Payload = n.corruptFn(f.Payload, n.k.Rand())
+			n.stats.FramesCorrupted++
+		}
 		dir := 0
 		next := l.b
 		if s == l.b {
@@ -321,7 +335,7 @@ func (n *Network) routeDelay(src, dst, size int) (delay sim.Duration, ok bool) {
 		if arrival > start {
 			start = arrival
 		}
-		end := start.Add(n.wireTime(size, l.bps))
+		end := start.Add(n.wireTime(f.Size, l.bps))
 		l.busy[dir] = end
 		arrival = end.Add(l.lat)
 		n.stats.CrossSegmentFrames++
@@ -334,14 +348,19 @@ func (n *Network) routeDelay(src, dst, size int) (delay sim.Duration, ok bool) {
 // spanning tree: each reachable tree edge carries the frame once, then
 // every segment delivers to its members at its arrival time plus the
 // segment latency. A cut or dropped edge silences the whole subtree
-// below it, exactly like a real switch losing its uplink.
+// below it, exactly like a real switch losing its uplink; a corrupting
+// edge damages the copy the whole subtree below it receives, while
+// segments above the edge still see the pristine payload.
 func (n *Network) broadcastTree(src int, f Frame) {
 	now := n.k.Now()
 	arr := n.segArrival
+	pay := n.segPayload
 	for i := range arr {
 		arr[i] = -1
+		pay[i] = nil
 	}
 	arr[src] = now
+	pay[src] = f.Payload
 	for _, e := range n.btree[src] {
 		if arr[e.parent] < 0 {
 			continue // upstream edge already lost the frame
@@ -354,6 +373,11 @@ func (n *Network) broadcastTree(src int, f Frame) {
 		if l.drop > 0 && n.k.Rand().Float64() < l.drop {
 			n.stats.FramesDropped++
 			continue
+		}
+		pay[e.child] = pay[e.parent]
+		if l.corrupt > 0 && n.corruptFn != nil && n.k.Rand().Float64() < l.corrupt {
+			pay[e.child] = n.corruptFn(pay[e.parent], n.k.Rand())
+			n.stats.FramesCorrupted++
 		}
 		dir := 0
 		if int(e.parent) == l.b {
@@ -372,6 +396,8 @@ func (n *Network) broadcastTree(src int, f Frame) {
 		if arr[si] < 0 {
 			continue
 		}
+		f.Payload = pay[si]
 		n.deliverSegment(seg, f, arr[si].Sub(now)+seg.lat)
+		pay[si] = nil
 	}
 }

@@ -149,6 +149,21 @@ const (
 	KindDynConfirm
 	// KindDynConfirmAck acknowledges a KindDynConfirm.
 	KindDynConfirmAck
+	// KindQuorumRead asks a replica for its current version of page
+	// Page: the reply carries the replica's tag and page image. Phase 1
+	// of an SC-ABD quorum read.
+	KindQuorumRead
+	// KindQuorumReadReply answers a KindQuorumRead with Args[0]=tag
+	// timestamp, Args[1]=tag writer host, and the page bytes in the
+	// replica's native representation (SrcArch set).
+	KindQuorumReadReply
+	// KindQuorumWrite stores a (value, tag) version at a replica:
+	// Args[0]=tag timestamp, Args[1]=tag writer host, Data the page
+	// image in the sender's native representation. Used both by write
+	// phase 2 and by the read write-back.
+	KindQuorumWrite
+	// KindQuorumWriteAck acknowledges a KindQuorumWrite.
+	KindQuorumWriteAck
 )
 
 // String names the message kind.
@@ -168,6 +183,7 @@ func (k Kind) String() string {
 		"heartbeat", "recover-page", "recover-page-reply",
 		"dyn-get-page", "dyn-get-page-write", "dyn-forward", "dyn-forward-ack",
 		"dyn-recover", "dyn-recover-reply", "dyn-confirm", "dyn-confirm-ack",
+		"quorum-read", "quorum-read-reply", "quorum-write", "quorum-write-ack",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -184,7 +200,8 @@ func (k Kind) IsReply() bool {
 		KindBarrierReply, KindAllocReply, KindPageMetaAck,
 		KindUpdateWriteAck, KindApplyUpdateAck,
 		KindRemoteReadReply, KindRemoteWriteAck, KindEchoReply,
-		KindRecoverPageReply, KindDynForwardAck, KindDynRecoverReply, KindDynConfirmAck:
+		KindRecoverPageReply, KindDynForwardAck, KindDynRecoverReply, KindDynConfirmAck,
+		KindQuorumReadReply, KindQuorumWriteAck:
 		return true
 	default:
 		return false

@@ -770,3 +770,110 @@ func (e *Endpoint) CallAll(p *sim.Proc, dsts []HostID, mk func(dst HostID) *prot
 	}
 	return nil, fmt.Errorf("%w (multicast to %d hosts)", ErrTimeout, len(dsts))
 }
+
+// CallQuorum sends one request per destination (built by mk) and blocks
+// until `need` replies have arrived — first-majority completion for
+// quorum protocols: the caller resumes the moment any quorum answers
+// instead of waiting out the slowest replica. The returned slice is
+// indexed like dsts, nil for hosts that had not answered when the
+// quorum completed; those stragglers' late replies are recycled by the
+// stale-reply path once the pending entries are deleted here. Hosts the
+// failure detector has declared dead are skipped outright (they cannot
+// count toward the quorum), and the round fails fast with ErrPeerDead
+// when fewer than `need` destinations remain reachable at all —
+// distinct from ErrTimeout, which means enough peers are alive but a
+// quorum of them is unreachable *this instant* (a partition the caller
+// should ride out with its own backoff).
+func (e *Endpoint) CallQuorum(p *sim.Proc, dsts []HostID, need int, mk func(dst HostID) *proto.Message) ([]*proto.Message, error) {
+	if need <= 0 || need > len(dsts) {
+		panic(fmt.Sprintf("remoteop: quorum of %d from %d destinations", need, len(dsts)))
+	}
+	msgs := make([]*proto.Message, len(dsts))
+	calls := make([]*pendingCall, len(dsts))
+	for i, dst := range dsts {
+		if e.dead(dst) {
+			continue
+		}
+		m := mk(dst)
+		e.nextReq++
+		m.ReqID = e.nextReq
+		m.From = uint32(e.id)
+		msgs[i] = m
+		calls[i] = &pendingCall{}
+		e.pending[m.ReqID] = calls[i]
+	}
+	defer func() {
+		for _, m := range msgs {
+			if m != nil {
+				delete(e.pending, m.ReqID)
+			}
+		}
+	}()
+
+	got := func() int {
+		n := 0
+		for _, pc := range calls {
+			if pc != nil && pc.reply != nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	for try := 0; try <= e.params.MaxRetries; try++ {
+		// Replies in hand plus destinations still able to answer: when
+		// that falls short of the quorum, no amount of waiting helps.
+		reachable := 0
+		for i, dst := range dsts {
+			if calls[i] == nil {
+				continue
+			}
+			if calls[i].reply != nil || !e.dead(dst) {
+				reachable++
+			}
+		}
+		if reachable < need {
+			return nil, fmt.Errorf("%w: quorum needs %d of %d hosts, only %d reachable", ErrPeerDead, need, len(dsts), reachable)
+		}
+		for i, dst := range dsts {
+			if calls[i] == nil || calls[i].reply != nil || e.dead(dst) {
+				continue
+			}
+			if try > 0 {
+				e.stats.Retransmits++
+				e.escalate(dst)
+			}
+			e.send(p, dst, msgs[i])
+		}
+		deadline := p.Now().Add(e.params.RequestTimeout)
+		for got() < need {
+			remaining := deadline.Sub(p.Now())
+			if remaining <= 0 {
+				break
+			}
+			w := p.PrepareWait()
+			for _, pc := range calls {
+				if pc != nil && pc.reply == nil {
+					pc.w = w
+					pc.armed = true
+				}
+			}
+			p.ParkTimeout(remaining)
+			for _, pc := range calls {
+				if pc != nil {
+					pc.armed = false
+				}
+			}
+		}
+		if got() >= need {
+			replies := make([]*proto.Message, len(calls))
+			for i, pc := range calls {
+				if pc != nil {
+					replies[i] = pc.reply
+				}
+			}
+			return replies, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (quorum %d of %d hosts)", ErrTimeout, need, len(dsts))
+}

@@ -92,6 +92,10 @@ const (
 	// Update replicates on read and pushes sequenced writes to every
 	// replica instead of invalidating (write-update, full replication).
 	Update = dsm.PolicyUpdate
+	// Quorum replicates every page at every host and runs SC-ABD
+	// majority-quorum reads and writes: operations complete in any
+	// network component holding a majority of the hosts.
+	Quorum = dsm.PolicyQuorum
 )
 
 // Directory schemes (§3.1: how page managers are located).
