@@ -1,9 +1,9 @@
 # The check target runs exactly what CI runs (.github/workflows/ci.yml);
 # keep the two in lockstep.
 
-.PHONY: check build vet fmt test race mermaid-vet mc-smoke mc-deep chaos-smoke chaos-deep bench bench-smoke scale-smoke scale-deep
+.PHONY: check build vet fmt test race mermaid-vet bench-files mc-smoke mc-deep chaos-smoke chaos-deep bench bench-smoke scale-smoke scale-deep
 
-check: build vet fmt test race mermaid-vet mc-smoke chaos-smoke scale-smoke
+check: build vet fmt test race mermaid-vet bench-files mc-smoke chaos-smoke scale-smoke
 
 build:
 	go build ./...
@@ -50,6 +50,21 @@ bench:
 	go run ./cmd/mermaid-benchjson -o BENCH_3.json < bench_quorum.txt
 	go run ./cmd/mermaid-benchjson -validate BENCH_3.json
 	@rm -f bench_quorum.txt
+	go test -run '^$$' -bench 'RCDiffEncode|RCMerge' -benchmem . > bench_rc.txt
+	go run ./cmd/mermaid-benchjson -o BENCH_4.json < bench_rc.txt
+	go run ./cmd/mermaid-benchjson -validate BENCH_4.json
+	@rm -f bench_rc.txt
+
+# Every frozen BENCH_N.json this Makefile regenerates must be checked
+# in: a bench step added without committing its baseline looks green
+# locally and silently ships no reference numbers (BENCH_3 did exactly
+# that for one release).
+bench-files:
+	@missing=0; \
+	for f in $$(grep -oh 'BENCH_[0-9]*\.json' Makefile | sort -u); do \
+		if [ ! -f "$$f" ]; then echo "missing frozen benchmark $$f (referenced by Makefile)" >&2; missing=1; fi; \
+	done; \
+	exit $$missing
 
 # CI variant: a handful of iterations only — proves the harness and the
 # JSON pipeline work without burning minutes on stable numbers.
@@ -72,6 +87,9 @@ mc-smoke:
 	go run ./cmd/mermaid-mc -workload=quorum -strategy=dfs -max-schedules=1200
 	go run ./cmd/mermaid-mc -workload=quorum -mutation=stale-quorum-read -max-schedules=100
 	go run ./cmd/mermaid-mc -workload=quorum -mutation=split-brain-write -max-schedules=100
+	go run ./cmd/mermaid-mc -workload=rc -strategy=dfs -max-schedules=1200
+	go run ./cmd/mermaid-mc -workload=rc -mutation=lost-diff -max-schedules=100
+	go run ./cmd/mermaid-mc -workload=rc -mutation=stale-twin-merge -max-schedules=100
 
 # Chaos smoke: one seed per workload × fault class (24 campaigns).
 # Every run must survive its fault schedule — a violation prints a
@@ -102,6 +120,10 @@ chaos-smoke:
 	go run ./cmd/mermaid-chaos -workload=quorum -class=partition -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=quorum -class=crash -seed=1 -runs=1
 	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=rc -class=drop -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=rc -class=partition -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=rc -class=crash -seed=1 -runs=1
+	go run ./cmd/mermaid-chaos -workload=rc -class=mix -seed=1 -runs=1
 
 # Nightly-depth chaos: 25 seeds per workload × class with a
 # determinism double-run (-verify) on every campaign.
@@ -130,8 +152,13 @@ chaos-deep:
 	go run ./cmd/mermaid-chaos -workload=quorum -class=partition -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=quorum -class=crash -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=rc -class=drop -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=rc -class=partition -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=rc -class=crash -seed=1 -runs=25 -verify
+	go run ./cmd/mermaid-chaos -workload=rc -class=mix -seed=1 -runs=25 -verify
 	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=5 -mutation=stale-quorum-read
 	go run ./cmd/mermaid-chaos -workload=quorum -class=mix -seed=1 -runs=5 -mutation=split-brain-write
+	go run ./cmd/mermaid-chaos -workload=rc -class=drop -seed=1 -runs=5 -mutation=lost-diff
 
 # Full mutation-kill suite plus a deeper clean sweep of every workload —
 # the nightly-depth run.
@@ -145,6 +172,7 @@ mc-deep:
 	go run ./cmd/mermaid-mc -workload=update -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=dynamic -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=quorum -strategy=dfs -max-schedules=5000
+	go run ./cmd/mermaid-mc -workload=rc -strategy=dfs -max-schedules=5000
 	go run ./cmd/mermaid-mc -workload=basic -strategy=random -runs=2000
 	go run ./cmd/mermaid-mc -workload=matmul -strategy=delay -delays=3 -max-schedules=5000
 

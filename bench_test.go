@@ -17,6 +17,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cluster"
 	"repro/internal/conv"
+	"repro/internal/dsm"
 	"repro/internal/exp"
 	"repro/internal/vaxfloat"
 )
@@ -279,6 +280,89 @@ func benchQuorumFanout(b *testing.B, n int) {
 func BenchmarkQuorumFanout3Hosts(b *testing.B) { benchQuorumFanout(b, 3) }
 
 func BenchmarkQuorumFanout5Hosts(b *testing.B) { benchQuorumFanout(b, 5) }
+
+// --- RC (lazy release consistency) micro-benchmarks ------------------
+//
+// Wall-clock cost of the twin/diff machinery on the release path
+// (BenchmarkRCDiffEncode) and of the vector-timestamp payload merge on
+// the grant path (BenchmarkRCMerge). Frozen into BENCH_4.json by
+// `make bench`.
+
+func BenchmarkRCDiffEncode(b *testing.B) {
+	// An 8 KB int32 page whose interval touched every 16th element —
+	// the sparse-write shape MM2's round-robin rows produce — diffed
+	// against its twin and encoded to the wire.
+	reg := conv.NewRegistry()
+	twin := make([]byte, 8192)
+	for i := range twin {
+		twin[i] = byte(i * 131)
+	}
+	page := make([]byte, 8192)
+	copy(page, twin)
+	for e := 0; e < 8192/4; e += 16 {
+		page[e*4] ^= 0x5a
+	}
+	wire := make([]byte, 9000)
+	var encoded int
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		d, err := reg.BuildDiff(conv.Int32, twin, page)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encoded = d.EncodeTo(wire)
+	}
+	b.ReportMetric(float64(encoded), "wire_bytes")
+}
+
+func BenchmarkRCMerge(b *testing.B) {
+	// Component-wise merge of two sync payloads — the work a semaphore
+	// grant does when its stored release stamp meets the granting
+	// host's, sized for an 8-host cluster with 16 pages of notices each.
+	c, err := cluster.New(cluster.Config{
+		Hosts:  []cluster.HostSpec{{Kind: arch.Sun}, {Kind: arch.Firefly}},
+		Policy: dsm.PolicyRC,
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sync := c.Hosts[0].DSM.SyncModel()
+	if sync == nil {
+		b.Fatal("RC cluster has no sync model")
+	}
+	// Canonical payload layout: [u32 nvt][vt…][u32 n][page,ver]×n,
+	// big-endian, notices ascending (see rcEncodePayload).
+	payload := func(salt uint32) []byte {
+		const nvt, n = 8, 16
+		buf := make([]byte, 4+4*nvt+4+8*n)
+		be := func(off int, v uint32) {
+			buf[off] = byte(v >> 24)
+			buf[off+1] = byte(v >> 16)
+			buf[off+2] = byte(v >> 8)
+			buf[off+3] = byte(v)
+		}
+		be(0, nvt)
+		for i := uint32(0); i < nvt; i++ {
+			be(int(4+4*i), salt*7+i)
+		}
+		off := 4 + 4*nvt
+		be(off, n)
+		off += 4
+		for i := uint32(0); i < n; i++ {
+			be(off, i+salt%3) // page numbers mostly overlap between payloads
+			be(off+4, salt+i)
+			off += 8
+		}
+		return buf
+	}
+	a, bb := payload(5), payload(9)
+	var out []byte
+	for i := 0; i < b.N; i++ {
+		out = sync.MergePayload(a, bb)
+	}
+	b.ReportMetric(float64(len(out)), "merged_bytes")
+}
 
 func BenchmarkAblationSyncStyles(b *testing.B) {
 	var r exp.SyncStyleResult

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs,avail,scale,scale1k")
+	only := flag.String("only", "", "comma-separated subset: t1,t2,t3,t4,f3,f4,f5,f6,f7,psweep,thrash,ovh,abl,dirs,rc,avail,scale,scale1k")
 	flag.Parse()
 	if err := run(*only); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -103,6 +103,11 @@ func run(only string) error {
 	// sections.
 	if only != "" && want("dirs") {
 		show(exp.DirectorySchemesTable(exp.DirectorySchemes()))
+	}
+	// rc is the §3.3 extension: the thrashing configuration rerun under
+	// lazy release consistency next to its write-invalidate baseline.
+	if only != "" && want("rc") {
+		show(exp.ThrashingRCTable(exp.ThrashingRC([]int{6, 8, 12}, 1)))
 	}
 	if only != "" && want("avail") {
 		show(exp.PartitionAvailabilityTable(exp.PartitionAvailability()))

@@ -67,6 +67,15 @@ type Config struct {
 	// be stolen mid-row; small chunks reproduce that interleaving and
 	// with it the full severity of §3.3's thrashing.
 	WriteChunk int
+	// AcquireRelease brackets the shared-data phases in explicit
+	// acquire/release pairs: the master releases after initializing A
+	// and B, each slave acquires before its first read, and the
+	// existing done-semaphore handshake releases the slaves' C rows to
+	// the master. Sequentially consistent policies do not need the
+	// brackets (and the extra semaphore traffic is pure overhead), but
+	// under dsm.PolicyRC writes only propagate along them — RC runs
+	// must set this.
+	AcquireRelease bool
 }
 
 // Result reports a run's outcome.
@@ -86,6 +95,13 @@ const funcID threads.FuncID = 0x4D4D
 
 const semDone uint32 = 0x4D4D
 
+// semInit is the init-phase release bracket (Config.AcquireRelease):
+// the master Vs it once per slave after filling A and B, each slave Ps
+// it before its first shared read. Defined unconditionally — an unused
+// semaphore generates no events, so runs without the bracket are
+// unchanged by its existence.
+const semInit uint32 = 0x4D4E
+
 // app carries the shared-run state the slave closure needs.
 type app struct {
 	c        *cluster.Cluster
@@ -95,6 +111,7 @@ type app struct {
 	nslaves  int
 	jitter   float64
 	chunk    int
+	bracket  bool
 }
 
 // Register installs matmul's thread entry point and synchronization on
@@ -102,6 +119,7 @@ type app struct {
 func Register(c *cluster.Cluster) *Runner {
 	r := &Runner{c: c}
 	c.DefineSemaphore(semDone, 0, 0)
+	c.DefineSemaphore(semInit, 0, 0)
 	c.Funcs.MustRegister(funcID, func(t *threads.Thread, args []uint32) {
 		r.slave(t, args)
 	})
@@ -142,6 +160,9 @@ func (r *Runner) slave(t *threads.Thread, args []uint32) {
 	h := r.c.Hosts[t.Host()]
 	n := st.n
 
+	if st.bracket {
+		h.Sync.P(t.P, semInit) // acquire the master's A/B initialization
+	}
 	bRow := make([]int32, n*n)
 	h.DSM.ReadInt32s(t.P, st.b, bRow) // replicate B read-only
 	aRow := make([]int32, n)
@@ -212,6 +233,7 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 			c: r.c, n: n, a: aAddr, b: bAddr, cm: cAddr,
 			assign: cfg.Assignment, nslaves: len(cfg.Slaves),
 			jitter: cfg.JitterPct, chunk: cfg.WriteChunk,
+			bracket: cfg.AcquireRelease,
 		}
 
 		av := make([]int32, n*n)
@@ -229,6 +251,13 @@ func (r *Runner) Run(cfg Config) (Result, error) {
 		}
 		h.DSM.WriteInt32s(p, aAddr, av)
 		h.DSM.WriteInt32s(p, bAddr, bv)
+		if cfg.AcquireRelease {
+			// Release the initialized matrices: the first V pushes the
+			// open interval's diffs home; each slave's P acquires them.
+			for range cfg.Slaves {
+				h.Sync.V(p, semInit)
+			}
+		}
 
 		for i, host := range cfg.Slaves {
 			if _, err := h.Threads.Create(p, host, funcID, []uint32{uint32(i)}); err != nil {

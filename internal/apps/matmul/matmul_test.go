@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cluster"
+	"repro/internal/dsm"
 )
 
 func newCluster(t *testing.T, fireflies, cpus int, pageSize int) *cluster.Cluster {
@@ -58,6 +59,57 @@ func TestMM2CorrectDespiteContention(t *testing.T) {
 	}
 	if !res.Correct {
 		t.Fatal("MM2 result wrong under row contention")
+	}
+}
+
+func newRCCluster(t *testing.T, fireflies, cpus int, pageSize int) *cluster.Cluster {
+	t.Helper()
+	hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+	for i := 0; i < fireflies; i++ {
+		hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: cpus})
+	}
+	c, err := cluster.New(cluster.Config{Hosts: hosts, Seed: 42, PageSize: pageSize, Policy: dsm.PolicyRC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMM2CorrectUnderRC runs the contended assignment under lazy
+// release consistency with the acquire/release brackets on: the result
+// must still verify — every C row must flow to the master through
+// twin/diff propagation along the done-semaphore handshake — and the
+// false-sharing page traffic that defines §3.3's thrashing must be
+// gone: concurrent writers keep independent writable copies, so C's
+// pages never ping-pong.
+func TestMM2CorrectUnderRC(t *testing.T) {
+	mm2 := func(c *cluster.Cluster, bracket bool) Result {
+		r := Register(c)
+		res, err := r.Run(Config{
+			N:              64,
+			Master:         0,
+			Slaves:         []cluster.HostID{1, 1, 2, 2},
+			Assignment:     MM2,
+			Verify:         true,
+			WriteChunk:     8,
+			AcquireRelease: bracket,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rc := mm2(newRCCluster(t, 2, 4, 8192), true)
+	if !rc.Correct {
+		t.Fatal("MM2 result wrong under release consistency")
+	}
+	if rc.Stats.RCTwins == 0 || rc.Stats.RCDiffsSent == 0 {
+		t.Fatalf("RC machinery idle: twins=%d diffs=%d", rc.Stats.RCTwins, rc.Stats.RCDiffsSent)
+	}
+	sc := mm2(newCluster(t, 2, 4, 8192), false)
+	if rc.Stats.PagesFetched*3 > sc.Stats.PagesFetched {
+		t.Fatalf("RC fetched %d pages, MRSW %d; want ≥3× reduction from un-thrashed C pages",
+			rc.Stats.PagesFetched, sc.Stats.PagesFetched)
 	}
 }
 

@@ -23,7 +23,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dsm"
-	"repro/internal/sctrace"
 	"repro/internal/sim"
 )
 
@@ -191,7 +190,9 @@ func Run(w *Workload, class Class, seed int64, o Opts) (*Result, error) {
 	}
 	res.Fingerprint = fingerprint(c, steps)
 
-	scViols := sctrace.Check(inst.Rec.Ops())
+	// The trace oracle is the policy's consistency model (SC witness
+	// checker, or the happens-before checker under lazy release).
+	scViols := c.Hosts[0].DSM.TraceCheck(inst.Rec.Ops())
 	switch {
 	case len(invs) > 0:
 		res.Outcome = InvariantViolation

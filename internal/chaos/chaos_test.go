@@ -221,6 +221,30 @@ func TestChaosCatchesSkipInvalidation(t *testing.T) {
 	}
 }
 
+// TestChaosCatchesLostDiff: with release pushes dropped, the home
+// image never advances, and the rc workload's exact final assertion —
+// every completed interval must be visible at home once its writer
+// finished — reports it on any seed whose workers all survive.
+func TestChaosCatchesLostDiff(t *testing.T) {
+	w, err := Lookup("rc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caught := false
+	for seed := int64(1); seed <= 3 && !caught; seed++ {
+		res, err := Run(w, ClassDrop, seed, Opts{Mut: dsm.MutLostDiff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != OK {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("lost-diff survived 3 drop-class campaigns — the rc workload tolerates too much")
+	}
+}
+
 // TestChaosCatchesForgetRecovery: with the copyset re-own removed, a
 // recoverable page stays unreadable after its owner's crash, and the
 // coordinator's final read — which never tolerates ErrHostDown —

@@ -85,6 +85,7 @@ const (
 	chaosSemLock = 1
 	chaosSemPing = 2
 	chaosSemPong = 3
+	chaosSemSlot = 4 // +w: the rc workload's per-worker interval brackets
 )
 
 // buildChaosCluster assembles the standard chaos cluster: calibrated
@@ -234,6 +235,167 @@ func init() {
 	register(forwardWorkload())
 	register(switchedWorkload())
 	register(quorumWorkload())
+	register(rcWorkload())
+}
+
+// buildRCChaosCluster is buildChaosCluster under the lazy-release
+// policy. The central manager puts every page's home on never-crashed
+// host 0, so the diff log — the only authoritative copy of released
+// intervals — survives every fault the plans inject: RC has no copyset
+// recovery to run, and a crashed host only takes its own unreleased
+// intervals to the grave, which release consistency says never existed.
+func buildRCChaosCluster(seed int64, kinds []arch.Kind, plan *netsim.FaultPlan, mut dsm.Mutation) (*cluster.Cluster, *sctrace.Recorder, *traceLog, error) {
+	hosts := make([]cluster.HostSpec, len(kinds))
+	for i, k := range kinds {
+		hosts[i] = cluster.HostSpec{Kind: k}
+	}
+	rec := sctrace.NewRecorder()
+	tl := &traceLog{}
+	c, err := cluster.New(cluster.Config{
+		Hosts:            hosts,
+		PageSize:         chaosPageSize,
+		SpaceSize:        chaosSpaceSize,
+		Seed:             seed,
+		Policy:           dsm.PolicyRC,
+		CentralManager:   true,
+		FailureDetection: true,
+		InvariantChecks:  true,
+		SCTrace:          rec,
+		FaultPlan:        plan,
+		Trace:            tl.observe,
+		Mutation:         mut,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, rec, tl, nil
+}
+
+// rcWorkload runs the slots pattern under lazy release consistency:
+// each worker stamps its private page with a mirrored pair inside its
+// own acquire/release bracket, so every round pushes one interval's
+// diff to the home on host 0. The coordinator polls without acquiring —
+// legal under RC (an unsynchronized read is concurrent with every
+// interval it did not acquire) and never torn, because an interval's
+// diff is applied to the home image atomically. A worker whose release
+// cannot reach home retires with the error: release consistency has no
+// quietly-degraded mode — an interval is pushed or it never happened.
+// Final assertions: the coordinator reads the home image directly and a
+// surviving witness host fetches it fresh; both must see each slot
+// mirrored and no newer than the writer's last completed stamp, exact
+// when nobody died and every worker finished.
+func rcWorkload() *Workload {
+	const rounds = 6
+	return &Workload{
+		Name:  "rc",
+		Desc:  "3 hosts, lazy release consistency: per-worker interval stamps + unsynchronized polling coordinator",
+		Hosts: 3,
+		Build: func(seed int64, plan *netsim.FaultPlan, mut dsm.Mutation) (*Instance, error) {
+			c, rec, tl, err := buildRCChaosCluster(seed, []arch.Kind{arch.Sun, arch.Firefly, arch.Firefly}, plan, mut)
+			if err != nil {
+				return nil, err
+			}
+			for w := 0; w < 3; w++ {
+				c.DefineSemaphore(chaosSemSlot+uint32(w), 0, 1)
+			}
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				var pages [3]dsm.Addr
+				for i := range pages {
+					if pages[i], err = h0.DSM.Alloc(p, conv.Int32, chaosPageInts); err != nil {
+						return err
+					}
+				}
+				var last [3]int32
+				var stopped [3]error
+				var finished [3]bool
+				for w := 0; w < 3; w++ {
+					w := w
+					host := c.Hosts[w]
+					sem := chaosSemSlot + uint32(w)
+					c.K.Spawn(fmt.Sprintf("rc-writer%d", w), func(wp *sim.Proc) {
+						for i := int32(1); i <= rounds; i++ {
+							if err := host.Sync.PE(wp, sem); err != nil {
+								stopped[w] = err
+								return
+							}
+							if err := host.DSM.WriteInt32sE(wp, pages[w], []int32{i, i}); err != nil {
+								stopped[w] = err
+								host.Sync.VE(wp, sem) // best-effort close before retiring
+								return
+							}
+							last[w] = i
+							// The V both releases the bracket and pushes the
+							// interval's diff home; a push the fabric swallows
+							// surfaces here.
+							if err := host.Sync.VE(wp, sem); err != nil {
+								stopped[w] = err
+								return
+							}
+							wp.Sleep(2*workPeriod + time.Duration(w)*17*time.Millisecond)
+						}
+						finished[w] = true
+					})
+				}
+				// Poll without acquiring: the first read faults each page in
+				// from home, and host 0's copy IS the home image, updated in
+				// place as diffs arrive — so the poll watches the intervals
+				// land. A torn pair here means a diff applied non-atomically.
+				for c.K.Now() < sim.Time(activePhase) {
+					for w := 0; w < 3; w++ {
+						var pair [2]int32
+						if err := h0.DSM.ReadInt32sE(p, pages[w], pair[:]); err == nil && pair[0] != pair[1] {
+							return fmt.Errorf("poll saw torn slot %d: %v", w, pair)
+						}
+					}
+					p.Sleep(pollPeriod)
+				}
+				p.Sleep(settlePhase)
+
+				died := anyDead(c)
+				strict := !died
+				for w := 0; w < 3; w++ {
+					// A retransmission-delayed straggler can still be mid-round
+					// at judgment time with nothing stopped; exactness needs
+					// the worker to have pushed its final interval.
+					if stopped[w] != nil || !finished[w] {
+						strict = false
+					}
+				}
+				// A witness that never touched the pages fetches them fresh
+				// from home — the cross-host proof that released intervals
+				// survived the fault horizon. Worker hosts only ever fault
+				// their own page, so host 2 is a fresh reader for slots 0
+				// and 1, host 1 for slot 2.
+				for w := 0; w < 3; w++ {
+					witness := c.Hosts[2-w/2]
+					readers := []*cluster.Host{h0}
+					if !h0.Detect.Dead(witness.ID) {
+						readers = append(readers, witness)
+					}
+					for _, reader := range readers {
+						var pair [2]int32
+						if err := reader.DSM.ReadInt32sE(p, pages[w], pair[:]); err != nil {
+							// Homes never crash, so RC never loses a page: a
+							// final read may not fail.
+							return fmt.Errorf("host %d: slot %d unreadable after settle: %w", reader.ID, w, err)
+						}
+						if pair[0] != pair[1] {
+							return fmt.Errorf("host %d: slot %d torn after settle: %v", reader.ID, w, pair)
+						}
+						if pair[0] < 0 || pair[0] > last[w] {
+							return fmt.Errorf("host %d: slot %d = %d, never released (writer completed %d)", reader.ID, w, pair[0], last[w])
+						}
+						if strict && pair[0] != rounds {
+							return fmt.Errorf("host %d: slot %d = %d, want %d with every host alive", reader.ID, w, pair[0], rounds)
+						}
+					}
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Trace: tl, Main: main}, nil
+		},
+	}
 }
 
 // buildQuorumChaosCluster is buildChaosCluster under the SC-ABD quorum

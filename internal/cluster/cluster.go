@@ -218,6 +218,11 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		sync := dsync.New(k, ep, spec.Kind, &params)
+		// The nil guard matters: AttachModel takes an interface, and a
+		// typed nil would enable the payload path for the SC policies.
+		if sm := mod.SyncModel(); sm != nil {
+			sync.AttachModel(sm)
+		}
 		var det *dsm.Detector
 		if cfg.FailureDetection {
 			det = dsm.NewDetector(k, ep, &params, len(cfg.Hosts))
@@ -343,6 +348,12 @@ func (c *Cluster) TotalDSMStats() dsm.Stats {
 		total.QuorumWrites += s.QuorumWrites
 		total.QuorumWriteBacks += s.QuorumWriteBacks
 		total.QuorumRetries += s.QuorumRetries
+		total.RCTwins += s.RCTwins
+		total.RCDiffsSent += s.RCDiffsSent
+		total.RCDiffBytes += s.RCDiffBytes
+		total.RCDiffsApplied += s.RCDiffsApplied
+		total.RCPulls += s.RCPulls
+		total.RCDiffsRetired += s.RCDiffsRetired
 		total.Forwards += s.Forwards
 		total.ChainServes += s.ChainServes
 		total.ChainHops += s.ChainHops

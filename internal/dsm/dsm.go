@@ -104,6 +104,13 @@ const (
 	// consistent *and live* in any majority component of a partition —
 	// the only engine that makes progress while the fabric is split.
 	PolicyQuorum
+	// PolicyRC is lazy release consistency (rc.go, model.go): every
+	// resident copy is writable, writes are captured against a twin and
+	// propagated at release time as element-aligned typed diffs to the
+	// page's home, and acquirers pull the intervals their vector
+	// timestamps imply. The only policy whose consistency model is not
+	// SC — its trace oracle is the happens-before checker.
+	PolicyRC
 )
 
 // String names the policy.
@@ -119,6 +126,8 @@ func (p Policy) String() string {
 		return "update"
 	case PolicyQuorum:
 		return "quorum"
+	case PolicyRC:
+		return "rc"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -315,6 +324,19 @@ type Stats struct {
 	ChainServes int
 	ChainHops   int
 	ChainMax    int
+	// RCTwins counts twins created (first write of an interval per
+	// page); RCDiffsSent counts interval diffs pushed to homes and
+	// RCDiffBytes their encoded payload bytes; RCDiffsApplied counts
+	// diffs folded into this host's copy (as home or as puller);
+	// RCPulls counts acquire-time catch-up requests issued; and
+	// RCDiffsRetired counts home log entries dropped past the log cap.
+	// All zero outside PolicyRC.
+	RCTwins        int
+	RCDiffsSent    int
+	RCDiffBytes    int
+	RCDiffsApplied int
+	RCPulls        int
+	RCDiffsRetired int
 	// Messages counts protocol messages sent by this host, by kind —
 	// §3.1's raw material for comparing manager schemes. Snapshot
 	// filled by Stats(); nil on the zero value.
@@ -367,6 +389,12 @@ type Module struct {
 	// tag-ordered versions are not MRSW residency and must stay
 	// invisible to the MRSW invariant checker and state hash sections.
 	qrm map[PageNo]*quorumPage
+	// rc holds the release-consistency state (twins, vector timestamp,
+	// notices, per-page home logs); non-nil only under PolicyRC (rc.go).
+	rc *rcState
+	// model is the consistency-model layer: the trace oracle and the
+	// dsync payload hooks the policy's contract implies (model.go).
+	model consistencyModel
 
 	// liveness is the attached failure detector; nil (the default)
 	// means no failure detection: protocol failures panic and the
@@ -404,6 +432,7 @@ func New(k *sim.Kernel, ep *remoteop.Endpoint, cfg *Config, hosts []arch.Arch) (
 	}
 	m.engine = newEngine(m)
 	m.dir = newDirectory(m)
+	m.model = newModel(m)
 	if id == 0 {
 		m.alloc = newAllocator(cfg)
 	}
@@ -427,6 +456,9 @@ func New(k *sim.Kernel, ep *remoteop.Endpoint, cfg *Config, hosts []arch.Arch) (
 	ep.Handle(proto.KindDynConfirm, m.handleDynConfirm)
 	ep.Handle(proto.KindQuorumRead, m.handleQuorumRead)
 	ep.Handle(proto.KindQuorumWrite, m.handleQuorumWrite)
+	ep.Handle(proto.KindRCFetch, m.handleRCFetch)
+	ep.Handle(proto.KindRCDiff, m.handleRCDiff)
+	ep.Handle(proto.KindRCPull, m.handleRCPull)
 	return m, nil
 }
 

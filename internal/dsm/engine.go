@@ -46,6 +46,12 @@ type engine interface {
 	// sets accessed by majority quorum (the SC-ABD policy): no owner, no
 	// copyset, no MRSW residency invariants.
 	quorumReplicated() bool
+	// lazyRelease reports whether writes propagate at release time as
+	// twin/diff updates instead of eagerly at access time (the RC
+	// policy): multiple writable copies are legal, MRSW residency
+	// invariants do not apply, and the trace oracle is the
+	// happens-before checker, not the SC checker (model.go).
+	lazyRelease() bool
 }
 
 // validatePolicy checks the policy-dependent configuration rules. It
@@ -56,6 +62,19 @@ func (c *Config) validatePolicy() error {
 		return fmt.Errorf("dsm: dynamic directory is only defined for the MRSW policy, not %v", c.Policy)
 	}
 	return nil
+}
+
+// Model returns the consistency contract the policy provides (model.go):
+// every policy promises sequential consistency except the lazy-release
+// engine. This switch lives here because engine.go is the package's one
+// policy-dispatch file.
+func (p Policy) Model() Model {
+	switch p {
+	case PolicyRC:
+		return ModelRC
+	default:
+		return ModelSC
+	}
 }
 
 // newEngine builds the engine for the configured policy. This switch is
@@ -71,6 +90,9 @@ func newEngine(m *Module) engine {
 	case PolicyQuorum:
 		m.qrm = make(map[PageNo]*quorumPage)
 		return &quorumEngine{m: m}
+	case PolicyRC:
+		m.rc = newRCState(len(m.hosts))
+		return &rcEngine{m: m}
 	default:
 		return &pagedEngine{m: m}
 	}
@@ -181,6 +203,7 @@ func (e *pagedEngine) allocFirstTouch() bool  { return true }
 func (e *pagedEngine) serverOnly() bool       { return false }
 func (e *pagedEngine) sequencesUpdates() bool { return false }
 func (e *pagedEngine) quorumReplicated() bool { return false }
+func (e *pagedEngine) lazyRelease() bool      { return false }
 
 // centralEngine is the central-server policy: no page ever leaves its
 // server; every access is a remote operation (central.go).
@@ -236,6 +259,7 @@ func (e *centralEngine) allocFirstTouch() bool  { return false }
 func (e *centralEngine) serverOnly() bool       { return true }
 func (e *centralEngine) sequencesUpdates() bool { return false }
 func (e *centralEngine) quorumReplicated() bool { return false }
+func (e *centralEngine) lazyRelease() bool      { return false }
 
 // updateEngine is the write-update policy: reads replicate exactly as
 // under MRSW (the embedded paged engine), writes are sequenced by the
@@ -261,3 +285,4 @@ func (e *updateEngine) allocFirstTouch() bool  { return true }
 func (e *updateEngine) serverOnly() bool       { return false }
 func (e *updateEngine) sequencesUpdates() bool { return true }
 func (e *updateEngine) quorumReplicated() bool { return false }
+func (e *updateEngine) lazyRelease() bool      { return false }

@@ -136,4 +136,61 @@ func (m *Module) WriteStateHash(h hash.Hash) {
 			h.Write(body)          // vet:ignore err-drop — hash.Hash.Write never returns an error
 		}
 	}
+
+	if m.rc != nil {
+		// Release-consistency state: vector timestamp, live twins,
+		// applied/noticed versions, and each home's ordering state
+		// (version plus the log's version/writer/shape — the diff bodies
+		// are derivable from the page images already hashed). Emitted
+		// only under PolicyRC, so every other policy's byte stream is
+		// unchanged. Count-prefixed lists keep the stream unambiguous.
+		put(0xffff_fffa)
+		for _, v := range m.rc.vt {
+			put(v)
+		}
+		hashPageMap := func(mark uint32, mp map[PageNo]uint32) {
+			put(mark)
+			put(uint32(len(mp)))
+			keys := make([]PageNo, 0, len(mp))
+			for pg := range mp {
+				keys = append(keys, pg)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, pg := range keys {
+				put(uint32(pg))
+				put(mp[pg])
+			}
+		}
+		hashPageMap(1, m.rc.notices)
+		hashPageMap(2, m.rc.applied)
+		put(3)
+		put(uint32(len(m.rc.twins)))
+		tpages := make([]PageNo, 0, len(m.rc.twins))
+		for pg := range m.rc.twins {
+			tpages = append(tpages, pg)
+		}
+		sort.Slice(tpages, func(i, j int) bool { return tpages[i] < tpages[j] })
+		for _, pg := range tpages {
+			put(uint32(pg))
+			h.Write(m.rc.twins[pg]) // vet:ignore err-drop — hash.Hash.Write never returns an error
+		}
+		put(4)
+		put(uint32(len(m.rc.home)))
+		hpages := make([]PageNo, 0, len(m.rc.home))
+		for pg := range m.rc.home {
+			hpages = append(hpages, pg)
+		}
+		sort.Slice(hpages, func(i, j int) bool { return hpages[i] < hpages[j] })
+		for _, pg := range hpages {
+			hm := m.rc.home[pg]
+			put(uint32(pg))
+			put(hm.version)
+			put(uint32(len(hm.log)))
+			for i := range hm.log {
+				put(hm.log[i].version)
+				put(uint32(hm.log[i].writer))
+				put(uint32(len(hm.log[i].diff.Runs)))
+			}
+		}
+	}
 }

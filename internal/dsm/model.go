@@ -1,0 +1,136 @@
+package dsm
+
+// The consistency-model layer. Where the engine layer (engine.go)
+// decides how pages replicate and the directory layer (directory.go)
+// decides who manages them, the model layer states *what the memory
+// promises*: which synchronization operations order accesses, when
+// writes must become visible to whom, and which offline oracle a
+// recorded trace must satisfy. Until the lazy-release engine every
+// policy implicitly WAS sequential consistency — one SC trace oracle,
+// whole-page propagation at access time, no sync hooks — so the
+// contract never needed a name. It does now.
+//
+// newModel is the ONLY model dispatch point — the model-branch vet rule
+// flags any Model comparison outside this file, exactly as the
+// policy-branch rule guards newEngine — so adding a consistency model
+// means adding a model implementation, not editing call sites.
+
+import (
+	"fmt"
+
+	"repro/internal/sctrace"
+	"repro/internal/sim"
+)
+
+// Model identifies the consistency contract a policy provides.
+type Model int
+
+const (
+	// ModelSC is sequential consistency: some single interleaving of all
+	// hosts' accesses explains every value read. Propagation is eager
+	// (at access time) and the oracle is sctrace.Check.
+	ModelSC Model = iota
+	// ModelRC is (lazy) release consistency: writes become visible at
+	// synchronization boundaries. A release pushes the interval's
+	// twin/diff updates and stamps the primitive with a vector
+	// timestamp; an acquire merges that stamp and pulls the updates it
+	// implies. The oracle is sctrace.CheckRC.
+	ModelRC
+)
+
+// String names the model.
+func (mo Model) String() string {
+	switch mo {
+	case ModelSC:
+		return "SC"
+	case ModelRC:
+		return "RC"
+	default:
+		return fmt.Sprintf("Model(%d)", int(mo))
+	}
+}
+
+// consistencyModel is one model's contract: the oracle binding plus the
+// synchronization hooks dsync threads through locks, events and
+// barriers.
+type consistencyModel interface {
+	// traceCheck validates a recorded trace against this model's
+	// oracle.
+	traceCheck(ops []sctrace.Op) []sctrace.Violation
+	// syncHooks returns the dsync payload hooks, nil when the model
+	// propagates at access time and synchronization carries nothing
+	// (every SC engine — nil keeps dsync's behaviour bit-identical).
+	syncHooks() *RCSync
+}
+
+// newModel builds the consistency model for the configured engine. This
+// is the single model dispatch point of the package; it keys off the
+// engine's capability predicate, so it needs no policy branch of its
+// own.
+func newModel(m *Module) consistencyModel {
+	if m.engine.lazyRelease() {
+		return &rcModel{sync: &RCSync{m: m}}
+	}
+	return scModel{}
+}
+
+// TraceCheck validates a recorded access trace against the consistency
+// model this module's policy promises: the SC witness-order checker for
+// the sequentially consistent engines, the happens-before checker for
+// the lazy-release engine. Harnesses (mc, chaos) call this instead of
+// hard-wiring sctrace.Check.
+func (m *Module) TraceCheck(ops []sctrace.Op) []sctrace.Violation {
+	return m.model.traceCheck(ops)
+}
+
+// SyncModel returns the consistency model's synchronization hooks for
+// dsync.Service.AttachModel, or nil when the model has none. The
+// cluster wires it after building both modules; callers must preserve
+// the nil (attaching a typed nil would enable the payload path).
+func (m *Module) SyncModel() *RCSync {
+	return m.model.syncHooks()
+}
+
+// scModel is sequential consistency: the historical contract, now
+// spelled out. No sync hooks; the SC checker is the oracle.
+type scModel struct{}
+
+func (scModel) traceCheck(ops []sctrace.Op) []sctrace.Violation { return sctrace.Check(ops) }
+func (scModel) syncHooks() *RCSync                              { return nil }
+
+// rcModel is lazy release consistency (rc.go holds the machinery).
+type rcModel struct {
+	sync *RCSync
+}
+
+func (mo *rcModel) traceCheck(ops []sctrace.Op) []sctrace.Violation { return sctrace.CheckRC(ops) }
+func (mo *rcModel) syncHooks() *RCSync                              { return mo.sync }
+
+// RCSync is the RC model's dsync payload implementation (it satisfies
+// dsync.SyncModel structurally; dsm does not import dsync). Methods are
+// defined in rc.go next to the machinery they drive.
+type RCSync struct {
+	m *Module
+}
+
+// ReleasePayload closes the current interval: push every twinned page's
+// diff to its home, advance this host's vector timestamp, and return
+// the encoded (timestamp, write-notice) payload to ride the releasing
+// primitive.
+func (s *RCSync) ReleasePayload(p *sim.Proc) ([]byte, error) {
+	return s.m.rcRelease(p)
+}
+
+// AcquirePayload merges a grant's payload into this host's timestamp
+// and notices, then pulls the diffs the notices imply for resident
+// pages.
+func (s *RCSync) AcquirePayload(p *sim.Proc, data []byte) error {
+	return s.m.rcAcquire(p, data)
+}
+
+// MergePayload folds two payloads component-wise (max of vector
+// timestamps, max of per-page notices). Pure; always returns a fresh
+// slice.
+func (s *RCSync) MergePayload(a, b []byte) []byte {
+	return rcMergePayload(a, b)
+}

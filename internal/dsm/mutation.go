@@ -65,6 +65,17 @@ const (
 	// majority of acks — the split-brain bug: two components (or two
 	// racing writers) both accept writes no quorum ever orders.
 	MutSplitBrainWrite
+	// MutLostDiff makes every release silently drop its first non-empty
+	// page diff (and the write notice that would advertise it) while
+	// still advancing the vector timestamp — so a synchronized acquirer
+	// expects the interval's writes and reads stale bytes instead (the
+	// RC happens-before checker's core guarantee).
+	MutLostDiff
+	// MutStaleTwinMerge makes a pulled or pushed diff land only in the
+	// live twin when one exists, never in the page itself: reads after
+	// the acquire return pre-interval bytes even though the interval
+	// was delivered (the twin-merge rule rc.go exists to get right).
+	MutStaleTwinMerge
 
 	numMutations
 )
@@ -107,6 +118,10 @@ func (mu Mutation) String() string {
 		return "stale-quorum-read"
 	case MutSplitBrainWrite:
 		return "split-brain-write"
+	case MutLostDiff:
+		return "lost-diff"
+	case MutStaleTwinMerge:
+		return "stale-twin-merge"
 	default:
 		return fmt.Sprintf("Mutation(%d)", int(mu))
 	}

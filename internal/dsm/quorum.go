@@ -181,6 +181,7 @@ func (e *quorumEngine) allocFirstTouch() bool  { return false }
 func (e *quorumEngine) serverOnly() bool       { return false }
 func (e *quorumEngine) sequencesUpdates() bool { return false }
 func (e *quorumEngine) quorumReplicated() bool { return true }
+func (e *quorumEngine) lazyRelease() bool      { return false }
 
 // quorumReadPage is one full SC-ABD read of a page. The caller holds
 // the page's fault lock; the returned replica holds the read's result

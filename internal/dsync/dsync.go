@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/bufpool"
 	"repro/internal/model"
 	"repro/internal/proto"
 	"repro/internal/remoteop"
@@ -45,28 +46,57 @@ type def struct {
 	initial int // semaphore count or barrier size
 }
 
+// SyncModel is the consistency model's hook into synchronization
+// (implemented by the DSM release-consistency model, attached by the
+// cluster). A release ships an opaque payload (vector timestamp plus
+// write notices) that rides the primitive's messages; the manager folds
+// payloads together with MergePayload and every grant hands the merged
+// payload to the acquirer. With no model attached (every sequentially
+// consistent policy) no payloads exist and the message streams are
+// bit-identical to before this hook existed.
+type SyncModel interface {
+	// ReleasePayload runs the model's release action (push pending
+	// updates) and returns the payload to attach to the releasing
+	// operation.
+	ReleasePayload(p *sim.Proc) ([]byte, error)
+	// AcquirePayload runs the model's acquire action with the payload
+	// delivered by the grant (possibly nil).
+	AcquirePayload(p *sim.Proc, data []byte) error
+	// MergePayload folds two payloads (either may be nil). It is pure
+	// and always returns a freshly allocated slice, never aliasing its
+	// arguments — incoming payloads alias pooled wire buffers.
+	MergePayload(a, b []byte) []byte
+}
+
 // grantee is a parked participant to release later: either a local
 // process or a remote request awaiting its reply.
 type grantee struct {
 	local bool
 	w     sim.Waiter
 	woken *bool
+	pay   *[]byte // payload delivery slot for local grantees
 	req   *proto.Message
 }
 
+// payload accumulation is per primitive and monotone: vector timestamps
+// and write notices only grow, so it is never reset — not even when a
+// barrier recycles — and re-merging a retransmitted payload is a no-op.
 type semState struct {
 	count   int
+	payload []byte
 	waiters []grantee
 }
 
 type eventState struct {
 	set     bool
+	payload []byte
 	waiters []grantee
 }
 
 type barrierState struct {
 	size    int
 	arrived int
+	payload []byte
 	waiters []grantee
 }
 
@@ -86,8 +116,14 @@ type Service struct {
 	events   map[uint32]*eventState
 	barriers map[uint32]*barrierState
 
+	model SyncModel
+
 	crashed bool
 }
+
+// AttachModel binds the consistency model's sync hooks. The cluster
+// attaches the same model implementation on every host (or none).
+func (s *Service) AttachModel(m SyncModel) { s.model = m }
 
 // Crash marks this host's service failed: handler processes unwind at
 // their next activation and primitives it managed stay silent forever
@@ -161,12 +197,22 @@ func (s *Service) WriteStateHash(h hash.Hash) {
 		binary.LittleEndian.PutUint32(buf[:], v)
 		h.Write(buf[:])
 	}
+	// Accumulated release payloads are folded only when present, so the
+	// byte stream of every payload-free (sequentially consistent) run is
+	// unchanged by the consistency-model hook.
+	pay := func(payload []byte) {
+		if len(payload) > 0 {
+			put(uint32(len(payload)))
+			h.Write(payload)
+		}
+	}
 	put(uint32(s.id))
 	for _, id := range sortedIDs(s.sems) {
 		st := s.sems[id]
 		put(id)
 		put(uint32(st.count))
 		put(uint32(len(st.waiters)))
+		pay(st.payload)
 	}
 	put(0xffff_ffff) // section separator
 	for _, id := range sortedIDs(s.events) {
@@ -178,6 +224,7 @@ func (s *Service) WriteStateHash(h hash.Hash) {
 			put(0)
 		}
 		put(uint32(len(st.waiters)))
+		pay(st.payload)
 	}
 	put(0xffff_fffe)
 	for _, id := range sortedIDs(s.barriers) {
@@ -185,6 +232,7 @@ func (s *Service) WriteStateHash(h hash.Hash) {
 		put(id)
 		put(uint32(st.arrived))
 		put(uint32(len(st.waiters)))
+		pay(st.payload)
 	}
 }
 
@@ -198,15 +246,47 @@ func sortedIDs[T any](m map[uint32]T) []uint32 {
 	return ids
 }
 
-// release unblocks a grantee: wake a local process or answer the remote
-// request.
-func (s *Service) release(p *sim.Proc, g grantee, kind proto.Kind) {
+// mergePayload folds an incoming release payload into a primitive's
+// accumulated payload. Without a model payloads do not exist and the
+// accumulator stays nil.
+func (s *Service) mergePayload(cur *[]byte, in []byte) {
+	if s.model == nil || len(in) == 0 {
+		return
+	}
+	*cur = s.model.MergePayload(*cur, in)
+}
+
+// acquired runs the model's acquire action after a grant delivered
+// payload (a no-op without a model).
+func (s *Service) acquired(p *sim.Proc, payload []byte) error {
+	if s.model == nil {
+		return nil
+	}
+	return s.model.AcquirePayload(p, payload)
+}
+
+// releasing runs the model's release action before the releasing
+// operation proceeds, returning the payload to attach (nil without a
+// model).
+func (s *Service) releasing(p *sim.Proc) ([]byte, error) {
+	if s.model == nil {
+		return nil, nil
+	}
+	return s.model.ReleasePayload(p)
+}
+
+// release unblocks a grantee, delivering the granting payload: wake a
+// local process or answer the remote request.
+func (s *Service) release(p *sim.Proc, g grantee, kind proto.Kind, payload []byte) {
 	if g.local {
+		if g.pay != nil {
+			*g.pay = payload
+		}
 		*g.woken = true
 		s.k.Wake(g.w, sim.WakeSignal)
 		return
 	}
-	s.ep.Reply(p, g.req, &proto.Message{Kind: kind})
+	s.ep.Reply(p, g.req, &proto.Message{Kind: kind, Data: payload})
 }
 
 // hasPending reports whether the same remote request (by origin and
@@ -221,13 +301,16 @@ func hasPending(list []grantee, req *proto.Message) bool {
 	return false
 }
 
-// parkLocal parks the calling process as a grantee on the given list.
-func parkLocal(p *sim.Proc, list *[]grantee) {
+// parkLocal parks the calling process as a grantee on the given list
+// and returns the payload the grant delivered.
+func parkLocal(p *sim.Proc, list *[]grantee) []byte {
 	woken := false
-	*list = append(*list, grantee{local: true, w: p.PrepareWait(), woken: &woken})
+	var payload []byte
+	*list = append(*list, grantee{local: true, w: p.PrepareWait(), woken: &woken, pay: &payload})
 	for !woken {
 		p.Park()
 	}
+	return payload
 }
 
 // --- Semaphores ---
@@ -246,18 +329,28 @@ func (s *Service) PE(p *sim.Proc, id uint32) error {
 		st := s.sems[id]
 		if st.count > 0 {
 			st.count--
-			return nil
+			return s.acquired(p, st.payload)
 		}
-		parkLocal(p, &st.waiters)
-		return nil
+		return s.acquired(p, parkLocal(p, &st.waiters))
 	}
-	if _, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
+	resp, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
 		Kind: proto.KindSemOp,
 		Args: []uint32{id, opSemP},
-	}); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("semaphore %d died with its manager %d: %w", id, d.manager, err)
 	}
-	return nil
+	return s.acquireReply(p, resp)
+}
+
+// acquireReply runs the model's acquire action with a grant reply's
+// payload and recycles the reply's wire buffer.
+func (s *Service) acquireReply(p *sim.Proc, resp *proto.Message) error {
+	err := s.acquired(p, resp.Data)
+	if buf := resp.TakeWire(); buf != nil {
+		bufpool.Put(buf)
+	}
+	return err
 }
 
 // V releases one unit of semaphore id, waking the oldest waiter.
@@ -269,13 +362,20 @@ func (s *Service) VE(p *sim.Proc, id uint32) error {
 	if !ok {
 		panic(fmt.Sprintf("dsync: semaphore %d not defined", id))
 	}
+	data, err := s.releasing(p)
+	if err != nil {
+		return fmt.Errorf("release before V(%d): %w", id, err)
+	}
 	if d.manager == s.id {
-		s.semV(p, s.sems[id])
+		st := s.sems[id]
+		s.mergePayload(&st.payload, data)
+		s.semV(p, st)
 		return nil
 	}
 	if _, err := s.ep.Call(p, d.manager, &proto.Message{
 		Kind: proto.KindSemOp,
 		Args: []uint32{id, opSemV},
+		Data: data,
 	}); err != nil {
 		return fmt.Errorf("semaphore %d died with its manager %d: %w", id, d.manager, err)
 	}
@@ -286,7 +386,7 @@ func (s *Service) semV(p *sim.Proc, st *semState) {
 	if len(st.waiters) > 0 {
 		g := st.waiters[0]
 		st.waiters = st.waiters[1:]
-		s.release(p, g, proto.KindSemReply)
+		s.release(p, g, proto.KindSemReply, st.payload)
 		return
 	}
 	st.count++
@@ -305,13 +405,17 @@ func (s *Service) handleSemOp(p *sim.Proc, req *proto.Message) {
 	case opSemP:
 		if st.count > 0 {
 			st.count--
-			s.ep.Reply(p, req, &proto.Message{Kind: proto.KindSemReply})
+			s.ep.Reply(p, req, &proto.Message{Kind: proto.KindSemReply, Data: st.payload})
 			return
 		}
 		if !hasPending(st.waiters, req) {
 			st.waiters = append(st.waiters, grantee{req: req})
 		}
 	case opSemV:
+		s.mergePayload(&st.payload, req.Data)
+		if buf := req.TakeWire(); buf != nil {
+			bufpool.Put(buf)
+		}
 		s.semV(p, st)
 		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindSemReply})
 	}
@@ -331,18 +435,18 @@ func (s *Service) EventWaitE(p *sim.Proc, id uint32) error {
 	if d.manager == s.id {
 		st := s.events[id]
 		if st.set {
-			return nil
+			return s.acquired(p, st.payload)
 		}
-		parkLocal(p, &st.waiters)
-		return nil
+		return s.acquired(p, parkLocal(p, &st.waiters))
 	}
-	if _, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
+	resp, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
 		Kind: proto.KindEventOp,
 		Args: []uint32{id, opEventWait},
-	}); err != nil {
+	})
+	if err != nil {
 		return fmt.Errorf("event %d died with its manager %d: %w", id, d.manager, err)
 	}
-	return nil
+	return s.acquireReply(p, resp)
 }
 
 // EventSet sets event id, releasing all waiters.
@@ -354,13 +458,20 @@ func (s *Service) EventSetE(p *sim.Proc, id uint32) error {
 	if !ok {
 		panic(fmt.Sprintf("dsync: event %d not defined", id))
 	}
+	data, err := s.releasing(p)
+	if err != nil {
+		return fmt.Errorf("release before EventSet(%d): %w", id, err)
+	}
 	if d.manager == s.id {
-		s.eventSet(p, s.events[id])
+		st := s.events[id]
+		s.mergePayload(&st.payload, data)
+		s.eventSet(p, st)
 		return nil
 	}
 	if _, err := s.ep.Call(p, d.manager, &proto.Message{
 		Kind: proto.KindEventOp,
 		Args: []uint32{id, opEventSet},
+		Data: data,
 	}); err != nil {
 		return fmt.Errorf("event %d died with its manager %d: %w", id, d.manager, err)
 	}
@@ -370,7 +481,7 @@ func (s *Service) EventSetE(p *sim.Proc, id uint32) error {
 func (s *Service) eventSet(p *sim.Proc, st *eventState) {
 	st.set = true
 	for _, g := range st.waiters {
-		s.release(p, g, proto.KindEventReply)
+		s.release(p, g, proto.KindEventReply, st.payload)
 	}
 	st.waiters = nil
 }
@@ -387,13 +498,17 @@ func (s *Service) handleEventOp(p *sim.Proc, req *proto.Message) {
 	switch req.Arg(1) {
 	case opEventWait:
 		if st.set {
-			s.ep.Reply(p, req, &proto.Message{Kind: proto.KindEventReply})
+			s.ep.Reply(p, req, &proto.Message{Kind: proto.KindEventReply, Data: st.payload})
 			return
 		}
 		if !hasPending(st.waiters, req) {
 			st.waiters = append(st.waiters, grantee{req: req})
 		}
 	case opEventSet:
+		s.mergePayload(&st.payload, req.Data)
+		if buf := req.TakeWire(); buf != nil {
+			bufpool.Put(buf)
+		}
 		s.eventSet(p, st)
 		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindEventReply})
 	}
@@ -413,27 +528,33 @@ func (s *Service) BarrierArriveE(p *sim.Proc, id uint32) error {
 	if !ok {
 		panic(fmt.Sprintf("dsync: barrier %d not defined", id))
 	}
+	data, err := s.releasing(p)
+	if err != nil {
+		return fmt.Errorf("release before barrier %d: %w", id, err)
+	}
 	if d.manager == s.id {
 		st := s.barriers[id]
+		s.mergePayload(&st.payload, data)
 		st.arrived++
 		if st.arrived >= st.size {
 			st.arrived = 0
 			for _, g := range st.waiters {
-				s.release(p, g, proto.KindBarrierReply)
+				s.release(p, g, proto.KindBarrierReply, st.payload)
 			}
 			st.waiters = nil
-			return nil
+			return s.acquired(p, st.payload)
 		}
-		parkLocal(p, &st.waiters)
-		return nil
+		return s.acquired(p, parkLocal(p, &st.waiters))
 	}
-	if _, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
+	resp, err := s.ep.CallBlocking(p, d.manager, &proto.Message{
 		Kind: proto.KindBarrierOp,
 		Args: []uint32{id},
-	}); err != nil {
+		Data: data,
+	})
+	if err != nil {
 		return fmt.Errorf("barrier %d died with its manager %d: %w", id, d.manager, err)
 	}
-	return nil
+	return s.acquireReply(p, resp)
 }
 
 func (s *Service) handleBarrierOp(p *sim.Proc, req *proto.Message) {
@@ -448,14 +569,18 @@ func (s *Service) handleBarrierOp(p *sim.Proc, req *proto.Message) {
 	if hasPending(st.waiters, req) {
 		return // retransmission of an arrival already counted
 	}
+	s.mergePayload(&st.payload, req.Data)
+	if buf := req.TakeWire(); buf != nil {
+		bufpool.Put(buf)
+	}
 	st.arrived++
 	if st.arrived >= st.size {
 		st.arrived = 0
 		for _, g := range st.waiters {
-			s.release(p, g, proto.KindBarrierReply)
+			s.release(p, g, proto.KindBarrierReply, st.payload)
 		}
 		st.waiters = nil
-		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindBarrierReply})
+		s.ep.Reply(p, req, &proto.Message{Kind: proto.KindBarrierReply, Data: st.payload})
 		return
 	}
 	st.waiters = append(st.waiters, grantee{req: req})

@@ -176,6 +176,25 @@ func TestThrashingSevereAndFluctuating(t *testing.T) {
 	}
 }
 
+// TestThrashingRCFlattensTransfers pins the §3.3 extension's headline:
+// under lazy release consistency the thrashing configuration's page
+// traffic collapses to the compulsory fetches — at least 3× below the
+// write-invalidate baseline — and the run is faster, not merely
+// cheaper on the wire.
+func TestThrashingRCFlattensTransfers(t *testing.T) {
+	rows := ThrashingRC([]int{8}, 1)
+	r := rows[0]
+	if r.RCTransfers*3 > r.InvTransfers {
+		t.Errorf("RC moved %d page bodies, write-invalidate %d; want ≥3× reduction", r.RCTransfers, r.InvTransfers)
+	}
+	if r.RCS >= r.InvS {
+		t.Errorf("RC run (%.1fs) not faster than thrashing baseline (%.1fs)", r.RCS, r.InvS)
+	}
+	if r.RCDiffBytes == 0 {
+		t.Error("RC run shipped no diffs; the brackets are not propagating writes")
+	}
+}
+
 func TestSingleThreadOverheadIsLow(t *testing.T) {
 	for _, r := range SingleThreadOverhead() {
 		if r.OverheadPct > 6 || r.OverheadPct < -1 {

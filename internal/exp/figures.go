@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/pcb"
 	"repro/internal/arch"
 	"repro/internal/cluster"
+	"repro/internal/dsm"
 	"repro/internal/model"
 )
 
@@ -344,6 +345,112 @@ func Thrashing(threadCounts []int, seeds []int64) []ThrashingResult {
 		out = append(out, res)
 	}
 	return out
+}
+
+// ThrashingRCPoint contrasts §3.3's worst case — MM2 under the largest
+// page size algorithm — across consistency models at one thread count.
+type ThrashingRCPoint struct {
+	// Threads is the slave thread count over the Fireflies.
+	Threads int
+	// InvS / InvTransfers / InvBytes are the write-invalidate MRSW
+	// baseline: response time, page bodies moved, page data on the wire.
+	InvS         float64
+	InvTransfers int
+	InvBytes     int
+	// RCS / RCTransfers / RCBytes are the same run under dsm.PolicyRC
+	// with the acquire/release brackets on; RCDiffBytes is the typed
+	// diff traffic that replaces the invalidate engine's page bodies —
+	// the honest accounting of where RC's bytes went instead.
+	RCS         float64
+	RCTransfers int
+	RCBytes     int
+	RCDiffBytes int
+}
+
+// runMMPolicy is runMMChunked under an explicit replication policy,
+// with the acquire/release brackets on for the non-SC policy, and
+// returns the full DSM counters alongside the figure point.
+func runMMPolicy(hosts []cluster.HostSpec, master cluster.HostID, slaves []cluster.HostID,
+	assign matmul.Assignment, pageSize int, seed int64, jitter float64, chunk int,
+	policy dsm.Policy) (FigPoint, dsm.Stats) {
+	var params *model.Params
+	if jitter > 0 {
+		pv := model.Default()
+		pv.ProcessJitterPct = jitter
+		params = &pv
+	}
+	c, err := cluster.New(cluster.Config{Hosts: hosts, PageSize: pageSize, Seed: seed, Params: params, Policy: policy})
+	if err != nil {
+		panic(err)
+	}
+	r := matmul.Register(c)
+	res, err := r.Run(matmul.Config{
+		N: MMSize, Master: master, Slaves: slaves,
+		Assignment: assign, JitterPct: jitter, WriteChunk: chunk,
+		AcquireRelease: policy == dsm.PolicyRC,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return FigPoint{
+		Threads:   len(slaves),
+		Seconds:   res.Elapsed.Seconds(),
+		Transfers: res.Stats.PagesFetched,
+	}, res.Stats
+}
+
+// ThrashingRC reruns the thrashing configuration under lazy release
+// consistency: the same MM2 round-robin assignment, 8 KB pages and
+// element-burst stores that make the write-invalidate engine ping-pong
+// C's pages, but with each writer keeping an independent writable copy
+// (twin) and shipping element-aligned diffs at release. The page
+// transfer count — the §3.3 thrashing signature — should collapse; the
+// diff bytes column shows what RC pays instead.
+func ThrashingRC(threadCounts []int, seed int64) []ThrashingRCPoint {
+	var out []ThrashingRCPoint
+	for _, t := range threadCounts {
+		const nf = 3
+		hosts := []cluster.HostSpec{{Kind: arch.Sun}}
+		for i := 0; i < nf; i++ {
+			hosts = append(hosts, cluster.HostSpec{Kind: arch.Firefly, CPUs: fireflyCPUs})
+		}
+		slaves := placeThreads(t, nf)
+		const chunk = 4
+		inv, invStats := runMMPolicy(hosts, 0, slaves, matmul.MM2, 8192, seed, 0.03, chunk, dsm.PolicyMRSW)
+		rc, rcStats := runMMPolicy(hosts, 0, slaves, matmul.MM2, 8192, seed, 0.03, chunk, dsm.PolicyRC)
+		out = append(out, ThrashingRCPoint{
+			Threads:      t,
+			InvS:         inv.Seconds,
+			InvTransfers: inv.Transfers,
+			InvBytes:     invStats.BytesFetched,
+			RCS:          rc.Seconds,
+			RCTransfers:  rc.Transfers,
+			RCBytes:      rcStats.BytesFetched,
+			RCDiffBytes:  rcStats.RCDiffBytes,
+		})
+	}
+	return out
+}
+
+// ThrashingRCTable formats the consistency-model contrast.
+func ThrashingRCTable(rows []ThrashingRCPoint) *Table {
+	t := &Table{
+		Title:  "Thrashing vs release consistency (§3.3 ext.): MM2 with 8KB pages",
+		Header: []string{"threads", "inv s", "rc s", "inv transfers", "rc transfers", "inv KB", "rc KB", "rc diff KB"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Threads),
+			fmt.Sprintf("%.1f", r.InvS),
+			fmt.Sprintf("%.1f", r.RCS),
+			fmt.Sprintf("%d", r.InvTransfers),
+			fmt.Sprintf("%d", r.RCTransfers),
+			fmt.Sprintf("%.0f", float64(r.InvBytes)/1024),
+			fmt.Sprintf("%.0f", float64(r.RCBytes)/1024),
+			fmt.Sprintf("%.0f", float64(r.RCDiffBytes)/1024),
+		})
+	}
+	return t
 }
 
 // ThrashingTable formats the thrashing summary.

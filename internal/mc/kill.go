@@ -39,6 +39,13 @@ import (
 //     schedule where the lagging replica is the one a mutated read
 //     trusts (stale-quorum-read) or where the read's majority excludes
 //     the writer whose mutated write never left home (split-brain-write).
+//   - lost-diff and stale-twin-merge corrupt the lazy-release engine,
+//     so they need the "rc" workload. lost-diff drops the first
+//     non-empty diff of a release, which every locked-counter interval
+//     exercises; stale-twin-merge only misapplies a pulled diff when
+//     the puller has a live twin, which the workload stages explicitly
+//     (an open write interval held across an acquire). The kills come
+//     from the happens-before oracle and the exact final assertions.
 var killPlan = map[dsm.Mutation]string{
 	dsm.MutSkipInvalidation:   "basic",
 	dsm.MutDropCopyset:        "ring",
@@ -52,6 +59,8 @@ var killPlan = map[dsm.Mutation]string{
 	dsm.MutStaleProbableOwner: "dynamic",
 	dsm.MutStaleQuorumRead:    "quorum",
 	dsm.MutSplitBrainWrite:    "quorum",
+	dsm.MutLostDiff:           "rc",
+	dsm.MutStaleTwinMerge:     "rc",
 }
 
 // KillResult records one mutation's fate.

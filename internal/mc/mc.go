@@ -200,7 +200,10 @@ func execute(w *Workload, mut dsm.Mutation, o execOpts) (*Result, error) {
 		Now:        k.Now(),
 		Transcript: ch.lines,
 	}
-	scViols := sctrace.Check(inst.Rec.Ops())
+	// The trace oracle is the policy's consistency model: the SC
+	// witness checker for the sequentially consistent engines, the
+	// happens-before checker under lazy release consistency.
+	scViols := inst.C.Hosts[0].DSM.TraceCheck(inst.Rec.Ops())
 	switch {
 	case len(invs) > 0:
 		res.Outcome = InvariantViolation

@@ -34,7 +34,7 @@ func TestDFSClean(t *testing.T) {
 	if testing.Short() {
 		budget = 300
 	}
-	for _, name := range []string{"basic", "sem", "barrier", "update"} {
+	for _, name := range []string{"basic", "sem", "barrier", "update", "rc"} {
 		w, err := Lookup(name)
 		if err != nil {
 			t.Fatal(err)
@@ -188,7 +188,7 @@ func TestKillSuite(t *testing.T) {
 	}
 	if !testing.Short() {
 		txt := FormatKillResults(rs)
-		if !strings.Contains(txt, "12/12 mutations killed") {
+		if !strings.Contains(txt, "14/14 mutations killed") {
 			t.Errorf("kill summary:\n%s", txt)
 		}
 	}

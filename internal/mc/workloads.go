@@ -149,6 +149,97 @@ func init() {
 	register(crashWorkload())
 	register(dynamicWorkload())
 	register(quorumWorkload())
+	register(rcWorkload())
+}
+
+// rcWorkload runs the lazy-release policy across a Sun and a Firefly.
+// Two protected patterns share the run:
+//
+//   - A semaphore-locked counter (page 0), two increments per worker:
+//     each release pushes the interval's diff, each acquire pulls it, so
+//     a lost diff or a mis-merged twin corrupts the count — and the
+//     happens-before oracle flags the stale read even on schedules
+//     where the final count survives.
+//   - A staged open-interval acquire (page 1): worker 1 faults the page
+//     in, opens a write interval on element 0 (its twin stays live),
+//     and only then acquires worker 0's released write of element 1 —
+//     forcing a pull to merge into a page WITH a live twin, the one
+//     path MutStaleTwinMerge corrupts (the locked counter never pulls
+//     with an open interval: its writes happen after the acquire).
+//
+// Both patterns are fully ordered by semaphores, so the assertions are
+// exact on every schedule of the unmutated protocol.
+func rcWorkload() *Workload {
+	const (
+		semReady = 30
+		semA     = 31
+	)
+	return &Workload{
+		Name: "rc",
+		Desc: "2 hosts (Sun+Firefly), lazy release consistency: locked counter + open-interval pull",
+		Build: func(mut dsm.Mutation) (*Instance, error) {
+			c, rec, err := buildCluster([]arch.Kind{arch.Sun, arch.Firefly}, dsm.PolicyRC, mut)
+			if err != nil {
+				return nil, err
+			}
+			c.DefineSemaphore(semLock, 0, 1)
+			c.DefineSemaphore(semDone, 1, 0)
+			c.DefineSemaphore(semReady, 0, 0)
+			c.DefineSemaphore(semA, 1, 0)
+			main := func(p *sim.Proc, c *cluster.Cluster) error {
+				h0 := c.Hosts[0]
+				counter, err := h0.DSM.Alloc(p, conv.Int32, pageInts) // page 0
+				if err != nil {
+					return err
+				}
+				pair, err := h0.DSM.Alloc(p, conv.Int32, pageInts) // page 1
+				if err != nil {
+					return err
+				}
+				var twinGot int32
+				for w := 0; w < 2; w++ {
+					w := w
+					host := c.Hosts[w]
+					c.K.Spawn(fmt.Sprintf("rcw%d", w), func(p *sim.Proc) {
+						for i := 0; i < 2; i++ {
+							host.Sync.P(p, semLock)
+							v := host.DSM.ReadInt32(p, counter)
+							host.DSM.WriteInt32(p, counter, v+1)
+							host.Sync.V(p, semLock)
+						}
+						if w == 0 {
+							host.Sync.P(p, semReady)
+							host.DSM.WriteInt32(p, pair+4, 7)
+							host.Sync.V(p, semA)
+						} else {
+							host.DSM.ReadInt32(p, pair) // fault the page in first
+							host.Sync.V(p, semReady)
+							host.DSM.WriteInt32(p, pair, 5) // open an interval: twin live
+							host.Sync.P(p, semA)            // pull worker 0's interval under the twin
+							twinGot = host.DSM.ReadInt32(p, pair+4)
+						}
+						host.Sync.V(p, semDone)
+					})
+				}
+				for i := 0; i < 2; i++ {
+					h0.Sync.P(p, semDone)
+				}
+				h0.Sync.P(p, semLock) // acquire the workers' final counter intervals
+				if got := h0.DSM.ReadInt32(p, counter); got != 4 {
+					return fmt.Errorf("counter = %d, want 4", got)
+				}
+				h0.Sync.V(p, semLock)
+				if twinGot != 7 {
+					return fmt.Errorf("acquired read under a live twin = %d, want 7", twinGot)
+				}
+				if got := h0.DSM.ReadInt32(p, pair); got != 5 {
+					return fmt.Errorf("open-interval write = %d, want 5", got)
+				}
+				return nil
+			}
+			return &Instance{C: c, Rec: rec, Main: main}, nil
+		},
+	}
 }
 
 // quorumWorkload runs the SC-ABD quorum policy across three hosts. Each

@@ -164,6 +164,28 @@ const (
 	KindQuorumWrite
 	// KindQuorumWriteAck acknowledges a KindQuorumWrite.
 	KindQuorumWriteAck
+	// KindRCDiff pushes a release-consistency interval diff to a page's
+	// home: Page the page, Args[0]=writer host, Args[1]=writer's interval
+	// count after the release, Data the encoded typed diff (conv.Diff
+	// wire form) in the sender's native representation.
+	KindRCDiff
+	// KindRCDiffAck acknowledges a KindRCDiff with Args[0] = the home
+	// version the diff was logged as.
+	KindRCDiffAck
+	// KindRCPull asks a page's home for the diff-log suffix after
+	// Args[0]=version the puller has applied.
+	KindRCPull
+	// KindRCPullReply answers a KindRCPull: Args[0]=home version now,
+	// Args[1]=number of diff entries, Args[2]=flags (rcPullWhole when
+	// the log no longer reaches back and Data is the whole page image
+	// instead), Data the concatenated entries or the page image.
+	KindRCPullReply
+	// KindRCFetch asks a page's home for a whole-page copy at its
+	// current version (the RC read/write fault path).
+	KindRCFetch
+	// KindRCFetchReply answers a KindRCFetch with Args[0]=home version
+	// and Data the page image in the home's native representation.
+	KindRCFetchReply
 )
 
 // String names the message kind.
@@ -184,6 +206,8 @@ func (k Kind) String() string {
 		"dyn-get-page", "dyn-get-page-write", "dyn-forward", "dyn-forward-ack",
 		"dyn-recover", "dyn-recover-reply", "dyn-confirm", "dyn-confirm-ack",
 		"quorum-read", "quorum-read-reply", "quorum-write", "quorum-write-ack",
+		"rc-diff", "rc-diff-ack", "rc-pull", "rc-pull-reply",
+		"rc-fetch", "rc-fetch-reply",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -201,7 +225,8 @@ func (k Kind) IsReply() bool {
 		KindUpdateWriteAck, KindApplyUpdateAck,
 		KindRemoteReadReply, KindRemoteWriteAck, KindEchoReply,
 		KindRecoverPageReply, KindDynForwardAck, KindDynRecoverReply, KindDynConfirmAck,
-		KindQuorumReadReply, KindQuorumWriteAck:
+		KindQuorumReadReply, KindQuorumWriteAck,
+		KindRCDiffAck, KindRCPullReply, KindRCFetchReply:
 		return true
 	default:
 		return false

@@ -1,0 +1,167 @@
+package sctrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// rcOp builds one trace op with trivially consistent timing (the RC
+// checker orders by Seq, not by the virtual clock).
+func rcOp(kind OpKind, host int, seq uint64, addr uint32, data []byte) Op {
+	return Op{Kind: kind, Host: host, Proc: "t", Seq: seq,
+		Start: int64(seq), End: int64(seq), Addr: addr, Data: data}
+}
+
+// TestCheckRCClean pins the happy path: a locked producer/consumer
+// handoff — write, release, acquire, read — is accepted, as is a read
+// of never-written (zero) memory.
+func TestCheckRCClean(t *testing.T) {
+	ops := []Op{
+		rcOp(Write, 0, 1, 0, []byte{5}),
+		rcOp(Release, 0, 2, 0, EncodeVT([]uint32{1, 0})),
+		rcOp(Acquire, 1, 3, 0, EncodeVT([]uint32{1, 0})),
+		rcOp(Read, 1, 4, 0, []byte{5}),
+		rcOp(Read, 1, 5, 100, []byte{0}),
+	}
+	if v := CheckRC(ops); v != nil {
+		t.Fatalf("clean trace flagged: %v", v)
+	}
+}
+
+// TestCheckRCStaleRead pins the core guarantee: reading stale data
+// across an acquire that happens-after the write's release is a
+// violation.
+func TestCheckRCStaleRead(t *testing.T) {
+	ops := []Op{
+		rcOp(Write, 0, 1, 0, []byte{5}),
+		rcOp(Release, 0, 2, 0, EncodeVT([]uint32{1, 0})),
+		rcOp(Acquire, 1, 3, 0, EncodeVT([]uint32{1, 0})),
+		rcOp(Read, 1, 4, 0, []byte{0}),
+	}
+	v := CheckRC(ops)
+	if len(v) != 1 || !strings.Contains(v[0].Msg, "neither happens-before-maximal nor concurrent") {
+		t.Fatalf("stale read not flagged: %v", v)
+	}
+}
+
+// TestCheckRCConcurrent pins RC's permissiveness: before any
+// synchronization, a reader may see a concurrent write's value or miss
+// it entirely — both outcomes pass.
+func TestCheckRCConcurrent(t *testing.T) {
+	sees := []Op{
+		rcOp(Write, 0, 1, 0, []byte{7}),
+		rcOp(Read, 1, 2, 0, []byte{7}),
+	}
+	misses := []Op{
+		rcOp(Write, 0, 1, 0, []byte{7}),
+		rcOp(Read, 1, 2, 0, []byte{0}),
+	}
+	if v := CheckRC(sees); v != nil {
+		t.Fatalf("seeing a concurrent write flagged: %v", v)
+	}
+	if v := CheckRC(misses); v != nil {
+		t.Fatalf("missing a concurrent write flagged: %v", v)
+	}
+	// But an unsynchronized read must not invent a third value.
+	junk := []Op{
+		rcOp(Write, 0, 1, 0, []byte{7}),
+		rcOp(Read, 1, 2, 0, []byte{9}),
+	}
+	if v := CheckRC(junk); len(v) != 1 {
+		t.Fatalf("invented value not flagged: %v", v)
+	}
+}
+
+// TestCheckRCOverwritten pins maximality: once two writes are ordered
+// by happens-before, an acquirer synchronized with both must see the
+// later one — the earlier value is no longer admissible (this is how a
+// lost diff surfaces).
+func TestCheckRCOverwritten(t *testing.T) {
+	ops := []Op{
+		rcOp(Write, 0, 1, 0, []byte{1}),
+		rcOp(Release, 0, 2, 0, EncodeVT([]uint32{1, 0})),
+		rcOp(Write, 0, 3, 0, []byte{2}),
+		rcOp(Release, 0, 4, 0, EncodeVT([]uint32{2, 0})),
+		rcOp(Acquire, 1, 5, 0, EncodeVT([]uint32{2, 0})),
+		rcOp(Read, 1, 6, 0, []byte{1}),
+	}
+	if v := CheckRC(ops); len(v) != 1 {
+		t.Fatalf("overwritten value not flagged: %v", v)
+	}
+	// Synchronized with only the first release, the first value is the
+	// maximal one and the second is a visible-early concurrent extra:
+	// both are admissible.
+	ops[4] = rcOp(Acquire, 1, 5, 0, EncodeVT([]uint32{1, 0}))
+	if v := CheckRC(ops); v != nil {
+		t.Fatalf("first-interval value flagged after first-interval acquire: %v", v)
+	}
+	ops[5] = rcOp(Read, 1, 6, 0, []byte{2})
+	if v := CheckRC(ops); v != nil {
+		t.Fatalf("early-visible second interval flagged: %v", v)
+	}
+}
+
+// TestCheckRCTransitive pins transitivity through a third host: host 0
+// releases, host 1 acquires and releases, host 2 acquires host 1's
+// merged timestamp and must see host 0's write.
+func TestCheckRCTransitive(t *testing.T) {
+	ops := []Op{
+		rcOp(Write, 0, 1, 0, []byte{5}),
+		rcOp(Release, 0, 2, 0, EncodeVT([]uint32{1, 0, 0})),
+		rcOp(Acquire, 1, 3, 0, EncodeVT([]uint32{1, 0, 0})),
+		rcOp(Release, 1, 4, 0, EncodeVT([]uint32{1, 1, 0})),
+		rcOp(Acquire, 2, 5, 0, EncodeVT([]uint32{1, 1, 0})),
+		rcOp(Read, 2, 6, 0, []byte{0}),
+	}
+	if v := CheckRC(ops); len(v) != 1 {
+		t.Fatalf("transitively stale read not flagged: %v", v)
+	}
+	ops[5] = rcOp(Read, 2, 6, 0, []byte{5})
+	if v := CheckRC(ops); v != nil {
+		t.Fatalf("transitively fresh read flagged: %v", v)
+	}
+}
+
+// TestCheckRCProgramOrder pins that a host always sees its own latest
+// write, synchronization or not.
+func TestCheckRCProgramOrder(t *testing.T) {
+	ops := []Op{
+		rcOp(Write, 0, 1, 0, []byte{1}),
+		rcOp(Write, 0, 2, 0, []byte{2}),
+		rcOp(Read, 0, 3, 0, []byte{1}),
+	}
+	if v := CheckRC(ops); len(v) != 1 {
+		t.Fatalf("own stale read not flagged: %v", v)
+	}
+	ops[2] = rcOp(Read, 0, 3, 0, []byte{2})
+	if v := CheckRC(ops); v != nil {
+		t.Fatalf("own fresh read flagged: %v", v)
+	}
+}
+
+// TestCheckRCRegression pins that a host's recorded vector timestamp
+// moving backwards is itself a violation (sync metadata corruption).
+func TestCheckRCRegression(t *testing.T) {
+	ops := []Op{
+		rcOp(Release, 0, 1, 0, EncodeVT([]uint32{3, 1})),
+		rcOp(Acquire, 0, 2, 0, EncodeVT([]uint32{3, 0})),
+	}
+	v := CheckRC(ops)
+	if len(v) != 1 || !strings.Contains(v[0].Msg, "regressed") {
+		t.Fatalf("VT regression not flagged: %v", v)
+	}
+}
+
+// TestVTRoundTrip pins the wire form of vector timestamps.
+func TestVTRoundTrip(t *testing.T) {
+	vt := []uint32{0, 7, 1 << 30}
+	got := DecodeVT(EncodeVT(vt))
+	if len(got) != len(vt) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(vt))
+	}
+	for i := range vt {
+		if got[i] != vt[i] {
+			t.Fatalf("component %d = %d, want %d", i, got[i], vt[i])
+		}
+	}
+}

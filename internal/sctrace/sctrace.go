@@ -34,6 +34,14 @@ const (
 	Read OpKind = iota + 1
 	// Write is a DSM store.
 	Write
+	// Acquire is a release-consistency acquire (lock P, event wait,
+	// barrier release). Its Data carries the host's vector timestamp
+	// after the acquire merged the incoming payload (rc.go).
+	Acquire
+	// Release is a release-consistency release (lock V, event set,
+	// barrier arrival). Its Data carries the host's vector timestamp
+	// after the release closed the interval.
+	Release
 )
 
 // String names the kind.
@@ -43,6 +51,10 @@ func (k OpKind) String() string {
 		return "read"
 	case Write:
 		return "write"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}

@@ -1,0 +1,181 @@
+package vet
+
+import (
+	"bufio"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyzeModelFixture parses a fixture package under testdata and runs
+// the branch-dispatch rules (policy-branch and model-branch) over it
+// with the project's allow-lists.
+func analyzeModelFixture(t *testing.T, dir, pkgPath string) []Finding {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	pkg := NewPackage(fset, pkgPath, files, nil)
+	return Check(pkg, &Config{
+		PolicyBranchPackages: []string{pkgPath},
+		PolicyBranchAllow:    []string{"engine.go"},
+		ModelBranchAllow:     []string{"model.go"},
+	})
+}
+
+// markerLines maps file → the line numbers carrying the given want
+// marker.
+func markerLines(t *testing.T, dir, marker string) map[string]map[int]bool {
+	t.Helper()
+	out := map[string]map[int]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if strings.Contains(sc.Text(), marker) {
+				if out[name] == nil {
+					out[name] = map[int]bool{}
+				}
+				out[name][line] = true
+			}
+		}
+		f.Close()
+	}
+	return out
+}
+
+// TestModelBranchBadFixtureReported checks every scattered model
+// dispatch in testdata/modelbad is reported on its marked line — field
+// comparisons, Policy.Model() call comparisons, and switches — and
+// nothing else is.
+func TestModelBranchBadFixtureReported(t *testing.T) {
+	dir := filepath.Join("testdata", "modelbad")
+	fs := analyzeModelFixture(t, dir, "fixture/modelbad")
+	want := markerLines(t, dir, "want model-branch")
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers")
+	}
+	got := map[string]map[int]bool{}
+	for _, f := range fs {
+		if f.Rule != "model-branch" {
+			t.Errorf("unexpected %s finding in model-branch fixture: %v", f.Rule, f)
+			continue
+		}
+		if got[f.Pos.Filename] == nil {
+			got[f.Pos.Filename] = map[int]bool{}
+		}
+		got[f.Pos.Filename][f.Pos.Line] = true
+	}
+	nwant := 0
+	for file, lines := range want {
+		for line := range lines {
+			nwant++
+			if !got[file][line] {
+				t.Errorf("scattered model branch at %s:%d not reported", file, line)
+			}
+		}
+	}
+	if nwant != 3 {
+		t.Fatalf("fixture must carry exactly 3 scattered branches, found %d markers", nwant)
+	}
+	for file, lines := range got {
+		for line := range lines {
+			if !want[file][line] {
+				t.Errorf("false positive at %s:%d", file, line)
+			}
+		}
+	}
+	if t.Failed() {
+		for _, f := range fs {
+			t.Logf("  %v", f)
+		}
+	}
+}
+
+// TestModelBranchCleanFixtureSilent pins the false-positive budget at
+// zero: carrying a Model around, same-named fields of other types, a
+// method named Model, and an annotated diagnostics branch are all fine.
+func TestModelBranchCleanFixtureSilent(t *testing.T) {
+	fs := analyzeModelFixture(t, filepath.Join("testdata", "modelclean"), "fixture/modelclean")
+	if len(fs) != 0 {
+		t.Fatalf("clean fixture must be silent, got %v", fs)
+	}
+}
+
+// TestModelBranchInlineForms pins the rule's reach without type
+// information: both comparison operands and the switch tag, in field
+// and call form, inside the scoped package.
+func TestModelBranchInlineForms(t *testing.T) {
+	fs := analyze(t, "fixture/dsm", map[string]string{
+		"model.go": `
+package dsm
+
+type Model int
+
+const (
+	ModelSC Model = iota
+	ModelRC
+)
+
+type cfgT struct{ Model Model }
+
+func newModel(c cfgT) int {
+	if c.Model == ModelRC { // sanctioned: the dispatch file
+		return 1
+	}
+	return 0
+}
+`,
+		"stray.go": `
+package dsm
+
+func stray(c cfgT) int {
+	if ModelRC == c.Model { // reversed operands
+		return 1
+	}
+	switch c.Model {
+	case ModelRC:
+		return 2
+	default:
+		return 3
+	}
+}
+`})
+	wantRule(t, fs, "model-branch", "ModelRC == c.Model")
+	wantRule(t, fs, "model-branch", "switch over c.Model")
+	if n := len(fs); n != 2 {
+		t.Fatalf("want exactly 2 findings, got %d: %v", n, fs)
+	}
+}

@@ -1,0 +1,27 @@
+package dsm
+
+// Policy selects a replication engine, as in the real package.
+type Policy int
+
+const (
+	PolicyMRSW Policy = iota
+	PolicyRC
+)
+
+// Config mirrors the real package's shape: the policy is configured,
+// the model derived.
+type Config struct {
+	Policy Policy
+	Model  Model
+}
+
+// Model maps a policy to its consistency contract. engine.go is the
+// policy dispatch file, so the policy branch below is sanctioned — but
+// engine.go is NOT on the model allow-list, so deriving a Model here is
+// fine only as long as nothing compares one.
+func (p Policy) Model() Model {
+	if p == PolicyRC {
+		return ModelRC
+	}
+	return ModelSC
+}

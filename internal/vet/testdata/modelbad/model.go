@@ -1,0 +1,33 @@
+// Package dsm is the model-branch bad fixture: a miniature of the real
+// DSM package where per-model behaviour has leaked out of newModel.
+// model.go itself is the sanctioned dispatch file — nothing here may be
+// reported.
+package dsm
+
+// Model identifies the consistency contract a policy provides.
+type Model int
+
+const (
+	ModelSC Model = iota
+	ModelRC
+)
+
+type consistencyModel interface{ name() string }
+
+type scModel struct{}
+
+func (scModel) name() string { return "SC" }
+
+type rcModel struct{}
+
+func (rcModel) name() string { return "RC" }
+
+// newModel is the single sanctioned model dispatch point.
+func newModel(c Config) consistencyModel {
+	switch c.Model {
+	case ModelRC:
+		return rcModel{}
+	default:
+		return scModel{}
+	}
+}

@@ -1,0 +1,28 @@
+package dsm
+
+// proto.go carries the injected bugs: model dispatch scattered outside
+// model.go, in both the field form and the Policy.Model() call form.
+
+type state struct {
+	cfg Config
+}
+
+func scatteredField(s *state) int {
+	if s.cfg.Model == ModelRC { // want model-branch
+		return 1
+	}
+	return 0
+}
+
+func scatteredCallSwitch(s *state) int {
+	switch s.cfg.Policy.Model() { // want model-branch
+	case ModelRC:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func scatteredCallCompare(s *state) bool {
+	return s.cfg.Policy.Model() != ModelSC // want model-branch
+}

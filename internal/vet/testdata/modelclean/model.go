@@ -1,0 +1,47 @@
+// Package dsm is the model-branch clean fixture: every sanctioned way
+// of touching the consistency model. The analyzer must stay silent over
+// this package.
+package dsm
+
+// Model identifies the consistency contract a policy provides.
+type Model int
+
+const (
+	ModelSC Model = iota
+	ModelRC
+)
+
+// Policy selects a replication engine.
+type Policy int
+
+const (
+	PolicyMRSW Policy = iota
+	PolicyRC
+)
+
+// Model maps a policy to its contract via a table — no policy branch
+// needed.
+func (p Policy) Model() Model {
+	models := [...]Model{PolicyMRSW: ModelSC, PolicyRC: ModelRC}
+	return models[p]
+}
+
+type consistencyModel interface{ name() string }
+
+type scModel struct{}
+
+func (scModel) name() string { return "SC" }
+
+type rcModel struct{}
+
+func (rcModel) name() string { return "RC" }
+
+// newModel is the single sanctioned model dispatch point.
+func newModel(p Policy) consistencyModel {
+	switch p.Model() {
+	case ModelRC:
+		return rcModel{}
+	default:
+		return scModel{}
+	}
+}

@@ -1,0 +1,37 @@
+package dsm
+
+// use.go holds the patterns the rule must NOT fire on: carrying a Model
+// around without branching on it, same-named fields of other types, and
+// an annotated diagnostic site.
+
+type module struct {
+	model consistencyModel
+	mo    Model
+}
+
+// describe passes the model along without comparing it.
+func describe(m *module) string {
+	return m.model.name()
+}
+
+// retry has a string field that happens to be called Model; type
+// information must keep it out of the rule.
+type retry struct {
+	Model string
+}
+
+func retryKind(r *retry) bool {
+	return r.Model == "exponential"
+}
+
+// report is a diagnostics-only branch, suppressed by annotation.
+func report(m *module) string {
+	if m.mo.Model() == ModelRC { // vet:ignore model-branch — diagnostics only
+		return "rc"
+	}
+	return "sc"
+}
+
+// Model echoes the stored model; a method named Model returning Model,
+// like the real Policy.Model, must not trip the rule by itself.
+func (mo Model) Model() Model { return mo }

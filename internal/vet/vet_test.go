@@ -31,6 +31,7 @@ func analyze(t *testing.T, pkgPath string, sources map[string]string) []Finding 
 		ErrDropPackages:      []string{pkgPath},
 		PolicyBranchPackages: []string{pkgPath},
 		PolicyBranchAllow:    []string{"engine.go"},
+		ModelBranchAllow:     []string{"model.go"},
 		BufOwnPackages:       []string{pkgPath},
 		BufPoolPackage:       "repro/internal/bufpool",
 		ProtoPackage:         "repro/internal/proto",

@@ -96,6 +96,13 @@ const (
 	// majority-quorum reads and writes: operations complete in any
 	// network component holding a majority of the hosts.
 	Quorum = dsm.PolicyQuorum
+	// RC is lazy release consistency: every resident copy is writable,
+	// writes are diffed against a twin and pushed to the page's home at
+	// release time (V, SetEvent, Barrier), and acquires (P, WaitEvent,
+	// Barrier) pull the intervals the releaser's vector timestamp
+	// implies. The only policy whose memory model is weaker than
+	// sequential consistency: unsynchronized reads may be stale.
+	RC = dsm.PolicyRC
 )
 
 // Directory schemes (§3.1: how page managers are located).
@@ -489,11 +496,25 @@ func (e *Env) CreateThread(host HostID, fn FuncID, args ...uint32) (*ThreadHandl
 	return &ThreadHandle{h: h, p: e.p}, nil
 }
 
-// P performs the semaphore P (acquire) operation.
+// P performs the semaphore P (acquire) operation. Under the RC policy
+// every P is an acquire: it merges the vector timestamp riding the
+// grant and pulls the page updates it implies.
 func (e *Env) P(sem uint32) { e.host.Sync.P(e.p, sem) }
 
-// V performs the semaphore V (release) operation.
+// V performs the semaphore V (release) operation. Under the RC policy
+// every V is a release: it pushes the current interval's page diffs to
+// their homes and stamps the semaphore with this host's timestamp.
 func (e *Env) V(sem uint32) { e.host.Sync.V(e.p, sem) }
+
+// Acquire is the RC acquire operation, spelled as itself: it takes the
+// semaphore as a lock entry. Identical to P; the name documents intent
+// at RC call sites (release-consistent code reads Acquire/Release even
+// though every sync primitive already carries the payloads).
+func (e *Env) Acquire(sem uint32) { e.host.Sync.P(e.p, sem) }
+
+// Release is the RC release operation, spelled as itself. Identical to
+// V: it closes the current interval and publishes its writes.
+func (e *Env) Release(sem uint32) { e.host.Sync.V(e.p, sem) }
 
 // WaitEvent blocks until the event is set.
 func (e *Env) WaitEvent(ev uint32) { e.host.Sync.EventWait(e.p, ev) }
